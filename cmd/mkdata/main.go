@@ -1,0 +1,22 @@
+// Command mkdata generates the synthetic benchmark data sets standing in
+// for the paper's Table 3 (the original alignments are no longer
+// retrievable), or custom data sets, as PHYLIP files.
+//
+//	mkdata -out data/            # all five Table-3 stand-ins
+//	mkdata -out data/ -set 2     # only the 218-taxa set
+//	mkdata -out data/ -taxa 50 -chars 1000 -seed 7   # custom
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"raxml/internal/cli"
+)
+
+func main() {
+	if err := cli.Mkdata(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mkdata:", err)
+		os.Exit(1)
+	}
+}

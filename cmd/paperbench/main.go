@@ -1,0 +1,21 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation into a results directory: one .txt (rendered) and one .csv
+// (data) per artifact, plus an index.
+//
+//	paperbench -out results/          # full regeneration
+//	paperbench -out results/ -quick   # CI-scale (smaller real runs)
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"raxml/internal/cli"
+)
+
+func main() {
+	if err := cli.Paperbench(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,26 @@
+// Command raxml is the reproduction's analogue of raxmlHPC-HYBRID: it
+// runs phylogenetic analyses on an alignment with coarse-grained ranks
+// and fine-grained workers, writing RAxML-convention output files.
+//
+// Example mirroring the paper's benchmark command line:
+//
+//	raxml -s data.phy -n run1 -m GTRCAT -N 100 -p 12345 -x 12345 -f a -R 10 -T 8
+//
+// Besides the comprehensive analysis (-f a), the tool supports the other
+// two analysis types of the paper's introduction: multiple ML searches
+// (-f d) and bootstrap-only runs with consensus trees (-f b).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"raxml/internal/cli"
+)
+
+func main() {
+	if err := cli.Raxml(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "raxml:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,85 @@
+// Bootstopping: the paper's stated future work, working. Runs rapid
+// bootstraps in batches and stops when the WC-style convergence test
+// says the support values are stable, instead of a fixed -N count.
+// Demonstrates the parallel bipartition hash table the paper calls for.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"raxml"
+	"raxml/internal/bootstop"
+	"raxml/internal/gtr"
+	"raxml/internal/likelihood"
+	"raxml/internal/rapidbs"
+	"raxml/internal/rng"
+	"raxml/internal/threads"
+	"raxml/internal/tree"
+)
+
+func main() {
+	// Strong-signal data converge quickly; noisy data need more
+	// replicates. Compare both.
+	for _, cfg := range []struct {
+		label string
+		gen   raxml.GenerateConfig
+	}{
+		{"strong signal", raxml.GenerateConfig{Taxa: 10, Chars: 2000, Seed: 1, TreeScale: 0.4, Alpha: 4}},
+		{"weak signal", raxml.GenerateConfig{Taxa: 10, Chars: 120, Seed: 2, TreeScale: 0.1, Alpha: 0.4}},
+	} {
+		pat, _, err := raxml.Generate(cfg.gen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pool := threads.NewPool(2, pat.NumPatterns())
+		eng, err := likelihood.New(pat, gtr.Default(), gtr.NewUniform(pat.NumPatterns()),
+			likelihood.Config{Pool: pool})
+		if err != nil {
+			log.Fatal(err)
+		}
+		runner := rapidbs.NewRunner(eng)
+		bsRNG := rng.New(12345)
+		parsRNG := rng.New(12345)
+
+		generate := func(count int) ([]*tree.Tree, error) {
+			reps, err := runner.Run(count, bsRNG, parsRNG)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]*tree.Tree, len(reps))
+			for i, r := range reps {
+				out[i] = r.Tree
+			}
+			return out, nil
+		}
+
+		stopper := bootstop.Runner{
+			BatchSize:     10,
+			MaxReplicates: 60,
+			Criterion:     bootstop.DefaultCriterion(),
+		}
+		trees, batches, err := stopper.Run(generate, rng.New(99))
+		if err != nil {
+			log.Fatal(err)
+		}
+		converged, dist, err := bootstop.Converged(trees, bootstop.DefaultCriterion(), rng.New(99))
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// The concurrent bipartition table (the paper's future-work
+		// substrate) tallies split frequencies across all replicates.
+		table := bootstop.NewTable(pat.NumTaxa())
+		if err := table.AddTrees(trees); err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%s: %d replicates in %d batches; converged=%v (WC distance %.4f)\n",
+			cfg.label, len(trees), batches, converged, dist)
+		fmt.Printf("  distinct bipartitions observed: %d\n\n", table.Len())
+		pool.Close()
+	}
+	fmt.Println("the fixed -N runs of the paper would have used 100 replicates in every case;")
+	fmt.Println("bootstopping adapts the count to the data, as Pattengale et al. proposed.")
+}

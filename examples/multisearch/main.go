@@ -1,0 +1,72 @@
+// Multisearch: the paper's analysis types 1 and 2, which the
+// introduction notes are "straightforward" to parallelize coarsely —
+// multiple independent ML searches from different starting trees, and a
+// bootstrap-only run summarized with consensus trees.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"raxml"
+	"raxml/internal/core"
+)
+
+func main() {
+	pat, _, err := raxml.Generate(raxml.GenerateConfig{
+		Taxa: 12, Chars: 500, Seed: 11, TreeScale: 0.5, Alpha: 1.0,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("data: %d taxa, %d patterns\n\n", pat.NumTaxa(), pat.NumPatterns())
+
+	// ----- Analysis type 1: multiple ML searches (-f d) -----
+	// 6 searches over 3 ranks; each rank runs 2 from its own randomized
+	// starting trees (seeds offset by 10000*rank).
+	opts := raxml.Options{
+		Ranks: 3, Workers: 2,
+		SeedParsimony: 12345, SeedBootstrap: 12345,
+	}
+	ms, err := raxml.MultiSearch(pat, 6, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	core.SortOutcomes(ms.All)
+	fmt.Printf("multiple ML searches (%d total, %s):\n", len(ms.All), ms.Elapsed.Round(time.Millisecond))
+	for _, o := range ms.All {
+		marker := " "
+		if o.Rank == ms.Best.Rank && o.Index == ms.Best.Index {
+			marker = "*"
+		}
+		fmt.Printf(" %s rank %d search %d: lnL %.4f\n", marker, o.Rank, o.Index, o.LogLikelihood)
+	}
+	fmt.Printf("spread between best and worst: %.4f log units\n\n",
+		ms.All[0].LogLikelihood-ms.All[len(ms.All)-1].LogLikelihood)
+
+	// ----- Analysis type 2: bootstraps only (-x without -f a) -----
+	bsOpts := opts
+	bsOpts.Bootstraps = 24
+	bs, err := raxml.Bootstraps(pat, bsOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bootstrap-only run: %d replicates (%d per rank) in %s\n",
+		len(bs.Trees), bs.PerRank, bs.Elapsed.Round(time.Millisecond))
+
+	maj, err := raxml.MajorityConsensus(bs.Trees)
+	if err != nil {
+		log.Fatal(err)
+	}
+	greedy, err := raxml.GreedyConsensus(bs.Trees)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("majority-rule consensus: %d of %d possible splits resolved\n",
+		maj.NumInternalSplits(), pat.NumTaxa()-3)
+	fmt.Printf("greedy (MRE) consensus:  %d of %d possible splits resolved\n",
+		greedy.NumInternalSplits(), pat.NumTaxa()-3)
+	fmt.Println("\nmajority consensus tree:")
+	fmt.Println(maj.Newick())
+}

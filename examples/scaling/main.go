@@ -1,0 +1,83 @@
+// Scaling: reproduce the paper's scaling study on the calibrated
+// performance model — Fig. 1/2-style curves for the 1,846-pattern data
+// set on Dash, the Table-5 best-configuration sweep, and the single-node
+// hybrid-vs-pure comparison of Section 5.1.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"raxml/internal/perfmodel"
+	"raxml/internal/textplot"
+)
+
+func main() {
+	dash, err := perfmodel.MachineByName("Dash")
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := perfmodel.DataSetByPatterns(1846)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fig. 1: speedup vs cores at constant thread counts.
+	var series []textplot.Series
+	for _, threads := range []int{1, 2, 4, 8} {
+		pts, err := perfmodel.SpeedupCurve(dash, d, threads, 100, 80, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := textplot.Series{Name: fmt.Sprintf("%d threads", threads)}
+		for _, p := range pts {
+			s.X = append(s.X, float64(p.Cores))
+			s.Y = append(s.Y, p.Value)
+		}
+		series = append(series, s)
+	}
+	fmt.Println(textplot.Chart(
+		"speedup vs cores (218 taxa / 1,846 patterns on Dash, 100 bootstraps)",
+		series, 64, 18, true))
+
+	// Table-5-style best configurations.
+	fmt.Println("best (ranks x threads) per core count:")
+	for _, cores := range []int{1, 8, 16, 40, 80} {
+		cfg, err := perfmodel.BestConfig(dash, d, cores, 100, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		speedup := perfmodel.SerialTime(dash, d, 100) / cfg.Time
+		fmt.Printf("  %3d cores: %2d x %d  -> %7.0f s  (speedup %5.2f)\n",
+			cores, cfg.Ranks, cfg.Threads, cfg.Time, speedup)
+	}
+
+	// Section 5.1: one 8-core node, three decompositions.
+	fmt.Println("\nsingle 8-core Dash node:")
+	for _, c := range []struct {
+		label          string
+		ranks, threads int
+	}{
+		{"1 x 8 (Pthreads-only)", 1, 8},
+		{"2 x 4 (hybrid)       ", 2, 4},
+		{"8 x 1 (MPI-only)     ", 8, 1},
+	} {
+		t, err := perfmodel.Simulate(perfmodel.Spec{
+			Machine: dash, Data: d, Ranks: c.ranks, Threads: c.threads, Bootstraps: 100})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s %7.0f s\n", c.label, t.Total)
+	}
+
+	// The thread-count trade-off across data sets (the paper's central
+	// observation: optimal threads grow with patterns).
+	fmt.Println("\noptimal threads at 80 cores of Dash (100 bootstraps):")
+	for _, ds := range perfmodel.DataSets() {
+		cfg, err := perfmodel.BestConfig(dash, ds, 80, 100, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-28s -> %d threads (%d ranks)\n", ds.Name(), cfg.Threads, cfg.Ranks)
+	}
+}

@@ -1,0 +1,255 @@
+// Package bootstop implements bootstopping: the adaptive test of
+// Pattengale et al. (RECOMB 2009) that decides when enough bootstrap
+// replicates have been computed.
+//
+// The paper's hybrid code handles only a fixed replicate count and names
+// bootstopping as future work, observing that "parallelization of that
+// test, which operates on bipartitions of trees stored in a hash table,
+// will require implementation of a framework for parallel operations on
+// hash tables on multi-core nodes." This package builds exactly that
+// substrate — a sharded, concurrently usable bipartition frequency table
+// — plus the WC-style convergence criterion on top of it.
+package bootstop
+
+import (
+	"fmt"
+	"sync"
+
+	"raxml/internal/rng"
+	"raxml/internal/tree"
+)
+
+// shardCount is the number of lock shards in the table; a small power of
+// two well above typical worker counts.
+const shardCount = 64
+
+// Table is a concurrent bipartition frequency table: the "framework for
+// parallel operations on hash tables" the paper calls for. Shards are
+// selected by bipartition hash, so goroutines adding different trees
+// contend only when their splits collide in a shard.
+type Table struct {
+	n      int // taxa
+	shards [shardCount]shard
+}
+
+type shard struct {
+	mu     sync.Mutex
+	counts map[string]int
+}
+
+// NewTable creates a table for trees over n taxa.
+func NewTable(n int) *Table {
+	t := &Table{n: n}
+	for i := range t.shards {
+		t.shards[i].counts = make(map[string]int)
+	}
+	return t
+}
+
+// AddTree inserts all non-trivial bipartitions of tr. Safe for
+// concurrent use.
+func (t *Table) AddTree(tr *tree.Tree) error {
+	if tr.NumTaxa() != t.n {
+		return fmt.Errorf("bootstop: tree has %d taxa, table expects %d", tr.NumTaxa(), t.n)
+	}
+	for _, bp := range tr.Bipartitions() {
+		s := &t.shards[bp.Hash()%shardCount]
+		key := bp.Key()
+		s.mu.Lock()
+		s.counts[key]++
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// AddTrees inserts a batch of trees using one goroutine per tree,
+// exercising the table's concurrency. It returns the first error.
+func (t *Table) AddTrees(trees []*tree.Tree) error {
+	errs := make([]error, len(trees))
+	var wg sync.WaitGroup
+	for i, tr := range trees {
+		wg.Add(1)
+		go func(i int, tr *tree.Tree) {
+			defer wg.Done()
+			errs[i] = t.AddTree(tr)
+		}(i, tr)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Count returns the frequency of one bipartition.
+func (t *Table) Count(bp tree.Bipartition) int {
+	s := &t.shards[bp.Hash()%shardCount]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts[bp.Key()]
+}
+
+// Len returns the number of distinct bipartitions recorded.
+func (t *Table) Len() int {
+	total := 0
+	for i := range t.shards {
+		t.shards[i].mu.Lock()
+		total += len(t.shards[i].counts)
+		t.shards[i].mu.Unlock()
+	}
+	return total
+}
+
+// Snapshot returns a plain map copy of the table.
+func (t *Table) Snapshot() map[string]int {
+	out := make(map[string]int)
+	for i := range t.shards {
+		t.shards[i].mu.Lock()
+		for k, v := range t.shards[i].counts {
+			out[k] += v
+		}
+		t.shards[i].mu.Unlock()
+	}
+	return out
+}
+
+// Criterion configures the WC-style convergence test.
+type Criterion struct {
+	// Permutations is the number of random half/half splits examined
+	// (Pattengale et al. use 100).
+	Permutations int
+	// Threshold is the convergence bound on the mean weighted distance
+	// between half-sample support vectors (default 0.03).
+	Threshold float64
+}
+
+// DefaultCriterion returns the parameters of the published WC test.
+func DefaultCriterion() Criterion {
+	return Criterion{Permutations: 100, Threshold: 0.03}
+}
+
+// Converged applies the WC-style test to a set of replicate trees: for
+// each random permutation the replicates are split into two halves, each
+// half's bipartition support vector is computed, and the halves are
+// compared by mean absolute support difference over the union of their
+// splits. The test passes when the permutation average falls below the
+// threshold — the replicate set then carries stable support information.
+// It returns the verdict and the average distance.
+func Converged(trees []*tree.Tree, c Criterion, r *rng.RNG) (bool, float64, error) {
+	if len(trees) < 2 {
+		return false, 1, nil
+	}
+	if c.Permutations < 1 {
+		c.Permutations = 100
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 0.03
+	}
+	// Pre-extract bipartition sets once.
+	sets := make([]map[string]tree.Bipartition, len(trees))
+	for i, t := range trees {
+		sets[i] = t.BipartitionSet()
+	}
+	half := len(trees) / 2
+	totalDist := 0.0
+	for p := 0; p < c.Permutations; p++ {
+		perm := r.Perm(len(trees))
+		counts1 := map[string]int{}
+		counts2 := map[string]int{}
+		for i, idx := range perm {
+			dst := counts1
+			if i >= half {
+				dst = counts2
+			}
+			for k := range sets[idx] {
+				dst[k]++
+			}
+		}
+		n2 := len(trees) - half
+		union := map[string]bool{}
+		for k := range counts1 {
+			union[k] = true
+		}
+		for k := range counts2 {
+			union[k] = true
+		}
+		if len(union) == 0 {
+			continue
+		}
+		// Weighted RF between the half-sample support vectors,
+		// normalized by the total support mass so well-supported stable
+		// splits dominate the verdict (as in the published WC test).
+		var num, den float64
+		for k := range union {
+			f1 := float64(counts1[k]) / float64(half)
+			f2 := float64(counts2[k]) / float64(n2)
+			diff := f1 - f2
+			if diff < 0 {
+				diff = -diff
+			}
+			num += diff
+			if f1 > f2 {
+				den += f1
+			} else {
+				den += f2
+			}
+		}
+		if den > 0 {
+			totalDist += num / den
+		}
+	}
+	avg := totalDist / float64(c.Permutations)
+	return avg <= c.Threshold, avg, nil
+}
+
+// Runner drives adaptive bootstrapping: generate replicates in batches,
+// test after each batch, stop at convergence or maxReplicates.
+type Runner struct {
+	// BatchSize is the number of replicates between tests (RAxML: 50).
+	BatchSize int
+	// MaxReplicates caps the total (RAxML's autoMRE: 1000).
+	MaxReplicates int
+	// Criterion is the convergence test.
+	Criterion Criterion
+}
+
+// DefaultRunner mirrors RAxML's autoMRE defaults.
+func DefaultRunner() Runner {
+	return Runner{BatchSize: 50, MaxReplicates: 1000, Criterion: DefaultCriterion()}
+}
+
+// Run repeatedly calls generate(count) for more replicate trees until
+// the criterion converges or MaxReplicates is reached. It returns all
+// trees generated and the number of batches run.
+func (r Runner) Run(generate func(count int) ([]*tree.Tree, error), testRNG *rng.RNG) ([]*tree.Tree, int, error) {
+	if r.BatchSize < 2 {
+		r.BatchSize = 50
+	}
+	if r.MaxReplicates < r.BatchSize {
+		r.MaxReplicates = r.BatchSize
+	}
+	var all []*tree.Tree
+	batches := 0
+	for len(all) < r.MaxReplicates {
+		want := r.BatchSize
+		if len(all)+want > r.MaxReplicates {
+			want = r.MaxReplicates - len(all)
+		}
+		batch, err := generate(want)
+		if err != nil {
+			return nil, batches, err
+		}
+		all = append(all, batch...)
+		batches++
+		ok, _, err := Converged(all, r.Criterion, testRNG)
+		if err != nil {
+			return nil, batches, err
+		}
+		if ok {
+			break
+		}
+	}
+	return all, batches, nil
+}

@@ -1,0 +1,399 @@
+// Package cli implements the command-line tools (raxml, mkdata,
+// paperbench) as testable functions; the cmd/ mains are thin wrappers.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"raxml/internal/consensus"
+	"raxml/internal/core"
+	"raxml/internal/figures"
+	"raxml/internal/msa"
+	"raxml/internal/seqgen"
+	"raxml/internal/support"
+	"raxml/internal/tree"
+)
+
+// Raxml runs the raxmlHPC-HYBRID-style analysis tool. Supported
+// analyses (-f):
+//
+//	a — comprehensive: rapid bootstraps + full ML search (the paper's
+//	    flagship workload; writes bestTree, bipartitions, info files)
+//	d — multiple ML searches from random starts (analysis type 1)
+//	b — bootstrap replicates only, with majority-rule and greedy
+//	    consensus trees (analysis type 2)
+//	e — evaluate the fixed topology given with -t (branch lengths and
+//	    model optimized, topology unchanged)
+//	s — draw support from the -z replicate-tree file onto the -t tree
+func Raxml(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("raxml", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		alignFile  = fs.String("s", "", "alignment file (PHYLIP or FASTA)")
+		runName    = fs.String("n", "run", "run name used in output file names")
+		model      = fs.String("m", "GTRCAT", "model: GTRCAT or GTRGAMMA")
+		bootstraps = fs.Int("N", 100, "bootstraps (-f a/b) or searches (-f d)")
+		seedP      = fs.Int64("p", 12345, "parsimony / starting tree random seed")
+		seedX      = fs.Int64("x", 12345, "rapid bootstrap random seed")
+		analysis   = fs.String("f", "a", "analysis: a (comprehensive), d (multi-search), b (bootstraps+consensus), e (evaluate -t), s (support: -t + -z)")
+		ranks      = fs.Int("R", 1, "coarse-grained processes (MPI ranks)")
+		workers    = fs.Int("T", 1, "fine-grained workers per rank (Pthreads)")
+		outDir     = fs.String("w", ".", "output directory")
+		userTree   = fs.String("t", "", "user tree file (Newick; -f e and -f s)")
+		treesFile  = fs.String("z", "", "multi-tree file (one Newick per line; -f s)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *alignFile == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -s alignment file")
+	}
+	var modelType core.ModelType
+	switch *model {
+	case "GTRCAT":
+		modelType = core.GTRCAT
+	case "GTRGAMMA":
+		modelType = core.GTRGAMMA
+	default:
+		return fmt.Errorf("unknown model %q (want GTRCAT or GTRGAMMA)", *model)
+	}
+
+	data, err := os.ReadFile(*alignFile)
+	if err != nil {
+		return err
+	}
+	a, err := msa.Sniff(data)
+	if err != nil {
+		return err
+	}
+	pat, err := msa.Compress(a)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "Alignment: %d taxa, %d characters, %d distinct patterns\n",
+		pat.NumTaxa(), pat.NumChars(), pat.NumPatterns())
+
+	opts := core.Options{
+		Bootstraps:     *bootstraps,
+		Ranks:          *ranks,
+		Workers:        *workers,
+		SeedParsimony:  *seedP,
+		SeedBootstrap:  *seedX,
+		Model:          modelType,
+		EmpiricalFreqs: true,
+	}
+
+	switch *analysis {
+	case "a":
+		return runComprehensive(pat, opts, *alignFile, *runName, *outDir, stdout)
+	case "d":
+		return runMultiSearch(pat, opts, *bootstraps, *runName, *outDir, stdout)
+	case "b":
+		return runBootstrapsOnly(pat, opts, *runName, *outDir, stdout)
+	case "e":
+		return runEvaluate(pat, opts, *userTree, *runName, *outDir, stdout)
+	case "s":
+		return runSupport(pat, *userTree, *treesFile, *runName, *outDir, stdout)
+	default:
+		return fmt.Errorf("unsupported -f %q (want a, d, b, e or s)", *analysis)
+	}
+}
+
+func runEvaluate(pat *msa.Patterns, opts core.Options, userTree, runName, outDir string, stdout io.Writer) error {
+	if userTree == "" {
+		return fmt.Errorf("-f e requires -t <tree file>")
+	}
+	data, err := os.ReadFile(userTree)
+	if err != nil {
+		return err
+	}
+	t, err := tree.ParseNewick(strings.TrimSpace(string(data)), pat.Names)
+	if err != nil {
+		return err
+	}
+	res, err := core.EvaluateTree(pat, t, opts)
+	if err != nil {
+		return err
+	}
+	nw, err := tree.FormatNewick(res.Tree, nil)
+	if err != nil {
+		return err
+	}
+	outPath := filepath.Join(outDir, "RAxML_result."+runName)
+	if err := os.WriteFile(outPath, []byte(nw+"\n"), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "Final log-likelihood: %.6f\n", res.LogLikelihood)
+	fmt.Fprintf(stdout, "Tree length:          %.6f\n", res.TreeLength)
+	fmt.Fprintf(stdout, "Optimized tree:       %s\n", outPath)
+	return nil
+}
+
+func runSupport(pat *msa.Patterns, userTree, treesFile, runName, outDir string, stdout io.Writer) error {
+	if userTree == "" || treesFile == "" {
+		return fmt.Errorf("-f s requires both -t <best tree> and -z <replicate trees>")
+	}
+	bestData, err := os.ReadFile(userTree)
+	if err != nil {
+		return err
+	}
+	best, err := tree.ParseNewick(strings.TrimSpace(string(bestData)), pat.Names)
+	if err != nil {
+		return err
+	}
+	repsData, err := os.ReadFile(treesFile)
+	if err != nil {
+		return err
+	}
+	reps, err := tree.ParseMultiNewick(string(repsData), pat.Names)
+	if err != nil {
+		return err
+	}
+	vals, err := support.Compute(best, reps)
+	if err != nil {
+		return err
+	}
+	annotated, err := support.Annotate(best, vals)
+	if err != nil {
+		return err
+	}
+	outPath := filepath.Join(outDir, "RAxML_bipartitions."+runName)
+	if err := os.WriteFile(outPath, []byte(annotated+"\n"), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%d replicates; mean support %.1f%%, min %d%%\n",
+		len(reps), vals.Mean(), vals.Min())
+	fmt.Fprintf(stdout, "Annotated tree: %s\n", outPath)
+	return nil
+}
+
+func runComprehensive(pat *msa.Patterns, opts core.Options, alignFile, runName, outDir string, stdout io.Writer) error {
+	sched := core.NewSchedule(opts.Ranks, opts.Bootstraps)
+	fmt.Fprintf(stdout, "Schedule: %d ranks x %d workers; per rank: %d bootstraps, %d fast, %d slow, 1 thorough\n",
+		opts.Ranks, opts.Workers, sched.BootstrapsPerProcess, sched.FastPerProcess, sched.SlowPerProcess)
+
+	start := time.Now()
+	res, err := core.Run(pat, opts)
+	if err != nil {
+		return err
+	}
+	best, err := tree.FormatNewick(res.BestTree, nil)
+	if err != nil {
+		return err
+	}
+	annotated, err := tree.FormatNewick(res.BestTree, res.Support)
+	if err != nil {
+		return err
+	}
+	bestPath := filepath.Join(outDir, "RAxML_bestTree."+runName)
+	bipartPath := filepath.Join(outDir, "RAxML_bipartitions."+runName)
+	infoPath := filepath.Join(outDir, "RAxML_info."+runName)
+	if err := os.WriteFile(bestPath, []byte(best+"\n"), 0o644); err != nil {
+		return err
+	}
+	if err := os.WriteFile(bipartPath, []byte(annotated+"\n"), 0o644); err != nil {
+		return err
+	}
+	var info strings.Builder
+	fmt.Fprintf(&info, `hybrid comprehensive analysis (%s)
+alignment: %s (%d taxa, %d patterns)
+ranks: %d  workers/rank: %d
+bootstraps specified: %d  performed: %d
+best final log-likelihood: %.6f (rank %d)
+elapsed: %s
+per-rank stage times:
+`, opts.Model, alignFile, pat.NumTaxa(), pat.NumPatterns(),
+		opts.Ranks, opts.Workers, opts.Bootstraps, res.TotalBootstraps,
+		res.BestLogLikelihood, res.BestRank, time.Since(start).Round(time.Millisecond))
+	for _, rep := range res.Ranks {
+		fmt.Fprintf(&info, "  rank %d: bootstrap %s, fast %s, slow %s, thorough %s (lnL %.4f)\n",
+			rep.Rank,
+			rep.Times.Bootstrap.Round(time.Millisecond),
+			rep.Times.Fast.Round(time.Millisecond),
+			rep.Times.Slow.Round(time.Millisecond),
+			rep.Times.Thorough.Round(time.Millisecond),
+			rep.ThoroughScore)
+	}
+	if err := os.WriteFile(infoPath, []byte(info.String()), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "Best log-likelihood: %.6f (rank %d)\n", res.BestLogLikelihood, res.BestRank)
+	fmt.Fprintf(stdout, "Best tree:           %s\n", bestPath)
+	fmt.Fprintf(stdout, "Annotated tree:      %s\n", bipartPath)
+	fmt.Fprintf(stdout, "Run info:            %s\n", infoPath)
+	return nil
+}
+
+func runMultiSearch(pat *msa.Patterns, opts core.Options, searches int, runName, outDir string, stdout io.Writer) error {
+	fmt.Fprintf(stdout, "Multiple ML searches: %d searches over %d ranks x %d workers\n",
+		searches, opts.Ranks, opts.Workers)
+	res, err := core.RunMultiSearch(pat, searches, opts)
+	if err != nil {
+		return err
+	}
+	core.SortOutcomes(res.All)
+	bestPath := filepath.Join(outDir, "RAxML_bestTree."+runName)
+	if err := os.WriteFile(bestPath, []byte(res.Best.Newick+"\n"), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "searches finished in %s; log-likelihoods:\n", res.Elapsed.Round(time.Millisecond))
+	for _, o := range res.All {
+		fmt.Fprintf(stdout, "  rank %d search %d: %.4f\n", o.Rank, o.Index, o.LogLikelihood)
+	}
+	fmt.Fprintf(stdout, "Best log-likelihood: %.6f (rank %d)\n", res.Best.LogLikelihood, res.Best.Rank)
+	fmt.Fprintf(stdout, "Best tree:           %s\n", bestPath)
+	return nil
+}
+
+func runBootstrapsOnly(pat *msa.Patterns, opts core.Options, runName, outDir string, stdout io.Writer) error {
+	fmt.Fprintf(stdout, "Bootstrap-only analysis: %d replicates over %d ranks\n",
+		opts.Bootstraps, opts.Ranks)
+	res, err := core.RunBootstraps(pat, opts)
+	if err != nil {
+		return err
+	}
+	var all strings.Builder
+	for _, t := range res.Trees {
+		nw, err := tree.FormatNewick(t, nil)
+		if err != nil {
+			return err
+		}
+		all.WriteString(nw)
+		all.WriteByte('\n')
+	}
+	bsPath := filepath.Join(outDir, "RAxML_bootstrap."+runName)
+	if err := os.WriteFile(bsPath, []byte(all.String()), 0o644); err != nil {
+		return err
+	}
+	maj, err := consensus.Majority(res.Trees, 0.5)
+	if err != nil {
+		return err
+	}
+	greedy, err := consensus.Greedy(res.Trees)
+	if err != nil {
+		return err
+	}
+	majPath := filepath.Join(outDir, "RAxML_MajorityRuleConsensusTree."+runName)
+	mrePath := filepath.Join(outDir, "RAxML_GreedyConsensusTree."+runName)
+	if err := os.WriteFile(majPath, []byte(maj.Newick()+"\n"), 0o644); err != nil {
+		return err
+	}
+	if err := os.WriteFile(mrePath, []byte(greedy.Newick()+"\n"), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%d replicates in %s\n", len(res.Trees), res.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(stdout, "Replicate trees:      %s\n", bsPath)
+	fmt.Fprintf(stdout, "Majority consensus:   %s (%d splits)\n", majPath, maj.NumInternalSplits())
+	fmt.Fprintf(stdout, "Greedy consensus:     %s (%d splits)\n", mrePath, greedy.NumInternalSplits())
+	return nil
+}
+
+// Mkdata runs the synthetic data generator tool.
+func Mkdata(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mkdata", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		outDir = fs.String("out", ".", "output directory")
+		setIdx = fs.Int("set", -1, "Table-3 data set index 0-4 (-1 = all)")
+		taxa   = fs.Int("taxa", 0, "custom: taxa (overrides -set)")
+		chars  = fs.Int("chars", 0, "custom: characters")
+		seed   = fs.Int64("seed", 1, "custom: generator seed")
+		scale  = fs.Float64("scale", 0.5, "custom: tree length scale")
+		alpha  = fs.Float64("alpha", 0.8, "custom: rate heterogeneity shape")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	if *taxa > 0 {
+		cfg := seqgen.Config{Taxa: *taxa, Chars: *chars, Seed: *seed, TreeScale: *scale, Alpha: *alpha}
+		name := fmt.Sprintf("custom_%dx%d.phy", *taxa, *chars)
+		return writeDataSet(cfg, filepath.Join(*outDir, name), 0, stdout)
+	}
+	for i, d := range seqgen.PaperDataSets() {
+		if *setIdx >= 0 && i != *setIdx {
+			continue
+		}
+		name := fmt.Sprintf("ds%d_%dtaxa_%dchars.phy", i, d.Taxa, d.Chars)
+		if err := writeDataSet(d.Config, filepath.Join(*outDir, name), d.PaperPatterns, stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeDataSet(cfg seqgen.Config, path string, paperPatterns int, stdout io.Writer) error {
+	a, _, err := seqgen.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	pat, err := msa.Compress(a)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := msa.WritePHYLIP(f, a); err != nil {
+		return err
+	}
+	if paperPatterns > 0 {
+		fmt.Fprintf(stdout, "%s: %d taxa, %d chars, %d patterns (paper: %d)\n",
+			path, a.NumTaxa(), a.NumChars(), pat.NumPatterns(), paperPatterns)
+	} else {
+		fmt.Fprintf(stdout, "%s: %d taxa, %d chars, %d patterns\n",
+			path, a.NumTaxa(), a.NumChars(), pat.NumPatterns())
+	}
+	return nil
+}
+
+// Paperbench regenerates all paper artifacts into a directory.
+func Paperbench(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("paperbench", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		outDir = fs.String("out", "results", "output directory")
+		quick  = fs.Bool("quick", false, "CI-scale regeneration")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	start := time.Now()
+	arts, err := figures.All(*quick)
+	if err != nil {
+		return err
+	}
+	var index strings.Builder
+	index.WriteString("Regenerated artifacts (paper: Pfeiffer & Stamatakis 2010)\n")
+	fmt.Fprintf(&index, "mode: quick=%v\n\n", *quick)
+	for _, a := range arts {
+		if err := os.WriteFile(filepath.Join(*outDir, a.ID+".txt"), []byte(a.Text), 0o644); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(*outDir, a.ID+".csv"), []byte(a.CSV), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(&index, "%-12s %s\n", a.ID, a.Title)
+		fmt.Fprintf(stdout, "wrote %s\n", filepath.Join(*outDir, a.ID+".txt"))
+	}
+	fmt.Fprintf(&index, "\nelapsed: %s\n", time.Since(start).Round(time.Millisecond))
+	if err := os.WriteFile(filepath.Join(*outDir, "INDEX.txt"), []byte(index.String()), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "done in %s\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"raxml/internal/likelihood"
+	"raxml/internal/msa"
+	"raxml/internal/threads"
+	"raxml/internal/tree"
+)
+
+// This file implements tree evaluation (RAxML's -f e): given a fixed
+// user topology, optimize branch lengths and model parameters and report
+// the log-likelihood. Evaluation is a single-tree operation — it uses
+// only the fine-grained (worker) level of the hybrid scheme, which is
+// exactly how the Pthreads-only RAxML treats it.
+
+// EvaluationResult reports one evaluated topology.
+type EvaluationResult struct {
+	// Tree is the input topology with optimized branch lengths.
+	Tree *tree.Tree
+	// LogLikelihood is the optimized score.
+	LogLikelihood float64
+	// TreeLength is the optimized sum of branch lengths.
+	TreeLength float64
+	// Elapsed is the wall time.
+	Elapsed time.Duration
+}
+
+// EvaluateTree optimizes branch lengths and (optionally, per the model
+// settings implied by opts) model parameters on the fixed topology and
+// returns the result. The topology itself is never changed.
+func EvaluateTree(pat *msa.Patterns, t *tree.Tree, opts Options) (*EvaluationResult, error) {
+	opts = opts.withDefaults()
+	if t.NumTaxa() != pat.NumTaxa() {
+		return nil, fmt.Errorf("core: tree has %d taxa, alignment has %d", t.NumTaxa(), pat.NumTaxa())
+	}
+	start := time.Now()
+	pool := threads.NewPool(opts.Workers, pat.NumPatterns())
+	defer pool.Close()
+	eng, err := newEngine(pat, opts, pool)
+	if err != nil {
+		return nil, err
+	}
+	work := t.Clone()
+	if err := eng.AttachTree(work); err != nil {
+		return nil, err
+	}
+	// RAxML's -f e: thorough branch-length + model optimization on the
+	// fixed topology, iterated to convergence.
+	ll := eng.OptimizeAllBranches(8, 0.01)
+	ll = eng.OptimizeModel(likelihood.ModelOptConfig{Rates: true, Alpha: true, Rounds: 2})
+	if eng.Rates().IsCAT() {
+		ll = eng.OptimizePerSiteRates(25, 12)
+	}
+	ll = eng.OptimizeAllBranches(8, 0.001)
+	return &EvaluationResult{
+		Tree:          work,
+		LogLikelihood: ll,
+		TreeLength:    work.TotalLength(),
+		Elapsed:       time.Since(start),
+	}, nil
+}
+
+// EvaluateTrees scores several topologies (RAxML -f e with a multi-tree
+// file), distributing them over opts.Ranks ranks with the usual
+// ceil-division rule; the fixed-topology evaluations are independent, so
+// the coarse grain applies exactly as for searches. Results are returned
+// in input order.
+func EvaluateTrees(pat *msa.Patterns, trees []*tree.Tree, opts Options) ([]*EvaluationResult, error) {
+	opts = opts.withDefaults()
+	if len(trees) == 0 {
+		return nil, fmt.Errorf("core: no trees to evaluate")
+	}
+	results := make([]*EvaluationResult, len(trees))
+	errs := make([]error, opts.Ranks)
+	perRank := ceilDiv(len(trees), opts.Ranks)
+	done := make(chan int, opts.Ranks)
+	for rank := 0; rank < opts.Ranks; rank++ {
+		go func(rank int) {
+			defer func() { done <- rank }()
+			lo := rank * perRank
+			hi := lo + perRank
+			if hi > len(trees) {
+				hi = len(trees)
+			}
+			for i := lo; i < hi; i++ {
+				res, err := EvaluateTree(pat, trees[i], Options{
+					Workers:       opts.Workers,
+					Model:         opts.Model,
+					Alpha:         opts.Alpha,
+					SeedParsimony: opts.SeedParsimony,
+					SeedBootstrap: opts.SeedBootstrap,
+				})
+				if err != nil {
+					errs[rank] = err
+					return
+				}
+				results[i] = res
+			}
+		}(rank)
+	}
+	for i := 0; i < opts.Ranks; i++ {
+		<-done
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"raxml/internal/fabric"
+	"raxml/internal/gtr"
+	"raxml/internal/likelihood"
+	"raxml/internal/msa"
+	"raxml/internal/parsimony"
+	"raxml/internal/rapidbs"
+	"raxml/internal/rng"
+	"raxml/internal/search"
+	"raxml/internal/threads"
+	"raxml/internal/tree"
+)
+
+// This file implements the other two analysis types the paper's
+// introduction lists as amenable to coarse-grained parallelization
+// (their hybrid treatment "is straightforward, since they have
+// essentially constant parallelism throughout"):
+//
+//  1. multiple maximum-likelihood searches on the same data from
+//     different randomized starting trees (RAxML -f d -N), and
+//  2. multiple bootstrap searches without the subsequent ML search
+//     (RAxML -x/-b -N).
+//
+// Both distribute ceil(N/p) units to each rank, need no communication
+// until the final reduction, and reuse the rank seed-offset scheme.
+
+// SearchOutcome is one finished ML search of a multi-search analysis.
+type SearchOutcome struct {
+	// Rank is the rank that ran the search; Index its local index.
+	Rank, Index int
+	// LogLikelihood is the final optimized score.
+	LogLikelihood float64
+	// Newick is the final topology.
+	Newick string
+}
+
+// MultiSearchResult is the outcome of RunMultiSearch.
+type MultiSearchResult struct {
+	// Best is the highest-scoring search.
+	Best SearchOutcome
+	// BestTree is Best's parsed topology.
+	BestTree *tree.Tree
+	// All holds every search outcome ordered by (rank, index).
+	All []SearchOutcome
+	// Elapsed is the wall time of the whole analysis.
+	Elapsed time.Duration
+}
+
+// RunMultiSearch performs analysis type 1: `searches` independent ML
+// searches from randomized stepwise-addition starting trees, distributed
+// over opts.Ranks ranks with ceil(searches/p) searches each (the same
+// overshoot rule as bootstraps in Table 2). The search preset is
+// opts.ThoroughSettings or search.Thorough().
+func RunMultiSearch(pat *msa.Patterns, searches int, opts Options) (*MultiSearchResult, error) {
+	opts = opts.withDefaults()
+	if searches < 1 {
+		return nil, fmt.Errorf("core: %d searches requested", searches)
+	}
+	perRank := ceilDiv(searches, opts.Ranks)
+	start := time.Now()
+
+	all := make([][]SearchOutcome, opts.Ranks)
+	err := fabric.Run(opts.Ranks, func(c *fabric.Comm) error {
+		rank := c.Rank()
+		parsRNG := rng.ForRank(opts.SeedParsimony, rank)
+		pool := threads.NewPool(opts.Workers, pat.NumPatterns())
+		defer pool.Close()
+		eng, err := newEngine(pat, opts, pool)
+		if err != nil {
+			return err
+		}
+		pars := parsimony.New(pat, pool)
+		settings := search.Thorough()
+		if opts.ThoroughSettings != nil {
+			settings = *opts.ThoroughSettings
+		}
+		local := make([]SearchOutcome, 0, perRank)
+		for i := 0; i < perRank; i++ {
+			startTree := pars.StepwiseAddition(parsRNG)
+			res, err := search.Run(eng, startTree, settings)
+			if err != nil {
+				return err
+			}
+			nw, err := tree.FormatNewick(res.Tree, nil)
+			if err != nil {
+				return err
+			}
+			local = append(local, SearchOutcome{
+				Rank: rank, Index: i,
+				LogLikelihood: res.LogLikelihood,
+				Newick:        nw,
+			})
+		}
+		all[rank] = local
+		// Final reduction only: pick the global winner.
+		bestLocal := local[0]
+		for _, o := range local[1:] {
+			if o.LogLikelihood > bestLocal.LogLikelihood {
+				bestLocal = o
+			}
+		}
+		_, _, err = c.AllreduceMaxLoc(bestLocal.LogLikelihood)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &MultiSearchResult{Elapsed: time.Since(start)}
+	for _, rankOutcomes := range all {
+		res.All = append(res.All, rankOutcomes...)
+	}
+	res.Best = res.All[0]
+	for _, o := range res.All[1:] {
+		if o.LogLikelihood > res.Best.LogLikelihood {
+			res.Best = o
+		}
+	}
+	bt, err := tree.ParseNewick(res.Best.Newick, pat.Names)
+	if err != nil {
+		return nil, fmt.Errorf("core: reparsing winner: %v", err)
+	}
+	res.BestTree = bt
+	return res, nil
+}
+
+// BootstrapResult is the outcome of RunBootstraps.
+type BootstrapResult struct {
+	// Trees holds all replicate topologies in (rank, index) order.
+	Trees []*tree.Tree
+	// PerRank counts replicates per rank (all equal; Table-2 rule).
+	PerRank int
+	// Elapsed is the wall time.
+	Elapsed time.Duration
+}
+
+// RunBootstraps performs analysis type 2: rapid bootstrap replicates
+// only, distributed ceil(N/p) per rank. The replicate trees (for support
+// mapping or consensus building) are returned in deterministic order.
+func RunBootstraps(pat *msa.Patterns, opts Options) (*BootstrapResult, error) {
+	opts = opts.withDefaults()
+	sched := NewSchedule(opts.Ranks, opts.Bootstraps)
+	start := time.Now()
+
+	perRank := make([][]string, opts.Ranks)
+	err := fabric.Run(opts.Ranks, func(c *fabric.Comm) error {
+		rank := c.Rank()
+		parsRNG := rng.ForRank(opts.SeedParsimony, rank)
+		bsRNG := rng.ForRank(opts.SeedBootstrap, rank)
+		pool := threads.NewPool(opts.Workers, pat.NumPatterns())
+		defer pool.Close()
+		eng, err := newEngine(pat, opts, pool)
+		if err != nil {
+			return err
+		}
+		runner := rapidbs.NewRunner(eng)
+		if opts.BootstrapSettings != nil {
+			runner.SetSearchSettings(*opts.BootstrapSettings)
+		}
+		reps, err := runner.Run(sched.BootstrapsPerProcess, bsRNG, parsRNG)
+		if err != nil {
+			return err
+		}
+		nws := make([]string, len(reps))
+		for i, r := range reps {
+			nw, err := tree.FormatNewick(r.Tree, nil)
+			if err != nil {
+				return err
+			}
+			nws[i] = nw
+		}
+		perRank[rank] = nws
+		return c.Barrier()
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &BootstrapResult{PerRank: sched.BootstrapsPerProcess, Elapsed: time.Since(start)}
+	for _, nws := range perRank {
+		for _, nw := range nws {
+			t, err := tree.ParseNewick(nw, pat.Names)
+			if err != nil {
+				return nil, err
+			}
+			res.Trees = append(res.Trees, t)
+		}
+	}
+	return res, nil
+}
+
+// newEngine builds a per-rank likelihood engine per the options.
+func newEngine(pat *msa.Patterns, opts Options, pool *threads.Pool) (*likelihood.Engine, error) {
+	model := gtr.Default()
+	var rates *gtr.RateCategories
+	if opts.Model == GTRGAMMA {
+		g, err := gtr.NewGamma(opts.Alpha, 4)
+		if err != nil {
+			return nil, err
+		}
+		rates = g
+	} else {
+		rates = gtr.NewUniform(pat.NumPatterns())
+	}
+	eng, err := likelihood.New(pat, model, rates, likelihood.Config{Pool: pool})
+	if err != nil {
+		return nil, err
+	}
+	if opts.EmpiricalFreqs {
+		eng.EstimateEmpiricalFreqs()
+	}
+	return eng, nil
+}
+
+// SortOutcomes orders search outcomes by descending log-likelihood with
+// (rank, index) as the deterministic tie-break.
+func SortOutcomes(outcomes []SearchOutcome) {
+	sort.Slice(outcomes, func(i, j int) bool {
+		if outcomes[i].LogLikelihood != outcomes[j].LogLikelihood {
+			return outcomes[i].LogLikelihood > outcomes[j].LogLikelihood
+		}
+		if outcomes[i].Rank != outcomes[j].Rank {
+			return outcomes[i].Rank < outcomes[j].Rank
+		}
+		return outcomes[i].Index < outcomes[j].Index
+	})
+}

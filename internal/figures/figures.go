@@ -1,0 +1,309 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation from this reproduction's models and engines. Each generator
+// returns an Artifact holding a rendered text form plus CSV data;
+// cmd/paperbench writes them to disk and EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+package figures
+
+import (
+	"fmt"
+	"strconv"
+
+	"raxml/internal/core"
+	"raxml/internal/perfmodel"
+	"raxml/internal/seqgen"
+	"raxml/internal/textplot"
+)
+
+// Artifact is one regenerated table or figure.
+type Artifact struct {
+	// ID is the paper label: "table2", "fig1", ...
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Text is the rendered table or ASCII chart.
+	Text string
+	// CSV is the machine-readable data.
+	CSV string
+}
+
+// Table1 reproduces the (static) history of RAxML parallelizations.
+func Table1() *Artifact {
+	t := &textplot.Table{
+		Title:   "Table 1. Evolution of parallel versions of RAxML",
+		Headers: []string{"Year", "Code version", "Coarse-grained", "Fine-grained", "Multi-grained", "Hybrid"},
+		Rows: [][]string{
+			{"2004", "II", "MPI (medium-grained)", "", "", ""},
+			{"2005", "OMP", "", "OpenMP", "", ""},
+			{"2006", "VI-HPC", "MPI", "OpenMP", "No", "No"},
+			{"2007", "Cell", "MPI", "Cell-specific", "Yes", "Yes"},
+			{"2007", "Blue Gene/L", "MPI", "MPI", "Yes", "No"},
+			{"2008", "Performance", "", "MPI, Pthreads, or OpenMP", "No", "No"},
+			{"2008", "7.0.0", "MPI", "Pthreads", "No", "No"},
+			{"2009", "7.1.0", "", "Pthreads", "", ""},
+			{"2009", "7.2.4", "MPI", "Pthreads", "Yes", "Yes"},
+		},
+	}
+	return &Artifact{ID: "table1", Title: t.Title, Text: t.Render(), CSV: t.CSV()}
+}
+
+// Table2 reproduces the bootstrap/search counts versus process count —
+// exactly, since the scheduling rules are implemented in core.Schedule.
+func Table2() *Artifact {
+	t := &textplot.Table{
+		Title: "Table 2. Numbers of bootstraps and searches versus number of processes",
+		Headers: []string{"Processes", "Specified", "Bootstraps", "Fast", "Slow", "Thorough",
+			"Boots/proc", "Fast/proc", "Slow/proc", "Thorough/proc"},
+	}
+	rows := []struct{ p, n int }{
+		{1, 100}, {2, 100}, {4, 100}, {5, 100}, {8, 100},
+		{10, 100}, {16, 100}, {20, 100}, {10, 500}, {20, 500},
+	}
+	for _, r := range rows {
+		s := core.NewSchedule(r.p, r.n)
+		t.Rows = append(t.Rows, []string{
+			itoa(r.p), itoa(r.n),
+			itoa(s.TotalBootstraps()), itoa(s.TotalFast()), itoa(s.TotalSlow()), itoa(s.TotalThorough()),
+			itoa(s.BootstrapsPerProcess), itoa(s.FastPerProcess), itoa(s.SlowPerProcess), itoa(s.ThoroughPerProcess),
+		})
+	}
+	return &Artifact{ID: "table2", Title: t.Title, Text: t.Render(), CSV: t.CSV()}
+}
+
+// Table3 reproduces the benchmark data-set table. With generate=true the
+// synthetic stand-ins are actually built and their pattern counts
+// measured (slow for the largest sets); otherwise the calibrated counts
+// recorded in seqgen are reported.
+func Table3(generate bool) *Artifact {
+	t := &textplot.Table{
+		Title:   "Table 3. Benchmark data sets (synthetic stand-ins; see DESIGN.md)",
+		Headers: []string{"Taxa", "Characters", "Patterns (paper)", "Patterns (synthetic)", "Recommended bootstraps"},
+	}
+	calibrated := []int{353, 1113, 1842, 7617, 20097}
+	for i, d := range seqgen.PaperDataSets() {
+		measured := calibrated[i]
+		if generate {
+			sum, _, err := d.Summarize()
+			if err == nil {
+				measured = sum.Patterns
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			itoa(d.Taxa), itoa(d.Chars), itoa(d.PaperPatterns), itoa(measured),
+			itoa(d.RecommendedBootstraps),
+		})
+	}
+	return &Artifact{ID: "table3", Title: t.Title, Text: t.Render(), CSV: t.CSV()}
+}
+
+// Table4 reproduces the benchmark computer table from the machine
+// models.
+func Table4() *Artifact {
+	t := &textplot.Table{
+		Title:   "Table 4. Benchmark computers",
+		Headers: []string{"Computer", "Location", "Processor", "Cores/node", "Model speed factor (Dash=1)"},
+	}
+	for _, m := range perfmodel.Machines() {
+		t.Rows = append(t.Rows, []string{
+			m.Name, m.Location, m.Processor, itoa(m.CoresPerNode),
+			fmt.Sprintf("%.3f", m.SpeedFactor),
+		})
+	}
+	return &Artifact{ID: "table4", Title: t.Title, Text: t.Render(), CSV: t.CSV()}
+}
+
+// dashAnd1846 returns the machine and data set of Figs. 1–4.
+func dashAnd1846() (perfmodel.Machine, perfmodel.DataSet) {
+	m, _ := perfmodel.MachineByName("Dash")
+	d, _ := perfmodel.DataSetByPatterns(1846)
+	return m, d
+}
+
+// speedupSeries builds the Fig.-1 family: constant-thread curves plus
+// the single-process curve.
+func speedupSeries(m perfmodel.Machine, d perfmodel.DataSet, bootstraps int) ([]textplot.Series, *textplot.Table, error) {
+	tab := &textplot.Table{
+		Title:   "",
+		Headers: []string{"curve", "cores", "speedup", "efficiency"},
+	}
+	var out []textplot.Series
+	for _, th := range []int{1, 2, 4, 8} {
+		pts, err := perfmodel.SpeedupCurve(m, d, th, bootstraps, 80, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		s := textplot.Series{Name: fmt.Sprintf("%d threads", th)}
+		for _, p := range pts {
+			s.X = append(s.X, float64(p.Cores))
+			s.Y = append(s.Y, p.Value)
+			tab.Rows = append(tab.Rows, []string{s.Name, itoa(p.Cores),
+				fmt.Sprintf("%.2f", p.Value), fmt.Sprintf("%.3f", p.Value/float64(p.Cores))})
+		}
+		out = append(out, s)
+	}
+	sp, err := perfmodel.SingleProcessCurve(m, d, bootstraps, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := textplot.Series{Name: "1 process (Pthreads only)"}
+	for _, p := range sp {
+		s.X = append(s.X, float64(p.Cores))
+		s.Y = append(s.Y, p.Value)
+		tab.Rows = append(tab.Rows, []string{s.Name, itoa(p.Cores),
+			fmt.Sprintf("%.2f", p.Value), fmt.Sprintf("%.3f", p.Value/float64(p.Cores))})
+	}
+	out = append(out, s)
+	return out, tab, nil
+}
+
+// Fig1 reproduces the speedup plot for the 1,846-pattern set on Dash.
+func Fig1() (*Artifact, error) {
+	m, d := dashAnd1846()
+	series, tab, err := speedupSeries(m, d, 100)
+	if err != nil {
+		return nil, err
+	}
+	title := "Fig. 1. Speedup vs cores, 218 taxa / 1,846 patterns, Dash, 100 bootstraps"
+	return &Artifact{ID: "fig1", Title: title,
+		Text: textplot.Chart(title, series, 64, 20, true), CSV: tab.CSV()}, nil
+}
+
+// Fig2 reproduces the parallel-efficiency version of Fig. 1.
+func Fig2() (*Artifact, error) {
+	m, d := dashAnd1846()
+	series, tab, err := speedupSeries(m, d, 100)
+	if err != nil {
+		return nil, err
+	}
+	for i := range series {
+		for j := range series[i].Y {
+			series[i].Y[j] /= series[i].X[j]
+		}
+	}
+	title := "Fig. 2. Parallel efficiency vs cores, 218 taxa / 1,846 patterns, Dash"
+	return &Artifact{ID: "fig2", Title: title,
+		Text: textplot.Chart(title, series, 64, 20, true), CSV: tab.CSV()}, nil
+}
+
+// stageFigure renders a Figs.-3/4 style run-time component plot.
+func stageFigure(id string, threads int) (*Artifact, error) {
+	m, d := dashAnd1846()
+	times, cores, err := perfmodel.StageBreakdown(m, d, threads, 100, 80, 0)
+	if err != nil {
+		return nil, err
+	}
+	names := []string{"bootstraps", "fast searches", "slow searches", "thorough searches", "total"}
+	series := make([]textplot.Series, len(names))
+	for i := range series {
+		series[i].Name = names[i]
+	}
+	tab := &textplot.Table{Headers: append([]string{"cores"}, names...)}
+	for i, tt := range times {
+		vals := []float64{tt.Bootstrap, tt.Fast, tt.Slow, tt.Thorough, tt.Total}
+		row := []string{itoa(cores[i])}
+		for j, v := range vals {
+			series[j].X = append(series[j].X, float64(cores[i]))
+			series[j].Y = append(series[j].Y, v)
+			row = append(row, fmt.Sprintf("%.1f", v))
+		}
+		tab.Rows = append(tab.Rows, row)
+	}
+	title := fmt.Sprintf("Fig. %s. Run-time components vs cores, 1,846 patterns, Dash, %d threads", id[3:], threads)
+	return &Artifact{ID: id, Title: title,
+		Text: textplot.Chart(title, series, 64, 20, true), CSV: tab.CSV()}, nil
+}
+
+// Fig3 reproduces the run-time component plot at 4 threads.
+func Fig3() (*Artifact, error) { return stageFigure("fig3", 4) }
+
+// Fig4 reproduces the run-time component plot at 8 threads.
+func Fig4() (*Artifact, error) { return stageFigure("fig4", 8) }
+
+// efficiencyFigure renders a Figs.-5/6/7 style parallel-efficiency plot.
+func efficiencyFigure(id, machineName string, patterns int, threadSet []int) (*Artifact, error) {
+	m, err := perfmodel.MachineByName(machineName)
+	if err != nil {
+		return nil, err
+	}
+	d, err := perfmodel.DataSetByPatterns(patterns)
+	if err != nil {
+		return nil, err
+	}
+	maxCores := 80
+	if machineName == "Triton PDAF" {
+		maxCores = 64
+	}
+	tab := &textplot.Table{Headers: []string{"curve", "cores", "efficiency"}}
+	var series []textplot.Series
+	for _, th := range threadSet {
+		if th > m.CoresPerNode {
+			continue
+		}
+		pts, err := perfmodel.SpeedupCurve(m, d, th, 100, maxCores, 0)
+		if err != nil {
+			return nil, err
+		}
+		s := textplot.Series{Name: fmt.Sprintf("%d threads", th)}
+		for _, p := range pts {
+			eff := p.Value / float64(p.Cores)
+			s.X = append(s.X, float64(p.Cores))
+			s.Y = append(s.Y, eff)
+			tab.Rows = append(tab.Rows, []string{s.Name, itoa(p.Cores), fmt.Sprintf("%.3f", eff)})
+		}
+		series = append(series, s)
+	}
+	title := fmt.Sprintf("Fig. %s. Parallel efficiency vs cores, %d patterns, %s", id[3:], patterns, machineName)
+	return &Artifact{ID: id, Title: title,
+		Text: textplot.Chart(title, series, 64, 20, true), CSV: tab.CSV()}, nil
+}
+
+// Fig5 reproduces parallel efficiency for the 7,429-pattern set on Dash.
+func Fig5() (*Artifact, error) {
+	return efficiencyFigure("fig5", "Dash", 7429, []int{1, 2, 4, 8})
+}
+
+// Fig6 reproduces parallel efficiency for the 19,436-pattern set on
+// Dash.
+func Fig6() (*Artifact, error) {
+	return efficiencyFigure("fig6", "Dash", 19436, []int{1, 2, 4, 8})
+}
+
+// Fig7 reproduces parallel efficiency for the 19,436-pattern set on
+// Triton PDAF (32 threads available).
+func Fig7() (*Artifact, error) {
+	return efficiencyFigure("fig7", "Triton PDAF", 19436, []int{1, 2, 4, 8, 16, 32})
+}
+
+// Fig8 reproduces best speed per core for the 19,436-pattern set on all
+// four machines, normalized to Abe's serial speed.
+func Fig8() (*Artifact, error) {
+	abe, err := perfmodel.MachineByName("Abe")
+	if err != nil {
+		return nil, err
+	}
+	d, err := perfmodel.DataSetByPatterns(19436)
+	if err != nil {
+		return nil, err
+	}
+	coreCounts := []int{1, 2, 4, 8, 16, 32, 40, 64, 80}
+	tab := &textplot.Table{Headers: []string{"machine", "cores", "speed per core (Abe=1)"}}
+	var series []textplot.Series
+	for _, m := range perfmodel.Machines() {
+		pts, err := perfmodel.BestSpeedPerCore(m, abe, d, 100, coreCounts, 0)
+		if err != nil {
+			return nil, err
+		}
+		s := textplot.Series{Name: m.Name}
+		for _, p := range pts {
+			s.X = append(s.X, float64(p.Cores))
+			s.Y = append(s.Y, p.Value)
+			tab.Rows = append(tab.Rows, []string{m.Name, itoa(p.Cores), fmt.Sprintf("%.3f", p.Value)})
+		}
+		series = append(series, s)
+	}
+	title := "Fig. 8. Best speed per core vs cores, 19,436 patterns, all machines (Abe 1-core = 1)"
+	return &Artifact{ID: "fig8", Title: title,
+		Text: textplot.Chart(title, series, 64, 20, true), CSV: tab.CSV()}, nil
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }

@@ -1,0 +1,181 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1(t *testing.T) {
+	a := Table1()
+	if a.ID != "table1" {
+		t.Fatalf("ID = %q", a.ID)
+	}
+	if !strings.Contains(a.Text, "7.2.4") {
+		t.Error("Table 1 missing the hybrid 7.2.4 row")
+	}
+	if !strings.Contains(a.CSV, "2009,7.2.4,MPI,Pthreads,Yes,Yes") {
+		t.Error("Table 1 CSV missing hybrid row")
+	}
+}
+
+func TestTable2MatchesPaperRows(t *testing.T) {
+	a := Table2()
+	// Spot-check the p=8 row: 104 bootstraps, 24 fast, 16 slow, 8 thorough.
+	if !strings.Contains(a.CSV, "8,100,104,24,16,8,13,3,2,1") {
+		t.Errorf("Table 2 CSV missing exact p=8 row:\n%s", a.CSV)
+	}
+	// And the 20-process 500-bootstrap row.
+	if !strings.Contains(a.CSV, "20,500,500,100,20,20,25,5,1,1") {
+		t.Errorf("Table 2 CSV missing exact p=20/N=500 row:\n%s", a.CSV)
+	}
+}
+
+func TestTable3(t *testing.T) {
+	a := Table3(false)
+	for _, want := range []string{"354,460,348", "125,29149,19436", "1200", "50"} {
+		if !strings.Contains(a.CSV, want) {
+			t.Errorf("Table 3 CSV missing %q", want)
+		}
+	}
+}
+
+func TestTable4(t *testing.T) {
+	a := Table4()
+	for _, want := range []string{"Abe", "Dash", "Ranger", "Triton PDAF", "32"} {
+		if !strings.Contains(a.Text, want) {
+			t.Errorf("Table 4 missing %q", want)
+		}
+	}
+}
+
+func TestFigures(t *testing.T) {
+	for _, gen := range []struct {
+		name string
+		f    func() (*Artifact, error)
+	}{
+		{"fig1", Fig1}, {"fig2", Fig2}, {"fig3", Fig3}, {"fig4", Fig4},
+		{"fig5", Fig5}, {"fig6", Fig6}, {"fig7", Fig7}, {"fig8", Fig8},
+	} {
+		a, err := gen.f()
+		if err != nil {
+			t.Fatalf("%s: %v", gen.name, err)
+		}
+		if a.ID != gen.name {
+			t.Errorf("%s: ID = %q", gen.name, a.ID)
+		}
+		if len(a.Text) < 100 {
+			t.Errorf("%s: suspiciously short rendering", gen.name)
+		}
+		if !strings.Contains(a.CSV, ",") {
+			t.Errorf("%s: CSV empty", gen.name)
+		}
+	}
+}
+
+func TestFig7Uses32Threads(t *testing.T) {
+	a, err := Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(a.CSV, "32 threads") {
+		t.Error("Fig 7 should include the 32-thread curve on Triton")
+	}
+}
+
+func TestTable5(t *testing.T) {
+	a, err := Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both blocks present: N=100 and recommended-N rows.
+	if !strings.Contains(a.CSV, "Dash,1846,100,80") {
+		t.Error("Table 5 missing N=100 80-core row for 1,846 patterns")
+	}
+	if !strings.Contains(a.CSV, "Dash,1846,550,80") {
+		t.Error("Table 5 missing recommended-N row for 1,846 patterns")
+	}
+	if !strings.Contains(a.CSV, "Triton PDAF,19436,100,64") {
+		t.Error("Table 5 missing Triton 64-core row")
+	}
+}
+
+func TestSingleNodeComparison(t *testing.T) {
+	a, err := SingleNodeComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(a.Text, "hybrid") {
+		t.Error("single-node comparison missing hybrid row")
+	}
+	// The hybrid row is the baseline 1.00x; others must be > 1.
+	if !strings.Contains(a.Text, "1.00x") {
+		t.Error("baseline ratio missing")
+	}
+}
+
+func TestEfficiencyReferences(t *testing.T) {
+	a, err := EfficiencyReferences()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(a.Text, "single core") || !strings.Contains(a.Text, "node") {
+		t.Error("efficiency references incomplete")
+	}
+}
+
+func TestTable6QuickRealRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real engine runs skipped in -short mode")
+	}
+	a, err := Table6(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(a.Text, "no") && !strings.Contains(a.Text, "yes") {
+		t.Errorf("hybrid never at least as good as serial:\n%s", a.Text)
+	}
+	// Every row must carry two negative log-likelihoods.
+	if !strings.Contains(a.CSV, "-") {
+		t.Error("Table 6 CSV missing log-likelihoods")
+	}
+}
+
+func TestRealScalingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real engine runs skipped in -short mode")
+	}
+	a, err := RealScaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(a.CSV, "Ranks") {
+		t.Fatal("real scaling CSV malformed")
+	}
+	// Three rank counts reported.
+	for _, ranks := range []string{"\n1,", "\n2,", "\n4,"} {
+		if !strings.Contains(a.CSV, ranks) {
+			t.Errorf("rank row %q missing:\n%s", ranks, a.CSV)
+		}
+	}
+}
+
+func TestAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full artifact regeneration skipped in -short mode")
+	}
+	arts, err := All(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"table1", "table2", "table3", "table4",
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"table5", "section5.1", "section7", "table6", "realscaling"}
+	if len(arts) != len(want) {
+		t.Fatalf("%d artifacts, want %d", len(arts), len(want))
+	}
+	for i, a := range arts {
+		if a.ID != want[i] {
+			t.Errorf("artifact %d: ID %q, want %q", i, a.ID, want[i])
+		}
+	}
+}

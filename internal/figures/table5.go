@@ -1,0 +1,168 @@
+package figures
+
+import (
+	"fmt"
+
+	"raxml/internal/perfmodel"
+	"raxml/internal/textplot"
+)
+
+// table5Row is one (data set, computer, bootstraps) row of Table 5.
+type table5Row struct {
+	machineName string
+	patterns    int
+	bootstraps  int
+	// paperTimes maps core count → the paper's best time (s), for the
+	// comparison column; zero means the paper has no entry.
+	paperTimes map[int]float64
+}
+
+// paperTable5 returns the paper's Table 5 anchor values.
+func paperTable5() []table5Row {
+	return []table5Row{
+		{"Dash", 348, 100, map[int]float64{1: 1980, 8: 432, 16: 307, 40: 168, 80: 130}},
+		{"Dash", 1130, 100, map[int]float64{1: 2325, 8: 456, 16: 283, 40: 139, 80: 95}},
+		{"Dash", 1846, 100, map[int]float64{1: 9630, 8: 1370, 16: 846, 40: 430, 80: 271}},
+		{"Dash", 7429, 100, map[int]float64{1: 72866, 8: 9494, 16: 5497, 40: 2830, 80: 1828}},
+		{"Dash", 19436, 100, map[int]float64{1: 22970, 8: 3018, 16: 2006, 40: 1314, 80: 1092}},
+		{"Triton PDAF", 19436, 100, map[int]float64{1: 32627, 8: 3844, 16: 2179, 32: 1351, 64: 847}},
+		{"Dash", 348, 1200, map[int]float64{1: 15703, 8: 2286, 16: 1287, 40: 702, 80: 443}},
+		{"Dash", 1130, 650, map[int]float64{1: 10566, 8: 1714, 16: 980, 40: 473, 80: 290}},
+		{"Dash", 1846, 550, map[int]float64{1: 33738, 8: 5184, 16: 2778, 40: 1290, 80: 845}},
+		{"Dash", 7429, 700, map[int]float64{1: 355724, 8: 45851, 16: 25454, 40: 11229, 80: 6270}},
+	}
+}
+
+// coreCountsFor returns the core counts of one Table 5 row.
+func coreCountsFor(machineName string) []int {
+	if machineName == "Triton PDAF" {
+		return []int{1, 8, 16, 32, 64}
+	}
+	return []int{1, 8, 16, 40, 80}
+}
+
+// Table5 reproduces the fastest-times table: for every data set and core
+// count, the model's best (time, threads) configuration next to the
+// paper's, plus the implied speedups.
+func Table5() (*Artifact, error) {
+	t := &textplot.Table{
+		Title: "Table 5. Fastest times for each data set (model vs paper)",
+		Headers: []string{"Computer", "Patterns", "N", "Cores",
+			"Model time (s)", "Model threads", "Paper time (s)", "Model speedup", "Paper speedup"},
+	}
+	for _, row := range paperTable5() {
+		m, err := perfmodel.MachineByName(row.machineName)
+		if err != nil {
+			return nil, err
+		}
+		d, err := perfmodel.DataSetByPatterns(row.patterns)
+		if err != nil {
+			return nil, err
+		}
+		serialPaper := row.paperTimes[1]
+		var serialModel float64
+		for _, cores := range coreCountsFor(row.machineName) {
+			cfg, err := perfmodel.BestConfig(m, d, cores, row.bootstraps, 0)
+			if err != nil {
+				return nil, err
+			}
+			if cores == 1 {
+				serialModel = cfg.Time
+			}
+			paperT := row.paperTimes[cores]
+			paperCell, paperSpeedCell := "-", "-"
+			if paperT > 0 {
+				paperCell = fmt.Sprintf("%.0f", paperT)
+				if serialPaper > 0 {
+					paperSpeedCell = fmt.Sprintf("%.2f", serialPaper/paperT)
+				}
+			}
+			t.Rows = append(t.Rows, []string{
+				row.machineName, itoa(row.patterns), itoa(row.bootstraps), itoa(cores),
+				fmt.Sprintf("%.0f", cfg.Time), itoa(cfg.Threads),
+				paperCell,
+				fmt.Sprintf("%.2f", serialModel/cfg.Time),
+				paperSpeedCell,
+			})
+		}
+	}
+	return &Artifact{ID: "table5", Title: t.Title, Text: t.Render(), CSV: t.CSV()}, nil
+}
+
+// SingleNodeComparison reproduces the Section-5.1 single-node claim: on
+// one 8-core Dash node (1,846 patterns, 100 bootstraps), the hybrid
+// 2x4 decomposition beats both the Pthreads-only (1x8) and the MPI-only
+// (8x1) codes.
+func SingleNodeComparison() (*Artifact, error) {
+	m, err := perfmodel.MachineByName("Dash")
+	if err != nil {
+		return nil, err
+	}
+	d, err := perfmodel.DataSetByPatterns(1846)
+	if err != nil {
+		return nil, err
+	}
+	t := &textplot.Table{
+		Title:   "Section 5.1: single 8-core Dash node, 1,846 patterns, 100 bootstraps",
+		Headers: []string{"Configuration", "Model time (s)", "Relative to 2x4"},
+	}
+	configs := []struct {
+		name           string
+		ranks, threads int
+	}{
+		{"2 processes x 4 threads (hybrid)", 2, 4},
+		{"1 process x 8 threads (Pthreads-only)", 1, 8},
+		{"8 processes x 1 thread (MPI-only)", 8, 1},
+	}
+	var base float64
+	for i, c := range configs {
+		tt, err := perfmodel.Simulate(perfmodel.Spec{
+			Machine: m, Data: d, Ranks: c.ranks, Threads: c.threads, Bootstraps: 100})
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			base = tt.Total
+		}
+		t.Rows = append(t.Rows, []string{c.name, fmt.Sprintf("%.0f", tt.Total),
+			fmt.Sprintf("%.2fx", tt.Total/base)})
+	}
+	return &Artifact{ID: "section5.1", Title: t.Title, Text: t.Render(), CSV: t.CSV()}, nil
+}
+
+// EfficiencyReferences reproduces the Section-7 discussion: parallel
+// efficiency of the 348-pattern analysis at 40 cores referenced to one
+// core versus one 8-core node.
+func EfficiencyReferences() (*Artifact, error) {
+	m, err := perfmodel.MachineByName("Dash")
+	if err != nil {
+		return nil, err
+	}
+	d, err := perfmodel.DataSetByPatterns(348)
+	if err != nil {
+		return nil, err
+	}
+	cfg1, err := perfmodel.BestConfig(m, d, 1, 100, 0)
+	if err != nil {
+		return nil, err
+	}
+	cfg8, err := perfmodel.BestConfig(m, d, 8, 100, 0)
+	if err != nil {
+		return nil, err
+	}
+	cfg40, err := perfmodel.BestConfig(m, d, 40, 100, 0)
+	if err != nil {
+		return nil, err
+	}
+	coreRef := cfg1.Time / cfg40.Time / 40
+	nodeRef := cfg8.Time / cfg40.Time / 5
+	t := &textplot.Table{
+		Title:   "Section 7: efficiency references, 348 patterns at 40 cores of Dash",
+		Headers: []string{"Reference", "Parallel efficiency", "Paper"},
+		Rows: [][]string{
+			{"single core", fmt.Sprintf("%.2f", coreRef), "0.29"},
+			{"single 8-core node", fmt.Sprintf("%.2f", nodeRef), "0.51"},
+		},
+	}
+	return &Artifact{ID: "section7", Title: t.Title, Text: t.Render(), CSV: t.CSV()}, nil
+}

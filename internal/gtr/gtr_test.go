@@ -1,0 +1,494 @@
+package gtr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"raxml/internal/rng"
+)
+
+func randomModel(r *rng.RNG) *Model {
+	var rates [6]float64
+	for i := range rates {
+		rates[i] = 0.2 + 3*r.Float64()
+	}
+	rates[5] = 1
+	var freqs [4]float64
+	sum := 0.0
+	for i := range freqs {
+		freqs[i] = 0.1 + r.Float64()
+		sum += freqs[i]
+	}
+	for i := range freqs {
+		freqs[i] /= sum
+	}
+	m, err := New(rates, freqs)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestNewRejectsBadParams(t *testing.T) {
+	if _, err := New([6]float64{1, 1, 1, 1, 1, 0}, [4]float64{0.25, 0.25, 0.25, 0.25}); err == nil {
+		t.Error("accepted zero exchangeability")
+	}
+	if _, err := New([6]float64{1, 1, 1, 1, 1, 1}, [4]float64{0.5, 0.5, 0.25, 0.25}); err == nil {
+		t.Error("accepted frequencies not summing to 1")
+	}
+	if _, err := New([6]float64{1, 1, 1, 1, 1, 1}, [4]float64{1.0, 0.0, 0.0, 0.0}); err == nil {
+		t.Error("accepted zero frequency")
+	}
+}
+
+func TestQRowsSumToZero(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 20; trial++ {
+		m := randomModel(r)
+		q := m.Q()
+		for i := 0; i < 4; i++ {
+			row := 0.0
+			for j := 0; j < 4; j++ {
+				row += q[i][j]
+			}
+			if math.Abs(row) > 1e-12 {
+				t.Fatalf("Q row %d sums to %g", i, row)
+			}
+		}
+	}
+}
+
+func TestQNormalized(t *testing.T) {
+	r := rng.New(2)
+	for trial := 0; trial < 20; trial++ {
+		m := randomModel(r)
+		q := m.Q()
+		rate := 0.0
+		for i := 0; i < 4; i++ {
+			rate -= m.Freqs[i] * q[i][i]
+		}
+		if math.Abs(rate-1) > 1e-12 {
+			t.Fatalf("expected substitution rate %g, want 1", rate)
+		}
+	}
+}
+
+func TestPRowStochastic(t *testing.T) {
+	prop := func(seed int64, tRaw, rateRaw uint16) bool {
+		r := rng.New(seed)
+		m := randomModel(r)
+		tt := float64(tRaw) / 6553.5 // [0, 10]
+		rate := 0.01 + float64(rateRaw)/65535*5
+		var p [4][4]float64
+		m.P(tt, rate, &p)
+		for i := 0; i < 4; i++ {
+			row := 0.0
+			for j := 0; j < 4; j++ {
+				if p[i][j] < -1e-12 || p[i][j] > 1+1e-9 {
+					return false
+				}
+				row += p[i][j]
+			}
+			if math.Abs(row-1) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPZeroTimeIsIdentity(t *testing.T) {
+	m := randomModel(rng.New(3))
+	var p [4][4]float64
+	m.P(0, 1, &p)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(p[i][j]-want) > 1e-10 {
+				t.Fatalf("P(0)[%d][%d] = %g, want %g", i, j, p[i][j], want)
+			}
+		}
+	}
+}
+
+func TestPLongTimeReachesStationarity(t *testing.T) {
+	m := randomModel(rng.New(4))
+	var p [4][4]float64
+	m.P(500, 1, &p)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if math.Abs(p[i][j]-m.Freqs[j]) > 1e-6 {
+				t.Fatalf("P(inf)[%d][%d] = %g, want stationary %g", i, j, p[i][j], m.Freqs[j])
+			}
+		}
+	}
+}
+
+func TestPChapmanKolmogorov(t *testing.T) {
+	// P(t1+t2) == P(t1) P(t2)
+	m := randomModel(rng.New(5))
+	var p1, p2, p12, prod [4][4]float64
+	m.P(0.3, 1, &p1)
+	m.P(0.5, 1, &p2)
+	m.P(0.8, 1, &p12)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			s := 0.0
+			for k := 0; k < 4; k++ {
+				s += p1[i][k] * p2[k][j]
+			}
+			prod[i][j] = s
+		}
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if math.Abs(prod[i][j]-p12[i][j]) > 1e-9 {
+				t.Fatalf("Chapman-Kolmogorov violated at [%d][%d]: %g vs %g",
+					i, j, prod[i][j], p12[i][j])
+			}
+		}
+	}
+}
+
+func TestDetailedBalance(t *testing.T) {
+	// Reversibility: π_i P_ij(t) == π_j P_ji(t).
+	m := randomModel(rng.New(6))
+	var p [4][4]float64
+	m.P(0.7, 1, &p)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			lhs := m.Freqs[i] * p[i][j]
+			rhs := m.Freqs[j] * p[j][i]
+			if math.Abs(lhs-rhs) > 1e-10 {
+				t.Fatalf("detailed balance violated at (%d,%d): %g vs %g", i, j, lhs, rhs)
+			}
+		}
+	}
+}
+
+func TestEigenvaluesNonPositive(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 20; trial++ {
+		m := randomModel(r)
+		zero := 0
+		for _, ev := range m.Eigenvalues() {
+			if ev > 1e-9 {
+				t.Fatalf("positive eigenvalue %g", ev)
+			}
+			if math.Abs(ev) < 1e-9 {
+				zero++
+			}
+		}
+		if zero != 1 {
+			t.Fatalf("found %d zero eigenvalues, want exactly 1", zero)
+		}
+	}
+}
+
+func TestPDerivMatchesFiniteDifference(t *testing.T) {
+	m := randomModel(rng.New(8))
+	const h = 1e-6
+	for _, tt := range []float64{0.05, 0.2, 1.0} {
+		var p, d1, d2, pPlus, pMinus [4][4]float64
+		m.PDeriv(tt, 1, &p, &d1, &d2)
+		m.P(tt+h, 1, &pPlus)
+		m.P(tt-h, 1, &pMinus)
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				fd1 := (pPlus[i][j] - pMinus[i][j]) / (2 * h)
+				if math.Abs(fd1-d1[i][j]) > 1e-4*(1+math.Abs(fd1)) {
+					t.Fatalf("t=%g d1[%d][%d]: analytic %g vs FD %g", tt, i, j, d1[i][j], fd1)
+				}
+				fd2 := (pPlus[i][j] - 2*p[i][j] + pMinus[i][j]) / (h * h)
+				if math.Abs(fd2-d2[i][j]) > 1e-2*(1+math.Abs(fd2)) {
+					t.Fatalf("t=%g d2[%d][%d]: analytic %g vs FD %g", tt, i, j, d2[i][j], fd2)
+				}
+			}
+		}
+	}
+}
+
+func TestJukesCantorClosedForm(t *testing.T) {
+	// JC69: P_ii = 1/4 + 3/4 e^{-4t/3}, P_ij = 1/4 - 1/4 e^{-4t/3}.
+	m := JukesCantor()
+	for _, tt := range []float64{0.01, 0.1, 0.5, 2} {
+		var p [4][4]float64
+		m.P(tt, 1, &p)
+		e := math.Exp(-4 * tt / 3)
+		same := 0.25 + 0.75*e
+		diff := 0.25 - 0.25*e
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				want := diff
+				if i == j {
+					want = same
+				}
+				if math.Abs(p[i][j]-want) > 1e-10 {
+					t.Fatalf("JC P(%g)[%d][%d] = %g, want %g", tt, i, j, p[i][j], want)
+				}
+			}
+		}
+	}
+}
+
+func TestGammaCategoriesMeanOne(t *testing.T) {
+	for _, alpha := range []float64{0.1, 0.5, 1.0, 2.0, 10.0} {
+		for _, k := range []int{1, 2, 4, 8} {
+			rates, err := GammaCategories(alpha, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rates) != k {
+				t.Fatalf("alpha=%g k=%d: got %d rates", alpha, k, len(rates))
+			}
+			mean := 0.0
+			for i, r := range rates {
+				if r < 0 {
+					t.Fatalf("negative rate %g", r)
+				}
+				if i > 0 && rates[i] < rates[i-1] {
+					t.Fatalf("rates not increasing: %v", rates)
+				}
+				mean += r
+			}
+			mean /= float64(k)
+			if math.Abs(mean-1) > 1e-9 {
+				t.Fatalf("alpha=%g k=%d: mean rate %g, want 1", alpha, k, mean)
+			}
+		}
+	}
+}
+
+func TestGammaCategoriesSpreadShrinksWithAlpha(t *testing.T) {
+	low, _ := GammaCategories(0.3, 4)
+	high, _ := GammaCategories(5.0, 4)
+	if low[3]-low[0] <= high[3]-high[0] {
+		t.Fatalf("rate spread should shrink as alpha grows: %v vs %v", low, high)
+	}
+}
+
+func TestGammaCategoriesErrors(t *testing.T) {
+	if _, err := GammaCategories(0, 4); err == nil {
+		t.Error("accepted alpha=0")
+	}
+	if _, err := GammaCategories(1, 0); err == nil {
+		t.Error("accepted k=0")
+	}
+}
+
+func TestRegIncGamma(t *testing.T) {
+	// P(1, x) = 1 - e^{-x}
+	for _, x := range []float64{0.1, 1, 2, 5} {
+		want := 1 - math.Exp(-x)
+		if got := regIncGamma(1, x); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("P(1,%g) = %g, want %g", x, got, want)
+		}
+	}
+	if got := regIncGamma(3, 0); got != 0 {
+		t.Fatalf("P(3,0) = %g, want 0", got)
+	}
+	// monotone in x
+	prev := -1.0
+	for x := 0.0; x < 20; x += 0.5 {
+		v := regIncGamma(2.5, x)
+		if v < prev-1e-12 {
+			t.Fatalf("P(2.5,x) not monotone at x=%g", x)
+		}
+		prev = v
+	}
+}
+
+func TestGammaQuantileInvertsCDF(t *testing.T) {
+	for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		q := gammaQuantile(p, 0.7, 0.7)
+		if back := regIncGamma(0.7, q*0.7); math.Abs(back-p) > 1e-8 {
+			t.Fatalf("quantile(%g) = %g maps back to %g", p, q, back)
+		}
+	}
+}
+
+func TestNewGamma(t *testing.T) {
+	rc, err := NewGamma(0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.IsCAT() {
+		t.Error("GAMMA treatment should not be CAT")
+	}
+	if rc.NumCats() != 4 {
+		t.Errorf("NumCats = %d, want 4", rc.NumCats())
+	}
+	sum := 0.0
+	for _, p := range rc.Probs {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("category probabilities sum to %g", sum)
+	}
+}
+
+func TestNewUniform(t *testing.T) {
+	rc := NewUniform(10)
+	if !rc.IsCAT() {
+		t.Error("uniform treatment should be CAT-style (per-pattern)")
+	}
+	if rc.NumCats() != 1 || rc.Rates[0] != 1 {
+		t.Errorf("uniform rates = %v", rc.Rates)
+	}
+	for _, c := range rc.PatternCategory {
+		if c != 0 {
+			t.Error("uniform treatment should assign category 0 everywhere")
+		}
+	}
+}
+
+func TestClusterCAT(t *testing.T) {
+	perPattern := []float64{0.1, 0.11, 0.12, 1.0, 1.05, 9.5, 10.0}
+	rc := ClusterCAT(perPattern, 3)
+	if !rc.IsCAT() {
+		t.Fatal("ClusterCAT should return CAT treatment")
+	}
+	if rc.NumCats() > 3 {
+		t.Fatalf("got %d categories, want <= 3", rc.NumCats())
+	}
+	if len(rc.PatternCategory) != len(perPattern) {
+		t.Fatalf("assignment length %d, want %d", len(rc.PatternCategory), len(perPattern))
+	}
+	// similar rates should share a category
+	if rc.PatternCategory[0] != rc.PatternCategory[1] {
+		t.Error("0.1 and 0.11 should share a category")
+	}
+	if rc.PatternCategory[0] == rc.PatternCategory[6] {
+		t.Error("0.1 and 10.0 should not share a category")
+	}
+}
+
+func TestClusterCATBounds(t *testing.T) {
+	rc := ClusterCAT([]float64{1e-9, 1e9}, 4)
+	for _, r := range rc.Rates {
+		if r < MinCATRate-1e-12 || r > MaxCATRate+1e-12 {
+			t.Fatalf("category rate %g outside [%g, %g]", r, MinCATRate, MaxCATRate)
+		}
+	}
+}
+
+func TestClusterCATHomogeneous(t *testing.T) {
+	rc := ClusterCAT([]float64{1, 1, 1, 1}, 25)
+	if rc.NumCats() != 1 {
+		t.Fatalf("homogeneous rates produced %d categories", rc.NumCats())
+	}
+}
+
+func TestNormalizeCAT(t *testing.T) {
+	rc := ClusterCAT([]float64{0.5, 0.5, 2.0, 2.0}, 4)
+	weights := []int{1, 1, 1, 1}
+	rc.Normalize(weights)
+	mean := 0.0
+	for _, c := range rc.PatternCategory {
+		mean += rc.Rates[c]
+	}
+	mean /= 4
+	if math.Abs(mean-1) > 1e-9 {
+		t.Fatalf("normalized mean rate = %g, want 1", mean)
+	}
+}
+
+func TestSetRatesRecomputes(t *testing.T) {
+	m := JukesCantor()
+	var pBefore [4][4]float64
+	m.P(0.5, 1, &pBefore)
+	if err := m.SetRates([6]float64{4, 8, 1, 1, 8, 1}); err != nil {
+		t.Fatal(err)
+	}
+	var pAfter [4][4]float64
+	m.P(0.5, 1, &pAfter)
+	diff := 0.0
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			diff += math.Abs(pAfter[i][j] - pBefore[i][j])
+		}
+	}
+	if diff < 1e-6 {
+		t.Fatal("SetRates did not change transition probabilities")
+	}
+	// still row-stochastic after re-decomposition
+	for i := 0; i < 4; i++ {
+		row := 0.0
+		for j := 0; j < 4; j++ {
+			row += pAfter[i][j]
+		}
+		if math.Abs(row-1) > 1e-8 {
+			t.Fatalf("row %d sums to %g after SetRates", i, row)
+		}
+	}
+}
+
+func TestEmpiricalFreqs(t *testing.T) {
+	f := EmpiricalFreqs([4]float64{97, 1, 1, 1})
+	sum := 0.0
+	for _, v := range f {
+		if v <= 0 {
+			t.Fatal("empirical frequency not positive")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("frequencies sum to %g", sum)
+	}
+	if f[0] < 0.9 {
+		t.Fatalf("dominant state frequency %g too low", f[0])
+	}
+	zero := EmpiricalFreqs([4]float64{})
+	for _, v := range zero {
+		if math.Abs(v-0.25) > 1e-12 {
+			t.Fatalf("all-zero counts should smooth to uniform, got %v", zero)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := randomModel(rng.New(10))
+	c := m.Clone()
+	if err := c.SetRates([6]float64{9, 1, 1, 1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Rates[0] == 9 {
+		t.Fatal("clone shares rate storage with original")
+	}
+}
+
+func BenchmarkP(b *testing.B) {
+	m := randomModel(rng.New(1))
+	var p [4][4]float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.P(0.1, 1.0, &p)
+	}
+}
+
+func BenchmarkPDeriv(b *testing.B) {
+	m := randomModel(rng.New(1))
+	var p, d1, d2 [4][4]float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PDeriv(0.1, 1.0, &p, &d1, &d2)
+	}
+}
+
+func BenchmarkDecompose(b *testing.B) {
+	m := randomModel(rng.New(1))
+	rates := m.Rates
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.SetRates(rates); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

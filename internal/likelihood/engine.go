@@ -1,0 +1,411 @@
+// Package likelihood implements the phylogenetic likelihood function —
+// the computational core of RAxML and the code whose per-pattern loops
+// the paper's fine-grained Pthreads parallelization targets.
+//
+// The engine computes log L(tree, branch lengths, model) for an
+// alignment compressed to weighted site patterns (package msa) under a
+// GTR model with CAT or Γ rate heterogeneity (package gtr), using
+// Felsenstein's pruning algorithm over conditional likelihood vectors
+// (CLVs) with numerical rescaling. All per-pattern kernels (newview,
+// evaluate, branch-length derivatives) are partitioned over a
+// threads.Pool, reproducing the master/worker structure of RAxML's
+// Pthreads code: the pool *is* the fine-grained parallelism whose
+// scalability in the number of patterns drives the paper's "optimal
+// thread count grows with patterns" result.
+//
+// Directed CLVs. An unrooted tree has no fixed root; the CLV at a node
+// depends on the viewing direction. The engine stores one CLV per
+// directed edge (node, neighbor-slot): clv(u, i) is the conditional
+// likelihood of the subtree seen from u looking away from neighbor i.
+// CLVs are computed lazily with validity flags; topology edits
+// invalidate everything, branch-length changes invalidate precisely the
+// directions that can observe the changed edge. This mirrors RAxML's
+// traversal-descriptor machinery in a simpler form.
+package likelihood
+
+import (
+	"fmt"
+
+	"raxml/internal/gtr"
+	"raxml/internal/msa"
+	"raxml/internal/threads"
+	"raxml/internal/tree"
+)
+
+const (
+	// scaleThreshold triggers CLV rescaling: when every entry of a
+	// pattern's CLV drops below it, the pattern is multiplied by
+	// scaleFactor and a per-pattern counter incremented.
+	scaleThreshold = 1e-256
+	scaleFactor    = 1e256
+	logScaleFactor = 589.4971701159494 // ln(1e256)
+)
+
+// Engine evaluates and optimizes the likelihood of trees over one
+// pattern set. An Engine is bound to at most one tree at a time
+// (AttachTree) and is not safe for concurrent use by multiple
+// goroutines; coarse-grained parallelism uses one Engine per rank.
+type Engine struct {
+	pat   *msa.Patterns
+	model *gtr.Model
+	rates *gtr.RateCategories
+	pool  *threads.Pool
+
+	tree    *tree.Tree
+	weights []int
+
+	nPatterns int
+	nCat      int // CLV categories per pattern: 1 for CAT, k for GAMMA
+
+	// clv[node*3+slot] is the directed CLV, laid out
+	// [pattern*nCat*4 + cat*4 + state]; nil until first needed.
+	clv [][]float64
+	// scale[node*3+slot][pattern] counts rescaling events.
+	scale [][]int32
+	// valid[node*3+slot] marks CLVs consistent with the current tree.
+	valid []bool
+
+	// tipVec[taxon] is the (undirected) tip CLV for one pattern block of
+	// the taxon, laid out [pattern*4 + state]; shared across categories.
+	tipVec [][]float64
+
+	// scratch transition matrices, one per category (master-computed,
+	// read-only inside parallel sections).
+	pLeft, pRight []([4][4]float64)
+	pEval         [][4][4]float64
+	pD1, pD2      [][4][4]float64
+
+	// statistics
+	newviewCount int64
+	evalCount    int64
+}
+
+// Config carries the optional knobs of New.
+type Config struct {
+	// Pool supplies fine-grained parallelism; nil means a serial
+	// single-worker pool.
+	Pool *threads.Pool
+}
+
+// New creates an engine over the pattern set with the given model and
+// rate treatment. The engine takes ownership of none of its arguments;
+// model and rates may be mutated through the engine's optimizers.
+func New(pat *msa.Patterns, model *gtr.Model, rates *gtr.RateCategories, cfg Config) (*Engine, error) {
+	if pat.NumTaxa() < 4 {
+		return nil, fmt.Errorf("likelihood: %d taxa, need >= 4", pat.NumTaxa())
+	}
+	if rates.IsCAT() && len(rates.PatternCategory) != pat.NumPatterns() {
+		return nil, fmt.Errorf("likelihood: CAT assignment covers %d patterns, want %d",
+			len(rates.PatternCategory), pat.NumPatterns())
+	}
+	e := &Engine{
+		pat:       pat,
+		model:     model,
+		rates:     rates,
+		nPatterns: pat.NumPatterns(),
+	}
+	if cfg.Pool != nil {
+		e.pool = cfg.Pool
+	} else {
+		e.pool = threads.NewPool(1, e.nPatterns)
+	}
+	if rates.IsCAT() {
+		e.nCat = 1
+	} else {
+		e.nCat = rates.NumCats()
+	}
+	e.weights = append([]int(nil), pat.Weights...)
+	e.buildTipVectors()
+	e.pLeft = make([][4][4]float64, rates.NumCats())
+	e.pRight = make([][4][4]float64, rates.NumCats())
+	e.pEval = make([][4][4]float64, rates.NumCats())
+	e.pD1 = make([][4][4]float64, rates.NumCats())
+	e.pD2 = make([][4][4]float64, rates.NumCats())
+	return e, nil
+}
+
+func (e *Engine) buildTipVectors() {
+	nTaxa := e.pat.NumTaxa()
+	e.tipVec = make([][]float64, nTaxa)
+	for taxon := 0; taxon < nTaxa; taxon++ {
+		v := make([]float64, e.nPatterns*4)
+		for k := 0; k < e.nPatterns; k++ {
+			s := e.pat.Data[taxon][k]
+			for st := 0; st < 4; st++ {
+				if s&(1<<uint(st)) != 0 {
+					v[k*4+st] = 1
+				}
+			}
+		}
+		e.tipVec[taxon] = v
+	}
+}
+
+// Pool returns the engine's worker pool.
+func (e *Engine) Pool() *threads.Pool { return e.pool }
+
+// Model returns the engine's substitution model.
+func (e *Engine) Model() *gtr.Model { return e.model }
+
+// Rates returns the engine's rate treatment.
+func (e *Engine) Rates() *gtr.RateCategories { return e.rates }
+
+// Patterns returns the engine's pattern set.
+func (e *Engine) Patterns() *msa.Patterns { return e.pat }
+
+// Tree returns the currently attached tree (nil before AttachTree).
+func (e *Engine) Tree() *tree.Tree { return e.tree }
+
+// Counts returns the number of newview and evaluate kernel invocations
+// since construction — the work measure the performance model is
+// calibrated against.
+func (e *Engine) Counts() (newviews, evals int64) {
+	return e.newviewCount, e.evalCount
+}
+
+// MemoryBytes returns the engine's current likelihood-buffer footprint:
+// allocated directed CLVs, scaling counters and tip vectors. Section 7
+// of the paper predicts that growing pattern counts will force one rank
+// to own the memory of many cores ("perhaps even the entire node");
+// this accessor quantifies the per-rank footprint driving that
+// prediction.
+func (e *Engine) MemoryBytes() int64 {
+	var total int64
+	for _, c := range e.clv {
+		total += int64(len(c)) * 8
+	}
+	for _, s := range e.scale {
+		total += int64(len(s)) * 4
+	}
+	for _, v := range e.tipVec {
+		total += int64(len(v)) * 8
+	}
+	return total
+}
+
+// EstimateMemoryBytes predicts the fully populated CLV footprint of an
+// engine over an alignment with the given dimensions: an unrooted tree
+// holds 2·taxa−2 nodes with up to 3 directed CLVs each, every CLV
+// carries 4·nCat float64 per pattern plus an int32 scaling counter, and
+// each taxon owns a flat tip vector. GTRCAT uses nCat = 1 per pattern;
+// GTRGAMMA nCat = 4 — the 4x memory ratio is why RAxML (and this
+// reproduction) default large analyses to CAT.
+func EstimateMemoryBytes(taxa, patterns, nCat int) int64 {
+	if taxa < 2 || patterns < 1 || nCat < 1 {
+		return 0
+	}
+	nodes := int64(2*taxa - 2)
+	perCLV := int64(patterns) * int64(nCat) * 4 * 8
+	perScale := int64(patterns) * 4
+	clvs := nodes * 3 * (perCLV + perScale)
+	tips := int64(taxa) * int64(patterns) * 4 * 8
+	return clvs + tips
+}
+
+// SetWeights installs a pattern weight vector (a bootstrap replicate).
+// Pass nil to restore the original alignment weights. All cached CLVs
+// are invalidated because zero-weight patterns are skipped in kernels.
+func (e *Engine) SetWeights(w []int) {
+	if w == nil {
+		e.weights = append(e.weights[:0], e.pat.Weights...)
+	} else {
+		if len(w) != e.nPatterns {
+			panic(fmt.Sprintf("likelihood: weight vector has %d entries, want %d", len(w), e.nPatterns))
+		}
+		e.weights = append(e.weights[:0], w...)
+	}
+	e.InvalidateAll()
+}
+
+// Weights returns the active weight vector (read-only).
+func (e *Engine) Weights() []int { return e.weights }
+
+// AttachTree binds the engine to a tree and invalidates all CLVs.
+// The tree's taxon set must match the pattern set's rows.
+func (e *Engine) AttachTree(t *tree.Tree) error {
+	if t.NumTaxa() != e.pat.NumTaxa() {
+		return fmt.Errorf("likelihood: tree has %d taxa, patterns have %d", t.NumTaxa(), e.pat.NumTaxa())
+	}
+	e.tree = t
+	e.ensureArena()
+	e.InvalidateAll()
+	return nil
+}
+
+// ensureArena grows the CLV bookkeeping to the tree's arena size.
+func (e *Engine) ensureArena() {
+	n := e.tree.MaxNodeID() * 3
+	for len(e.clv) < n {
+		e.clv = append(e.clv, nil)
+		e.scale = append(e.scale, nil)
+		e.valid = append(e.valid, false)
+	}
+}
+
+// InvalidateAll marks every cached CLV stale (topology changed).
+func (e *Engine) InvalidateAll() {
+	for i := range e.valid {
+		e.valid[i] = false
+	}
+}
+
+// InvalidateEdge marks stale exactly the directed CLVs whose view
+// contains edge (u, v) — every direction except the one looking toward
+// the edge. Called after changing the branch length of (u, v).
+func (e *Engine) InvalidateEdge(u, v int) {
+	// clv(x, i) is the view of the component containing x when edge
+	// (x, nb[i]) is cut. That view excludes the changed edge exactly
+	// when nb[i] is x's first hop toward (u, v) — the changed edge then
+	// falls on the far side of the cut. So for every node x, the one
+	// view pointing toward the edge stays valid and all others go stale.
+	e.invalidateSide(u, v)
+	e.invalidateSide(v, u)
+}
+
+func (e *Engine) invalidateSide(from, acrossTo int) {
+	// BFS over the component on `from`'s side of edge (from, acrossTo).
+	// parentOf[x] = x's first hop toward the changed edge.
+	type qe struct{ node, parent int }
+	queue := []qe{{from, acrossTo}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		n := &e.tree.Nodes[cur.node]
+		for slot, nb := range n.Neighbors {
+			if nb < 0 {
+				continue
+			}
+			if nb == cur.parent {
+				// clv(cur.node, slot) looks away from the changed edge's
+				// direction: it cuts the edge to `parent`, so its view
+				// excludes the changed edge → stays valid.
+				continue
+			}
+			// Every other directed view from this node contains the
+			// changed edge.
+			e.valid[cur.node*3+slot] = false
+			queue = append(queue, qe{nb, cur.node})
+		}
+	}
+}
+
+// clvFor returns the CLV buffer for the directed edge (node, slot),
+// allocating on first use.
+func (e *Engine) clvFor(node, slot int) []float64 {
+	idx := node*3 + slot
+	if e.clv[idx] == nil {
+		e.clv[idx] = make([]float64, e.nPatterns*e.nCat*4)
+		e.scale[idx] = make([]int32, e.nPatterns)
+	}
+	return e.clv[idx]
+}
+
+// catRate returns the rate multiplier for (pattern, clv-category).
+func (e *Engine) catRate(pattern, cat int) float64 {
+	if e.rates.IsCAT() {
+		return e.rates.Rates[e.rates.PatternCategory[pattern]]
+	}
+	return e.rates.Rates[cat]
+}
+
+// ensureP grows the per-category transition-matrix scratch buffers to
+// the current category count (CAT optimization can change it).
+func (e *Engine) ensureP() {
+	n := e.rates.NumCats()
+	for len(e.pLeft) < n {
+		e.pLeft = append(e.pLeft, [4][4]float64{})
+		e.pRight = append(e.pRight, [4][4]float64{})
+		e.pEval = append(e.pEval, [4][4]float64{})
+		e.pD1 = append(e.pD1, [4][4]float64{})
+		e.pD2 = append(e.pD2, [4][4]float64{})
+	}
+}
+
+// fillP computes transition matrices for every rate category of branch
+// length t into the given scratch buffer (pLeft, pRight or pEval).
+func (e *Engine) fillP(t float64, dst [][4][4]float64) {
+	for c := 0; c < e.rates.NumCats(); c++ {
+		e.model.P(t, e.rates.Rates[c], &dst[c])
+	}
+}
+
+// pIndex maps (pattern, clv-category) to the category index of the
+// precomputed P matrices: the pattern's own category for CAT, the CLV
+// category for GAMMA.
+func (e *Engine) pIndex(pattern, cat int) int {
+	if e.rates.IsCAT() {
+		return e.rates.PatternCategory[pattern]
+	}
+	return cat
+}
+
+// LogLikelihood computes the log-likelihood of the attached tree,
+// refreshing any stale CLVs. The virtual root is the edge incident to
+// taxon 0 — the same likelihood is obtained at any edge (a property the
+// tests verify).
+func (e *Engine) LogLikelihood() float64 {
+	if e.tree == nil {
+		panic("likelihood: LogLikelihood before AttachTree")
+	}
+	a := 0
+	b := e.tree.Nodes[0].Neighbors[0]
+	return e.EvaluateEdge(a, b)
+}
+
+// EvaluateEdge computes the log-likelihood across edge (a, b).
+func (e *Engine) EvaluateEdge(a, b int) float64 {
+	e.ensureArena()
+	slotA := e.slotOf(a, b)
+	slotB := e.slotOf(b, a)
+	e.refresh(a, slotA)
+	e.refresh(b, slotB)
+	t := e.tree.EdgeLength(a, b)
+	e.ensureP()
+	e.fillP(t, e.pEval)
+	return e.evaluateKernel(a, slotA, b, slotB)
+}
+
+// slotOf returns the neighbor slot of `of` pointing at `at`.
+func (e *Engine) slotOf(of, at int) int {
+	for i, v := range e.tree.Nodes[of].Neighbors {
+		if v == at {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("likelihood: nodes %d and %d not adjacent", of, at))
+}
+
+// refresh (re)computes the directed CLV (node, slot) if stale, first
+// refreshing the two upstream CLVs it combines. Tips are always fresh.
+func (e *Engine) refresh(node, slot int) {
+	n := &e.tree.Nodes[node]
+	if n.IsTip() {
+		return
+	}
+	idx := node*3 + slot
+	if e.valid[idx] {
+		return
+	}
+	// The two neighbors other than nb[slot] feed this view.
+	var children [2]int
+	var childSlots [2]int
+	var lengths [2]float64
+	j := 0
+	for s, v := range n.Neighbors {
+		if s == slot || v < 0 {
+			continue
+		}
+		children[j] = v
+		childSlots[j] = e.slotOf(v, node)
+		lengths[j] = n.Lengths[s]
+		j++
+	}
+	if j != 2 {
+		panic(fmt.Sprintf("likelihood: internal node %d has %d usable children", node, j))
+	}
+	e.refresh(children[0], childSlots[0])
+	e.refresh(children[1], childSlots[1])
+	e.newview(node, slot, children[0], childSlots[0], lengths[0],
+		children[1], childSlots[1], lengths[1])
+	e.valid[idx] = true
+}

@@ -1,0 +1,281 @@
+package likelihood
+
+import (
+	"math"
+
+	"raxml/internal/threads"
+)
+
+// This file holds the per-pattern compute kernels — the loops that
+// RAxML's Pthreads layer distributes over threads and this reproduction
+// distributes over the engine's worker pool. Each kernel's pattern loop
+// is embarrassingly parallel; workers write disjoint pattern ranges.
+
+// childView describes one input of a newview combination: either a tip
+// (flat 4-wide vector, no scaling) or an internal directed CLV.
+type childView struct {
+	tip    bool
+	vec    []float64 // tipVec (tip) or clv (internal)
+	scale  []int32   // nil for tips
+	stride int       // 4 for tips, nCat*4 for internal CLVs
+}
+
+func (e *Engine) viewOf(node, slot int) childView {
+	n := &e.tree.Nodes[node]
+	if n.IsTip() {
+		return childView{tip: true, vec: e.tipVec[n.Taxon], stride: 4}
+	}
+	idx := node*3 + slot
+	return childView{vec: e.clv[idx], scale: e.scale[idx], stride: e.nCat * 4}
+}
+
+// newview combines the CLVs of two children across their branches into
+// the directed CLV (node, slot). Children must already be fresh.
+func (e *Engine) newview(node, slot, c1, c1slot int, len1 float64, c2, c2slot int, len2 float64) {
+	e.newviewCount++
+	e.ensureP()
+	e.fillP(len1, e.pLeft)
+	e.fillP(len2, e.pRight)
+	dst := e.clvFor(node, slot)
+	dstScale := e.scale[node*3+slot]
+	left := e.viewOf(c1, c1slot)
+	right := e.viewOf(c2, c2slot)
+	nCat := e.nCat
+
+	e.pool.ParallelFor(func(w int, r threads.Range) {
+		for k := r.Lo; k < r.Hi; k++ {
+			if e.weights[k] == 0 {
+				continue
+			}
+			base := k * nCat * 4
+			var sc int32
+			if left.scale != nil {
+				sc += left.scale[k]
+			}
+			if right.scale != nil {
+				sc += right.scale[k]
+			}
+			maxEntry := 0.0
+			for cat := 0; cat < nCat; cat++ {
+				pc := e.pIndex(k, cat)
+				pl := &e.pLeft[pc]
+				pr := &e.pRight[pc]
+				lBase := k*left.stride + boolIdx(left.tip, 0, cat*4)
+				rBase := k*right.stride + boolIdx(right.tip, 0, cat*4)
+				l0 := left.vec[lBase]
+				l1 := left.vec[lBase+1]
+				l2 := left.vec[lBase+2]
+				l3 := left.vec[lBase+3]
+				r0 := right.vec[rBase]
+				r1 := right.vec[rBase+1]
+				r2 := right.vec[rBase+2]
+				r3 := right.vec[rBase+3]
+				for s := 0; s < 4; s++ {
+					ls := pl[s][0]*l0 + pl[s][1]*l1 + pl[s][2]*l2 + pl[s][3]*l3
+					rs := pr[s][0]*r0 + pr[s][1]*r1 + pr[s][2]*r2 + pr[s][3]*r3
+					v := ls * rs
+					dst[base+cat*4+s] = v
+					if v > maxEntry {
+						maxEntry = v
+					}
+				}
+			}
+			if maxEntry < scaleThreshold {
+				for i := base; i < base+nCat*4; i++ {
+					dst[i] *= scaleFactor
+				}
+				sc++
+			}
+			dstScale[k] = sc
+		}
+	})
+}
+
+// boolIdx returns a when cond is true, else b: selects the tip (flat)
+// versus internal (per-category) CLV offset.
+func boolIdx(cond bool, a, b int) int {
+	if cond {
+		return a
+	}
+	return b
+}
+
+// evaluateKernel computes the weighted log-likelihood across the edge
+// whose endpoint views are (a, slotA) and (b, slotB), using the
+// transition matrices already in pEval.
+func (e *Engine) evaluateKernel(a, slotA, b, slotB int) float64 {
+	e.evalCount++
+	va := e.viewOf(a, slotA)
+	vb := e.viewOf(b, slotB)
+	nCat := e.nCat
+	freqs := e.model.Freqs
+	isCAT := e.rates.IsCAT()
+
+	return e.pool.ReduceSum(func(w int, r threads.Range) float64 {
+		sum := 0.0
+		for k := r.Lo; k < r.Hi; k++ {
+			wk := e.weights[k]
+			if wk == 0 {
+				continue
+			}
+			var site float64
+			for cat := 0; cat < nCat; cat++ {
+				pc := e.pIndex(k, cat)
+				p := &e.pEval[pc]
+				aBase := k*va.stride + boolIdx(va.tip, 0, cat*4)
+				bBase := k*vb.stride + boolIdx(vb.tip, 0, cat*4)
+				catL := 0.0
+				for s := 0; s < 4; s++ {
+					as := va.vec[aBase+s]
+					if as == 0 {
+						continue
+					}
+					dot := p[s][0]*vb.vec[bBase] + p[s][1]*vb.vec[bBase+1] +
+						p[s][2]*vb.vec[bBase+2] + p[s][3]*vb.vec[bBase+3]
+					catL += freqs[s] * as * dot
+				}
+				if isCAT {
+					site = catL
+				} else {
+					site += e.rates.Probs[cat] * catL
+				}
+			}
+			logSite := math.Log(math.Max(site, math.SmallestNonzeroFloat64))
+			if va.scale != nil {
+				logSite -= float64(va.scale[k]) * logScaleFactor
+			}
+			if vb.scale != nil {
+				logSite -= float64(vb.scale[k]) * logScaleFactor
+			}
+			sum += float64(wk) * logSite
+		}
+		return sum
+	})
+}
+
+// SiteLogLikelihoods fills dst (allocating if nil) with the per-pattern
+// log-likelihoods of the attached tree evaluated at the edge incident to
+// taxon 0. Zero-weight patterns get 0. Used by per-site rate
+// optimization (GTRCAT) and by the RELL-style diagnostics.
+func (e *Engine) SiteLogLikelihoods(dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, e.nPatterns)
+	}
+	a := 0
+	b := e.tree.Nodes[0].Neighbors[0]
+	slotA := e.slotOf(a, b)
+	slotB := e.slotOf(b, a)
+	e.refresh(a, slotA)
+	e.refresh(b, slotB)
+	e.ensureP()
+	e.fillP(e.tree.EdgeLength(a, b), e.pEval)
+
+	va := e.viewOf(a, slotA)
+	vb := e.viewOf(b, slotB)
+	nCat := e.nCat
+	freqs := e.model.Freqs
+	isCAT := e.rates.IsCAT()
+	e.pool.ParallelFor(func(w int, r threads.Range) {
+		for k := r.Lo; k < r.Hi; k++ {
+			if e.weights[k] == 0 {
+				dst[k] = 0
+				continue
+			}
+			var site float64
+			for cat := 0; cat < nCat; cat++ {
+				pc := e.pIndex(k, cat)
+				p := &e.pEval[pc]
+				aBase := k*va.stride + boolIdx(va.tip, 0, cat*4)
+				bBase := k*vb.stride + boolIdx(vb.tip, 0, cat*4)
+				catL := 0.0
+				for s := 0; s < 4; s++ {
+					as := va.vec[aBase+s]
+					if as == 0 {
+						continue
+					}
+					dot := p[s][0]*vb.vec[bBase] + p[s][1]*vb.vec[bBase+1] +
+						p[s][2]*vb.vec[bBase+2] + p[s][3]*vb.vec[bBase+3]
+					catL += freqs[s] * as * dot
+				}
+				if isCAT {
+					site = catL
+				} else {
+					site += e.rates.Probs[cat] * catL
+				}
+			}
+			logSite := math.Log(math.Max(site, math.SmallestNonzeroFloat64))
+			if va.scale != nil {
+				logSite -= float64(va.scale[k]) * logScaleFactor
+			}
+			if vb.scale != nil {
+				logSite -= float64(vb.scale[k]) * logScaleFactor
+			}
+			dst[k] = logSite
+		}
+	})
+	return dst
+}
+
+// branchDerivatives returns d(lnL)/dt and d²(lnL)/dt² across the edge
+// with endpoint views (a, slotA), (b, slotB) at branch length t — the
+// quantities RAxML's makenewz feeds its Newton–Raphson iteration.
+func (e *Engine) branchDerivatives(a, slotA, b, slotB int, t float64) (d1, d2 float64) {
+	e.ensureP()
+	for c := 0; c < e.rates.NumCats(); c++ {
+		e.model.PDeriv(t, e.rates.Rates[c], &e.pEval[c], &e.pD1[c], &e.pD2[c])
+	}
+	va := e.viewOf(a, slotA)
+	vb := e.viewOf(b, slotB)
+	nCat := e.nCat
+	freqs := e.model.Freqs
+	isCAT := e.rates.IsCAT()
+
+	return e.pool.ReduceSum2(func(w int, r threads.Range) (float64, float64) {
+		var s1, s2 float64
+		for k := r.Lo; k < r.Hi; k++ {
+			wk := e.weights[k]
+			if wk == 0 {
+				continue
+			}
+			var siteL, siteD1, siteD2 float64
+			for cat := 0; cat < nCat; cat++ {
+				pc := e.pIndex(k, cat)
+				p := &e.pEval[pc]
+				pd1 := &e.pD1[pc]
+				pd2 := &e.pD2[pc]
+				aBase := k*va.stride + boolIdx(va.tip, 0, cat*4)
+				bBase := k*vb.stride + boolIdx(vb.tip, 0, cat*4)
+				var catL, catD1, catD2 float64
+				for s := 0; s < 4; s++ {
+					as := va.vec[aBase+s]
+					if as == 0 {
+						continue
+					}
+					fa := freqs[s] * as
+					b0 := vb.vec[bBase]
+					b1 := vb.vec[bBase+1]
+					b2 := vb.vec[bBase+2]
+					b3 := vb.vec[bBase+3]
+					catL += fa * (p[s][0]*b0 + p[s][1]*b1 + p[s][2]*b2 + p[s][3]*b3)
+					catD1 += fa * (pd1[s][0]*b0 + pd1[s][1]*b1 + pd1[s][2]*b2 + pd1[s][3]*b3)
+					catD2 += fa * (pd2[s][0]*b0 + pd2[s][1]*b1 + pd2[s][2]*b2 + pd2[s][3]*b3)
+				}
+				if isCAT {
+					siteL, siteD1, siteD2 = catL, catD1, catD2
+				} else {
+					pr := e.rates.Probs[cat]
+					siteL += pr * catL
+					siteD1 += pr * catD1
+					siteD2 += pr * catD2
+				}
+			}
+			if siteL < math.SmallestNonzeroFloat64 {
+				continue
+			}
+			ratio := siteD1 / siteL
+			s1 += float64(wk) * ratio
+			s2 += float64(wk) * (siteD2/siteL - ratio*ratio)
+		}
+		return s1, s2
+	})
+}

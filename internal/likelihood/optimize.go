@@ -1,0 +1,286 @@
+package likelihood
+
+import (
+	"math"
+
+	"raxml/internal/gtr"
+	"raxml/internal/tree"
+)
+
+// This file implements the numerical optimizers: Newton–Raphson
+// branch-length optimization (RAxML's makenewz), golden-section model
+// parameter optimization (GTR exchangeabilities and the Γ shape), and
+// per-site rate optimization with category clustering (the CAT model).
+
+const (
+	// newtonTol terminates branch-length iteration.
+	newtonTol = 1e-9
+	// newtonMaxIter bounds one branch optimization.
+	newtonMaxIter = 32
+)
+
+// OptimizeBranch optimizes the length of edge (a, b) by Newton–Raphson
+// on d(lnL)/dt with a bisection-style fallback when the second
+// derivative is not usable. Returns the optimized length.
+func (e *Engine) OptimizeBranch(a, b int) float64 {
+	slotA := e.slotOf(a, b)
+	slotB := e.slotOf(b, a)
+	e.refresh(a, slotA)
+	e.refresh(b, slotB)
+
+	t := e.tree.EdgeLength(a, b)
+	for iter := 0; iter < newtonMaxIter; iter++ {
+		d1, d2 := e.branchDerivatives(a, slotA, b, slotB, t)
+		var next float64
+		if d2 < -1e-300 {
+			next = t - d1/d2
+		} else {
+			// Not locally concave: move in the gradient direction by a
+			// multiplicative step, as RAxML's fallback does.
+			if d1 > 0 {
+				next = t * 2
+			} else {
+				next = t / 2
+			}
+		}
+		if next < tree.MinBranchLength {
+			next = tree.MinBranchLength
+		}
+		if next > tree.MaxBranchLength {
+			next = tree.MaxBranchLength
+		}
+		if math.Abs(next-t) < newtonTol*(1+t) {
+			t = next
+			break
+		}
+		t = next
+	}
+	old := e.tree.EdgeLength(a, b)
+	if t != old {
+		e.tree.SetEdgeLength(a, b, t)
+		e.InvalidateEdge(a, b)
+	}
+	return t
+}
+
+// OptimizeAllBranches sweeps every edge with OptimizeBranch up to
+// `rounds` times, stopping early when a full sweep improves the
+// log-likelihood by less than tol. It returns the final log-likelihood.
+func (e *Engine) OptimizeAllBranches(rounds int, tol float64) float64 {
+	if rounds < 1 {
+		rounds = 1
+	}
+	prev := e.LogLikelihood()
+	for round := 0; round < rounds; round++ {
+		for _, edge := range e.tree.Edges() {
+			e.OptimizeBranch(edge.A, edge.B)
+		}
+		cur := e.LogLikelihood()
+		if cur-prev < tol {
+			return cur
+		}
+		prev = cur
+	}
+	return prev
+}
+
+// goldenSection maximizes f over [lo, hi] to within xtol and returns the
+// best x. f is assumed unimodal on the interval (standard for the
+// one-dimensional model-parameter profiles optimized here).
+func goldenSection(lo, hi, xtol float64, f func(float64) float64) float64 {
+	const invPhi = 0.6180339887498949
+	a, b := lo, hi
+	c := b - invPhi*(b-a)
+	d := a + invPhi*(b-a)
+	fc, fd := f(c), f(d)
+	for b-a > xtol {
+		if fc > fd {
+			b, d, fd = d, c, fc
+			c = b - invPhi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + invPhi*(b-a)
+			fd = f(d)
+		}
+	}
+	if fc > fd {
+		return c
+	}
+	return d
+}
+
+// ModelOptConfig controls OptimizeModel.
+type ModelOptConfig struct {
+	// Rates enables GTR exchangeability optimization.
+	Rates bool
+	// Alpha enables Γ shape optimization (GAMMA treatments only).
+	Alpha bool
+	// Rounds is the number of coordinate-descent sweeps (default 2).
+	Rounds int
+	// Tol is the log-parameter search tolerance (default 1e-3).
+	Tol float64
+}
+
+// OptimizeModel optimizes the substitution-model parameters against the
+// attached tree by coordinate-wise golden-section search in log space,
+// re-optimizing nothing else; callers interleave it with branch-length
+// sweeps exactly as RAxML's full model optimization does. Returns the
+// final log-likelihood.
+func (e *Engine) OptimizeModel(cfg ModelOptConfig) float64 {
+	rounds := cfg.Rounds
+	if rounds <= 0 {
+		rounds = 2
+	}
+	tol := cfg.Tol
+	if tol <= 0 {
+		tol = 1e-3
+	}
+	cur := e.LogLikelihood()
+	for round := 0; round < rounds; round++ {
+		if cfg.Rates {
+			// GT (index 5) is the reference rate fixed at 1.
+			for ri := 0; ri < 5; ri++ {
+				rates := e.model.Rates
+				orig := rates[ri]
+				best := goldenSection(math.Log(0.02), math.Log(50), tol, func(lr float64) float64 {
+					rates[ri] = math.Exp(lr)
+					if err := e.model.SetRates(rates); err != nil {
+						return math.Inf(-1)
+					}
+					e.InvalidateAll()
+					return e.LogLikelihood()
+				})
+				rates[ri] = math.Exp(best)
+				if err := e.model.SetRates(rates); err != nil {
+					rates[ri] = orig
+					_ = e.model.SetRates(rates)
+				}
+				e.InvalidateAll()
+			}
+		}
+		if cfg.Alpha && !e.rates.IsCAT() {
+			k := e.rates.NumCats()
+			best := goldenSection(math.Log(0.05), math.Log(50), tol, func(la float64) float64 {
+				rs, err := gtr.GammaCategories(math.Exp(la), k)
+				if err != nil {
+					return math.Inf(-1)
+				}
+				copy(e.rates.Rates, rs)
+				e.InvalidateAll()
+				return e.LogLikelihood()
+			})
+			rs, err := gtr.GammaCategories(math.Exp(best), k)
+			if err == nil {
+				copy(e.rates.Rates, rs)
+			}
+			e.InvalidateAll()
+		}
+		next := e.LogLikelihood()
+		if next-cur < 0.01 {
+			return next
+		}
+		cur = next
+	}
+	return cur
+}
+
+// OptimizePerSiteRates implements the GTRCAT rate-category estimation:
+// every pattern's rate is chosen from a log-spaced candidate grid by
+// maximizing its own site likelihood under the current tree, the chosen
+// rates are clustered into at most maxCats categories, normalized to
+// mean rate 1 under the active weights, and the engine switches to the
+// resulting assignment. Returns the final log-likelihood.
+//
+// This mirrors RAxML's optimizeRateCategories: a handful of full-tree
+// site-likelihood sweeps (one per candidate rate), then clustering.
+func (e *Engine) OptimizePerSiteRates(maxCats, gridSize int) float64 {
+	if !e.rates.IsCAT() {
+		return e.LogLikelihood()
+	}
+	if gridSize < 2 {
+		gridSize = 8
+	}
+	grid := make([]float64, gridSize)
+	logLo := math.Log(gtr.MinCATRate)
+	logHi := math.Log(gtr.MaxCATRate)
+	for i := range grid {
+		grid[i] = math.Exp(logLo + (logHi-logLo)*float64(i)/float64(gridSize-1))
+	}
+
+	// Evaluate per-pattern log-likelihood under each uniform candidate
+	// rate by temporarily switching every pattern to that rate.
+	saved := e.rates.Clone()
+	bestRate := make([]float64, e.nPatterns)
+	bestLL := make([]float64, e.nPatterns)
+	for i := range bestLL {
+		bestLL[i] = math.Inf(-1)
+	}
+	scratch := make([]float64, e.nPatterns)
+	uniformAssign := make([]int, e.nPatterns)
+	for _, rate := range grid {
+		e.rates.Rates = []float64{rate}
+		e.rates.PatternCategory = uniformAssign
+		e.InvalidateAll()
+		e.SiteLogLikelihoods(scratch)
+		for k := 0; k < e.nPatterns; k++ {
+			if e.weights[k] == 0 {
+				continue
+			}
+			if scratch[k] > bestLL[k] {
+				bestLL[k] = scratch[k]
+				bestRate[k] = rate
+			}
+		}
+	}
+	// Patterns with zero weight keep a neutral rate.
+	for k := 0; k < e.nPatterns; k++ {
+		if e.weights[k] == 0 {
+			bestRate[k] = 1
+		}
+	}
+	clustered := gtr.ClusterCAT(bestRate, maxCats)
+	clustered.Normalize(e.weights)
+	*e.rates = *clustered
+	e.InvalidateAll()
+	ll := e.LogLikelihood()
+
+	// Guard: if the clustered assignment is somehow worse than the saved
+	// treatment (possible on degenerate data), roll back.
+	e2 := ll
+	*e.rates = *saved
+	e.InvalidateAll()
+	llSaved := e.LogLikelihood()
+	if e2 >= llSaved {
+		*e.rates = *clustered
+		e.InvalidateAll()
+		return e2
+	}
+	return llSaved
+}
+
+// EstimateEmpiricalFreqs sets the model's base frequencies from the
+// weighted pattern data (counting unambiguous states only) and
+// invalidates caches. Returns the frequencies installed.
+func (e *Engine) EstimateEmpiricalFreqs() [4]float64 {
+	var counts [4]float64
+	for taxon := 0; taxon < e.pat.NumTaxa(); taxon++ {
+		for k := 0; k < e.nPatterns; k++ {
+			s := e.pat.Data[taxon][k]
+			if s.IsAmbiguous() {
+				continue
+			}
+			w := float64(e.weights[k])
+			for st := 0; st < 4; st++ {
+				if s&(1<<uint(st)) != 0 {
+					counts[st] += w
+				}
+			}
+		}
+	}
+	freqs := gtr.EmpiricalFreqs(counts)
+	if err := e.model.SetFreqs(freqs); err == nil {
+		e.InvalidateAll()
+	}
+	return freqs
+}

@@ -1,0 +1,93 @@
+package likelihood
+
+import (
+	"math"
+
+	"raxml/internal/threads"
+)
+
+// This file implements the evaluation primitive behind RAxML's *lazy
+// SPR* scan. After a subtree is pruned (kept dangling on its attachment
+// node), the directed CLVs of the remaining tree and of the subtree are
+// both unchanged while candidate insertion edges are tried. Scoring one
+// insertion therefore needs no newview at all: it is a single three-way
+// join of cached CLVs at the would-be junction — an O(patterns) kernel.
+// This is what makes SPR scans affordable and is precisely the loop the
+// paper's fine-grained threads accelerate during search stages.
+
+// EvaluateInsertion estimates the log-likelihood of inserting the
+// dangling subtree (rooted at subRoot, hanging from attachment node
+// attach) into edge (x, y). The insertion edge is split in half; the
+// pendant branch keeps its current length. The tree must currently hold
+// the subtree dangling: edge (subRoot, attach) intact, attach otherwise
+// disconnected, and (x, y) an edge of the main component.
+func (e *Engine) EvaluateInsertion(subRoot, attach, x, y int) float64 {
+	e.ensureArena()
+	slotSub := e.slotOf(subRoot, attach)
+	slotXY := e.slotOf(x, y)
+	slotYX := e.slotOf(y, x)
+	e.refresh(subRoot, slotSub)
+	e.refresh(x, slotXY)
+	e.refresh(y, slotYX)
+
+	txy := e.tree.EdgeLength(x, y)
+	pendant := e.tree.EdgeLength(subRoot, attach)
+	e.ensureP()
+	e.fillP(txy/2, e.pLeft)   // toward x
+	e.fillP(txy/2, e.pRight)  // toward y
+	e.fillP(pendant, e.pEval) // toward the subtree
+
+	vx := e.viewOf(x, slotXY)
+	vy := e.viewOf(y, slotYX)
+	vs := e.viewOf(subRoot, slotSub)
+	nCat := e.nCat
+	freqs := e.model.Freqs
+	isCAT := e.rates.IsCAT()
+
+	return e.pool.ReduceSum(func(w int, r threads.Range) float64 {
+		sum := 0.0
+		for k := r.Lo; k < r.Hi; k++ {
+			wk := e.weights[k]
+			if wk == 0 {
+				continue
+			}
+			var site float64
+			for cat := 0; cat < nCat; cat++ {
+				pc := e.pIndex(k, cat)
+				px := &e.pLeft[pc]
+				py := &e.pRight[pc]
+				ps := &e.pEval[pc]
+				xB := k*vx.stride + boolIdx(vx.tip, 0, cat*4)
+				yB := k*vy.stride + boolIdx(vy.tip, 0, cat*4)
+				sB := k*vs.stride + boolIdx(vs.tip, 0, cat*4)
+				catL := 0.0
+				for s := 0; s < 4; s++ {
+					ax := px[s][0]*vx.vec[xB] + px[s][1]*vx.vec[xB+1] +
+						px[s][2]*vx.vec[xB+2] + px[s][3]*vx.vec[xB+3]
+					ay := py[s][0]*vy.vec[yB] + py[s][1]*vy.vec[yB+1] +
+						py[s][2]*vy.vec[yB+2] + py[s][3]*vy.vec[yB+3]
+					ac := ps[s][0]*vs.vec[sB] + ps[s][1]*vs.vec[sB+1] +
+						ps[s][2]*vs.vec[sB+2] + ps[s][3]*vs.vec[sB+3]
+					catL += freqs[s] * ax * ay * ac
+				}
+				if isCAT {
+					site = catL
+				} else {
+					site += e.rates.Probs[cat] * catL
+				}
+			}
+			logSite := math.Log(math.Max(site, math.SmallestNonzeroFloat64))
+			if vx.scale != nil {
+				logSite -= float64(vx.scale[k]) * logScaleFactor
+			}
+			if vy.scale != nil {
+				logSite -= float64(vy.scale[k]) * logScaleFactor
+			}
+			if vs.scale != nil {
+				logSite -= float64(vs.scale[k]) * logScaleFactor
+			}
+			sum += float64(wk) * logSite
+		}
+		return sum
+	})
+}

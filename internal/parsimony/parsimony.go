@@ -1,0 +1,217 @@
+// Package parsimony implements Fitch parsimony: the fast, model-free
+// scoring that RAxML uses to build randomized stepwise-addition starting
+// trees for maximum-likelihood searches and rapid-bootstrap restarts.
+//
+// States are the 4-bit sets of package msa, so Fitch's set operations
+// are single AND/OR instructions, and the per-pattern loop parallelizes
+// over a threads.Pool exactly like the likelihood kernels (in RAxML the
+// parsimony kernel is distributed over the same worker crew).
+package parsimony
+
+import (
+	"fmt"
+
+	"raxml/internal/msa"
+	"raxml/internal/rng"
+	"raxml/internal/threads"
+	"raxml/internal/tree"
+)
+
+// Engine scores trees under Fitch parsimony over one pattern set.
+type Engine struct {
+	pat     *msa.Patterns
+	pool    *threads.Pool
+	weights []int
+
+	// state[node] holds the Fitch state sets for the subtree below node
+	// when rooted at the current evaluation root; laid out per pattern.
+	state [][]msa.State
+	// cost[node][k] is the accumulated mutation count below node.
+	cost [][]int32
+}
+
+// New creates a parsimony engine. A nil pool means serial execution.
+func New(pat *msa.Patterns, pool *threads.Pool) *Engine {
+	e := &Engine{pat: pat, pool: pool}
+	if e.pool == nil {
+		e.pool = threads.NewPool(1, pat.NumPatterns())
+	}
+	e.weights = append([]int(nil), pat.Weights...)
+	return e
+}
+
+// SetWeights installs a bootstrap weight vector (nil restores the
+// original weights).
+func (e *Engine) SetWeights(w []int) {
+	if w == nil {
+		e.weights = append(e.weights[:0], e.pat.Weights...)
+		return
+	}
+	if len(w) != e.pat.NumPatterns() {
+		panic(fmt.Sprintf("parsimony: weight vector has %d entries, want %d", len(w), e.pat.NumPatterns()))
+	}
+	e.weights = append(e.weights[:0], w...)
+}
+
+func (e *Engine) ensure(n int) {
+	for len(e.state) < n {
+		e.state = append(e.state, nil)
+		e.cost = append(e.cost, nil)
+	}
+}
+
+func (e *Engine) buffersFor(node int) ([]msa.State, []int32) {
+	if e.state[node] == nil {
+		e.state[node] = make([]msa.State, e.pat.NumPatterns())
+		e.cost[node] = make([]int32, e.pat.NumPatterns())
+	}
+	return e.state[node], e.cost[node]
+}
+
+// Score returns the weighted Fitch parsimony score of the tree (the
+// minimum number of state changes, summed over patterns with weights).
+// The tree may be partial (mid stepwise addition); scoring roots at the
+// lowest-numbered attached tip.
+func (e *Engine) Score(t *tree.Tree) int {
+	e.ensure(t.MaxNodeID())
+	// Root on the edge at the first attached tip: fold both sides, join.
+	a := -1
+	for i := 0; i < e.pat.NumTaxa(); i++ {
+		if t.Nodes[i].InUse && t.Nodes[i].Neighbors[0] >= 0 {
+			a = i
+			break
+		}
+	}
+	if a < 0 {
+		panic("parsimony: tree has no attached tips")
+	}
+	b := t.Nodes[a].Neighbors[0]
+	order := t.PostOrder(b, a)
+	for _, pair := range order {
+		e.fitchNode(t, pair[0], pair[1])
+	}
+	// anchor tip side
+	aState := e.tipState(a)
+	bState, bCost := e.childBuffers(b)
+	total := e.pool.ReduceSum(func(w int, r threads.Range) float64 {
+		sum := 0
+		for k := r.Lo; k < r.Hi; k++ {
+			wk := e.weights[k]
+			if wk == 0 {
+				continue
+			}
+			c := 0
+			if bCost != nil {
+				c = int(bCost[k])
+			}
+			if aState[k]&bState[k] == 0 {
+				c++
+			}
+			sum += wk * c
+		}
+		return float64(sum)
+	})
+	return int(total)
+}
+
+// tipState returns the pattern states of a taxon.
+func (e *Engine) tipState(taxon int) []msa.State {
+	return e.pat.Data[taxon]
+}
+
+// fitchNode computes the Fitch sets of `node` viewed from `parent`.
+func (e *Engine) fitchNode(t *tree.Tree, node, parent int) {
+	n := &t.Nodes[node]
+	if n.IsTip() {
+		return // tip states live in the pattern matrix
+	}
+	var children [2]int
+	j := 0
+	for _, v := range n.Neighbors {
+		if v >= 0 && v != parent {
+			children[j] = v
+			j++
+		}
+	}
+	if j != 2 {
+		panic(fmt.Sprintf("parsimony: node %d has %d children from %d", node, j, parent))
+	}
+	dstState, dstCost := e.buffersFor(node)
+	lState, lCost := e.childBuffers(children[0])
+	rState, rCost := e.childBuffers(children[1])
+	e.pool.ParallelFor(func(w int, r threads.Range) {
+		for k := r.Lo; k < r.Hi; k++ {
+			if e.weights[k] == 0 {
+				continue
+			}
+			ls := lState[k]
+			rs := rState[k]
+			var c int32
+			if lCost != nil {
+				c += lCost[k]
+			}
+			if rCost != nil {
+				c += rCost[k]
+			}
+			inter := ls & rs
+			if inter != 0 {
+				dstState[k] = inter
+			} else {
+				dstState[k] = ls | rs
+				c++
+			}
+			dstCost[k] = c
+		}
+	})
+}
+
+func (e *Engine) childBuffers(child int) ([]msa.State, []int32) {
+	// Tips read straight from the pattern matrix with zero cost.
+	if child < e.pat.NumTaxa() {
+		return e.tipState(child), nil
+	}
+	s, c := e.buffersFor(child)
+	return s, c
+}
+
+// StepwiseAddition builds a randomized stepwise-addition parsimony tree:
+// taxa are inserted in random order, each at the edge minimizing the
+// parsimony score. This is RAxML's starting-tree construction for ML and
+// rapid-bootstrap searches; the insertion order randomization is what
+// makes independent searches explore different basins.
+func StepwiseAddition(pat *msa.Patterns, r *rng.RNG, pool *threads.Pool) *tree.Tree {
+	e := New(pat, pool)
+	return e.StepwiseAddition(r)
+}
+
+// StepwiseAddition builds a randomized stepwise-addition tree using the
+// engine's current weights (so bootstrap replicates grow trees on their
+// own resampled data).
+func (e *Engine) StepwiseAddition(r *rng.RNG) *tree.Tree {
+	pat := e.pat
+	n := pat.NumTaxa()
+	t := tree.New(pat.Names)
+	order := r.Perm(n)
+	// core: first three taxa around one internal node
+	center := t.NewInternal()
+	for i := 0; i < 3; i++ {
+		t.Connect(center, order[i], tree.DefaultBranchLength)
+	}
+	for i := 3; i < n; i++ {
+		taxon := order[i]
+		edges := t.Edges()
+		bestEdge := edges[0]
+		bestScore := int(^uint(0) >> 1)
+		for _, edge := range edges {
+			t.InsertTipOnEdge(taxon, edge, tree.DefaultBranchLength)
+			s := e.Score(t)
+			if s < bestScore {
+				bestScore = s
+				bestEdge = edge
+			}
+			t.RemoveTip(taxon)
+		}
+		t.InsertTipOnEdge(taxon, bestEdge, tree.DefaultBranchLength)
+	}
+	return t
+}

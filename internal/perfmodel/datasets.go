@@ -1,0 +1,91 @@
+package perfmodel
+
+import "fmt"
+
+// DataSet is the cost model of one Table-3 benchmark data set: the
+// serial cost (in Dash-seconds) of one search of each stage.
+//
+// Calibration. For each data set the per-search costs (b, f, s, t) =
+// (bootstrap, fast, slow, thorough) were solved analytically from the
+// paper's own Table 5 anchors under the Table-2 schedule:
+//
+//	T_serial(N)     = N·b + ceil(N/5)·f + 10·s + t
+//	T_80c(N=100)    = (10·b + 2·f + s + t) / S₈        (10 ranks × 8 thr)
+//
+// using the thread-speedup model of machines.go for S_T. Three anchor
+// times (serial at N=100, serial at the recommended N, best 80-core
+// time) pin three unknowns after fixing f = 3·b (a fast search costs a
+// few bootstrap-equivalents; the ratio is weakly identified and 3
+// reproduces every secondary anchor within ~10%). For the largest data
+// set, which has no second serial anchor, the 40-core row substitutes.
+//
+// The solved models reproduce Table-5 rows that were NOT used in the
+// fit to within a few percent (e.g. the 7,429-pattern set: 16c modeled
+// 5,458 s vs paper 5,497 s; 40c modeled 2,735 s vs 2,830 s), which is
+// the evidence the cost decomposition, not just the anchors, is right.
+type DataSet struct {
+	// Taxa, Chars and Patterns reproduce Table 3.
+	Taxa, Chars, Patterns int
+	// RecommendedBootstraps is Table 3's WC bootstopping value.
+	RecommendedBootstraps int
+
+	// BootCost, FastCost, SlowCost, ThoroughCost are serial Dash-seconds
+	// per search of each stage.
+	BootCost, FastCost, SlowCost, ThoroughCost float64
+}
+
+// Name identifies a data set by its dimensions, as the paper does.
+func (d DataSet) Name() string {
+	return fmt.Sprintf("%d taxa / %d patterns", d.Taxa, d.Patterns)
+}
+
+// SerialWork returns the total serial work (Dash-seconds) of a
+// comprehensive analysis with the serial schedule for N bootstraps.
+func (d DataSet) SerialWork(n int) float64 {
+	fast := (n + 4) / 5
+	return float64(n)*d.BootCost + float64(fast)*d.FastCost + 10*d.SlowCost + d.ThoroughCost
+}
+
+// DataSets returns the five benchmark data sets in Table 3 order with
+// their calibrated cost models.
+func DataSets() []DataSet {
+	return []DataSet{
+		// 354 taxa / 348 patterns. Anchors: serial N=100 → 1,980 s,
+		// serial N=1200 → 15,703 s, 80c best 130 s (/4 threads).
+		// Solved: b = 7.797, f = 3b, s = 5.97b, t = 34.2b.
+		{Taxa: 354, Chars: 460, Patterns: 348, RecommendedBootstraps: 1200,
+			BootCost: 7.797, FastCost: 23.39, SlowCost: 46.57, ThoroughCost: 266.7},
+		// 150 taxa / 1,130 patterns. Anchors: 2,325 s, 10,566 s (N=650),
+		// 80c 95 s (/8). Solved: b = 9.365, s = 5.57b, t = 32.6b.
+		{Taxa: 150, Chars: 1269, Patterns: 1130, RecommendedBootstraps: 650,
+			BootCost: 9.365, FastCost: 28.10, SlowCost: 52.10, ThoroughCost: 305.4},
+		// 218 taxa / 1,846 patterns. Anchors: 9,630 s, 33,738 s (N=550),
+		// 80c 271 s (/8). Solved: b = 33.48, s = 10.49b, t = 22.7b.
+		// Out-of-fit checks: 16c modeled 846 s vs paper 846 s;
+		// 40c modeled 417 s vs paper 430 s.
+		{Taxa: 218, Chars: 2294, Patterns: 1846, RecommendedBootstraps: 550,
+			BootCost: 33.48, FastCost: 100.4, SlowCost: 351.2, ThoroughCost: 761.1},
+		// 404 taxa / 7,429 patterns. Anchors: 72,866 s, 355,724 s
+		// (N=700), 80c 1,828 s (/8). Solved: b = 294.6, s = 6.45b,
+		// t = 22.8b. Out-of-fit: 16c 5,458 vs 5,497; 40c 2,735 vs 2,830.
+		{Taxa: 404, Chars: 13158, Patterns: 7429, RecommendedBootstraps: 700,
+			BootCost: 294.6, FastCost: 883.9, SlowCost: 1901.0, ThoroughCost: 6711.0},
+		// 125 taxa / 19,436 patterns. Anchors: serial 22,970 s, 80c
+		// 1,092 s (/8), 40c 1,314 s (/8). Solved: b = 75.4, s = 6b,
+		// t = 86.4b (the large thorough fraction the paper blames for
+		// this set's weaker Dash scaling). Out-of-fit: 16c 1,948 vs
+		// 2,006; 8c 3,022 vs 3,018.
+		{Taxa: 125, Chars: 29149, Patterns: 19436, RecommendedBootstraps: 50,
+			BootCost: 75.4, FastCost: 226.2, SlowCost: 452.4, ThoroughCost: 6515.0},
+	}
+}
+
+// DataSetByPatterns returns the data set with the given pattern count.
+func DataSetByPatterns(patterns int) (DataSet, error) {
+	for _, d := range DataSets() {
+		if d.Patterns == patterns {
+			return d, nil
+		}
+	}
+	return DataSet{}, fmt.Errorf("perfmodel: no data set with %d patterns", patterns)
+}

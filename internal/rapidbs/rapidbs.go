@@ -1,0 +1,135 @@
+// Package rapidbs implements the rapid bootstrap algorithm of
+// Stamatakis, Hoover & Rougemont (2008) — stage 1 of the paper's
+// comprehensive analysis (-f a -x).
+//
+// Each replicate resamples alignment columns into a pattern weight
+// vector, then runs a very cheap SPR search. Two accelerations make the
+// replicates "rapid": (i) replicates reuse the previous replicate's
+// final topology as the starting tree, refreshing it with a new
+// randomized stepwise-addition parsimony tree only every refreshEvery
+// replicates; (ii) the per-replicate search is a single small-radius
+// pass. Both are reproduced here.
+package rapidbs
+
+import (
+	"fmt"
+
+	"raxml/internal/likelihood"
+	"raxml/internal/parsimony"
+	"raxml/internal/rng"
+	"raxml/internal/search"
+	"raxml/internal/tree"
+)
+
+// refreshEvery controls how often the starting tree is rebuilt from
+// scratch with randomized stepwise addition (RAxML: every 10th
+// replicate).
+const refreshEvery = 10
+
+// Replicate is one finished bootstrap search.
+type Replicate struct {
+	// Index is the replicate number local to the generating rank.
+	Index int
+	// Tree is the replicate's final topology.
+	Tree *tree.Tree
+	// LogLikelihood is the replicate's final score under its resampled
+	// weights.
+	LogLikelihood float64
+	// Weights is the replicate's pattern weight vector.
+	Weights []int
+}
+
+// Runner generates bootstrap replicates over one engine.
+type Runner struct {
+	eng  *likelihood.Engine
+	pars *parsimony.Engine
+	// searchSettings is the per-replicate search preset.
+	searchSettings search.Settings
+	prev           *tree.Tree
+}
+
+// NewRunner creates a bootstrap runner sharing the engine's pool for
+// both likelihood and parsimony kernels.
+func NewRunner(eng *likelihood.Engine) *Runner {
+	return &Runner{
+		eng:            eng,
+		pars:           parsimony.New(eng.Patterns(), eng.Pool()),
+		searchSettings: search.Bootstrap(),
+	}
+}
+
+// SetSearchSettings overrides the per-replicate search preset.
+func (r *Runner) SetSearchSettings(s search.Settings) { r.searchSettings = s }
+
+// Run executes count replicates, drawing column resamplings and
+// starting-tree randomizations from bsRNG (the -x seed stream) and
+// parsimony insertion orders from parsRNG (the -p seed stream), exactly
+// the two seed streams RAxML separates. Replicates are returned in
+// generation order.
+func (r *Runner) Run(count int, bsRNG, parsRNG *rng.RNG) ([]*Replicate, error) {
+	if count < 0 {
+		return nil, fmt.Errorf("rapidbs: negative replicate count %d", count)
+	}
+	pat := r.eng.Patterns()
+	out := make([]*Replicate, 0, count)
+	for i := 0; i < count; i++ {
+		weights := pat.Resample(bsRNG)
+		r.eng.SetWeights(weights)
+		r.pars.SetWeights(weights)
+
+		var start *tree.Tree
+		if i%refreshEvery == 0 || r.prev == nil {
+			start = r.pars.StepwiseAddition(parsRNG)
+		} else {
+			start = r.prev.Clone()
+		}
+		result, err := search.Run(r.eng, start, r.searchSettings)
+		if err != nil {
+			return nil, fmt.Errorf("rapidbs: replicate %d: %v", i, err)
+		}
+		r.prev = result.Tree
+		out = append(out, &Replicate{
+			Index:         i,
+			Tree:          result.Tree.Clone(),
+			LogLikelihood: result.LogLikelihood,
+			Weights:       weights,
+		})
+	}
+	// Restore original weights for subsequent full-data searches.
+	r.eng.SetWeights(nil)
+	r.pars.SetWeights(nil)
+	return out, nil
+}
+
+// EveryFifth returns every 5th replicate's tree (1st, 6th, ...): the
+// trees the comprehensive analysis promotes to fast ML searches. The
+// count follows RAxML's ceil(n/5) rule used in Table 2 of the paper.
+func EveryFifth(reps []*Replicate) []*tree.Tree {
+	var out []*tree.Tree
+	for i := 0; i < len(reps); i += 5 {
+		out = append(out, reps[i].Tree.Clone())
+	}
+	return out
+}
+
+// SupportCounts tallies, for every non-trivial bipartition of ref, the
+// fraction of replicate trees containing it, in percent (0–100).
+func SupportCounts(ref *tree.Tree, reps []*Replicate) map[tree.Edge]int {
+	sets := make([]map[string]tree.Bipartition, len(reps))
+	for i, rep := range reps {
+		sets[i] = rep.Tree.BipartitionSet()
+	}
+	out := make(map[tree.Edge]int)
+	for e, bp := range ref.Bipartitions() {
+		hits := 0
+		for _, s := range sets {
+			if _, ok := s[bp.Key()]; ok {
+				hits++
+			}
+		}
+		if len(reps) > 0 {
+			out[e] = (hits*100 + len(reps)/2) / len(reps)
+		}
+	}
+	return out
+}

@@ -1,0 +1,257 @@
+// Package seqgen synthesizes multiple sequence alignments by simulating
+// GTR sequence evolution along phylogenetic trees.
+//
+// The paper benchmarks five real DNA/RNA data sets (Table 3) that are no
+// longer retrievable (the hosting URL is dead). Per the reproduction's
+// substitution policy, this package generates synthetic stand-ins with
+// the same dimensions: the number of taxa and characters are matched
+// exactly, and the tree length and rate heterogeneity are tuned so the
+// number of distinct site patterns lands near the paper's values. Since
+// the work per search is driven by (taxa, patterns), the stand-ins
+// exercise the same code paths with the same load profile.
+package seqgen
+
+import (
+	"fmt"
+	"math"
+
+	"raxml/internal/gtr"
+	"raxml/internal/msa"
+	"raxml/internal/rng"
+	"raxml/internal/tree"
+)
+
+// Config describes one synthetic data set.
+type Config struct {
+	// Taxa and Chars are the alignment dimensions.
+	Taxa, Chars int
+	// Seed drives every random choice (tree, rates, substitutions).
+	Seed int64
+	// TreeScale multiplies all branch lengths; larger values produce
+	// more substitutions and therefore more distinct patterns.
+	TreeScale float64
+	// Alpha is the Γ shape of per-site rate variation; smaller values
+	// concentrate change in fewer sites (fewer patterns).
+	Alpha float64
+	// InvariantFraction is the fraction of sites forced invariant.
+	InvariantFraction float64
+	// Model is the generating substitution model (nil = default GTR
+	// with mildly unequal frequencies).
+	Model *gtr.Model
+}
+
+// Generate synthesizes an alignment per the config: a random topology,
+// exponential branch lengths scaled by TreeScale, per-site Γ rates, and
+// state evolution by direct sampling from GTR transition matrices.
+func Generate(cfg Config) (*msa.Alignment, *tree.Tree, error) {
+	if cfg.Taxa < 4 {
+		return nil, nil, fmt.Errorf("seqgen: need >= 4 taxa, got %d", cfg.Taxa)
+	}
+	if cfg.Chars < 1 {
+		return nil, nil, fmt.Errorf("seqgen: need >= 1 character, got %d", cfg.Chars)
+	}
+	if cfg.TreeScale <= 0 {
+		cfg.TreeScale = 1
+	}
+	if cfg.Alpha <= 0 {
+		cfg.Alpha = 1
+	}
+	model := cfg.Model
+	if model == nil {
+		var err error
+		model, err = gtr.New(
+			[6]float64{1.4, 4.2, 0.9, 1.1, 4.8, 1.0},
+			[4]float64{0.30, 0.21, 0.24, 0.25})
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	r := rng.New(cfg.Seed)
+	names := make([]string, cfg.Taxa)
+	for i := range names {
+		names[i] = fmt.Sprintf("taxon%04d", i)
+	}
+	t := tree.Random(names, r)
+	t.ScaleBranchLengths(cfg.TreeScale)
+
+	// Per-site rates: a 16-class discretized Γ(alpha) with an invariant
+	// fraction. Discrete classes let the evolver compute one transition
+	// matrix per (edge, class) instead of per site, which makes the
+	// paper-scale data sets (29,149 characters × 125 taxa) affordable.
+	const rateClasses = 16
+	classRates, err := gtr.GammaCategories(cfg.Alpha, rateClasses)
+	if err != nil {
+		return nil, nil, err
+	}
+	// class index per site; class = rateClasses means invariant.
+	siteClass := make([]uint8, cfg.Chars)
+	for i := range siteClass {
+		if cfg.InvariantFraction > 0 && r.Float64() < cfg.InvariantFraction {
+			siteClass[i] = rateClasses
+			continue
+		}
+		siteClass[i] = uint8(r.Intn(rateClasses))
+	}
+
+	a := &msa.Alignment{
+		Names: names,
+		Seqs:  make([][]msa.State, cfg.Taxa),
+	}
+	for i := range a.Seqs {
+		a.Seqs[i] = make([]msa.State, cfg.Chars)
+	}
+
+	// Evolve down the tree from a root adjacent to taxon 0. States are
+	// sampled per site: root from the stationary distribution, children
+	// from P(t·rate) rows.
+	root := t.Nodes[0].Neighbors[0]
+	states := make(map[int][]uint8) // node -> per-site state index
+	rootStates := make([]uint8, cfg.Chars)
+	for i := range rootStates {
+		rootStates[i] = sampleIndex(r, model.Freqs[:])
+	}
+	states[root] = rootStates
+
+	ps := make([][4][4]float64, rateClasses)
+	var walk func(node, parent int)
+	walk = func(node, parent int) {
+		for _, v := range t.Nodes[node].Neighbors {
+			if v < 0 || v == parent {
+				continue
+			}
+			length := t.EdgeLength(node, v)
+			for c := 0; c < rateClasses; c++ {
+				model.P(length, classRates[c], &ps[c])
+			}
+			child := make([]uint8, cfg.Chars)
+			parentStates := states[node]
+			for site := 0; site < cfg.Chars; site++ {
+				cls := siteClass[site]
+				if cls == rateClasses {
+					child[site] = parentStates[site]
+					continue
+				}
+				child[site] = sampleIndex(r, ps[cls][parentStates[site]][:])
+			}
+			states[v] = child
+			walk(v, node)
+		}
+	}
+	walk(root, -1)
+
+	for taxon := 0; taxon < cfg.Taxa; taxon++ {
+		s := states[taxon]
+		for site := 0; site < cfg.Chars; site++ {
+			a.Seqs[taxon][site] = msa.State(1) << s[site]
+		}
+	}
+	return a, t, nil
+}
+
+// sampleIndex draws an index proportional to the (non-negative) weights.
+func sampleIndex(r *rng.RNG, weights []float64) uint8 {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return uint8(i)
+		}
+	}
+	return uint8(len(weights) - 1)
+}
+
+// gammaVariate draws from Γ(shape, 1) (Marsaglia–Tsang for shape >= 1,
+// boosted for shape < 1).
+func gammaVariate(r *rng.RNG, shape float64) float64 {
+	if shape < 1 {
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		return gammaVariate(r, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u == 0 {
+			continue
+		}
+		if math.Log(u) < 0.5*x*x+d-d*v+d*math.Log(v) {
+			return d * v
+		}
+	}
+}
+
+// PaperDataSet identifies one of the five Table-3 benchmark data sets by
+// its pattern count as used throughout the paper.
+type PaperDataSet struct {
+	// Taxa and Chars are the paper's exact dimensions.
+	Taxa, Chars int
+	// PaperPatterns is the distinct-pattern count Table 3 reports.
+	PaperPatterns int
+	// RecommendedBootstraps is the WC-bootstopping recommendation of
+	// Table 3.
+	RecommendedBootstraps int
+	// Config generates the synthetic stand-in.
+	Config Config
+}
+
+// PaperDataSets returns the five benchmark data sets of Table 3 in the
+// paper's order (ascending pattern count). The generator configs were
+// tuned (seed-stable) so the synthetic pattern counts approximate the
+// paper's; exact taxa/characters are preserved.
+func PaperDataSets() []PaperDataSet {
+	// Calibrated synthetic pattern counts (vs paper): 353 vs 348,
+	// 1113 vs 1130, 1842 vs 1846, 7617 vs 7429, 20097 vs 19436 —
+	// all within 4%.
+	return []PaperDataSet{
+		{354, 460, 348, 1200, Config{Taxa: 354, Chars: 460, Seed: 3541, TreeScale: 0.55, Alpha: 0.55, InvariantFraction: 0.12}},
+		{150, 1269, 1130, 650, Config{Taxa: 150, Chars: 1269, Seed: 1501, TreeScale: 1.0, Alpha: 0.8, InvariantFraction: 0.05}},
+		{218, 2294, 1846, 550, Config{Taxa: 218, Chars: 2294, Seed: 2181, TreeScale: 0.8, Alpha: 0.7, InvariantFraction: 0.12}},
+		{404, 13158, 7429, 700, Config{Taxa: 404, Chars: 13158, Seed: 4041, TreeScale: 0.40, Alpha: 0.50, InvariantFraction: 0.28}},
+		{125, 29149, 19436, 50, Config{Taxa: 125, Chars: 29149, Seed: 1251, TreeScale: 0.65, Alpha: 0.90, InvariantFraction: 0.15}},
+	}
+}
+
+// Summary reports a generated data set against its paper target.
+type Summary struct {
+	Taxa, Chars      int
+	Patterns         int
+	PaperPatterns    int
+	PatternDeviation float64 // |patterns-paper|/paper
+	RecommendedBoots int
+}
+
+// Summarize generates the data set and compares its pattern count
+// against the paper's.
+func (d PaperDataSet) Summarize() (*Summary, *msa.Patterns, error) {
+	a, _, err := Generate(d.Config)
+	if err != nil {
+		return nil, nil, err
+	}
+	pat, err := msa.Compress(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	dev := math.Abs(float64(pat.NumPatterns()-d.PaperPatterns)) / float64(d.PaperPatterns)
+	return &Summary{
+		Taxa:             d.Taxa,
+		Chars:            d.Chars,
+		Patterns:         pat.NumPatterns(),
+		PaperPatterns:    d.PaperPatterns,
+		PatternDeviation: dev,
+		RecommendedBoots: d.RecommendedBootstraps,
+	}, pat, nil
+}

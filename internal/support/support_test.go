@@ -1,0 +1,117 @@
+package support
+
+import (
+	"strings"
+	"testing"
+
+	"raxml/internal/rng"
+	"raxml/internal/tree"
+)
+
+func names(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = "t" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+	}
+	return out
+}
+
+func TestComputeSelfSupport(t *testing.T) {
+	// Identical replicates → 100% everywhere.
+	ref := tree.Random(names(10), rng.New(1))
+	reps := []*tree.Tree{ref.Clone(), ref.Clone(), ref.Clone()}
+	v, err := Compute(ref, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 10-3 {
+		t.Fatalf("%d supported edges, want %d", len(v), 10-3)
+	}
+	for e, pct := range v {
+		if pct != 100 {
+			t.Fatalf("edge %v: support %d%%, want 100%%", e, pct)
+		}
+	}
+	if v.Mean() != 100 || v.Min() != 100 {
+		t.Fatalf("Mean=%g Min=%d, want 100/100", v.Mean(), v.Min())
+	}
+}
+
+func TestComputeZeroSupportForForeignSplits(t *testing.T) {
+	ref := tree.Caterpillar(names(8))
+	// Replicates that are very different trees: most splits unsupported.
+	reps := []*tree.Tree{
+		tree.Random(names(8), rng.New(101)),
+		tree.Random(names(8), rng.New(202)),
+	}
+	v, err := Compute(ref, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Mean() > 80 {
+		t.Fatalf("mean support %g suspiciously high for random replicates", v.Mean())
+	}
+}
+
+func TestComputeFractional(t *testing.T) {
+	ref := tree.Random(names(6), rng.New(3))
+	// Half matching, half not.
+	reps := []*tree.Tree{
+		ref.Clone(),
+		ref.Clone(),
+		tree.Random(names(6), rng.New(999)),
+		tree.Random(names(6), rng.New(998)),
+	}
+	v, err := Compute(ref, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pct := range v {
+		if pct < 50 || pct > 100 {
+			t.Fatalf("support %d%% outside [50,100] when half the replicates match", pct)
+		}
+	}
+}
+
+func TestComputeEmptyReplicates(t *testing.T) {
+	ref := tree.Random(names(5), rng.New(4))
+	v, err := Compute(ref, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pct := range v {
+		if pct != 0 {
+			t.Fatal("support without replicates should be 0")
+		}
+	}
+}
+
+func TestComputeMismatchedTaxa(t *testing.T) {
+	ref := tree.Random(names(5), rng.New(5))
+	bad := tree.Random(names(6), rng.New(5))
+	if _, err := Compute(ref, []*tree.Tree{bad}); err == nil {
+		t.Fatal("accepted replicate over different taxon set")
+	}
+}
+
+func TestAnnotate(t *testing.T) {
+	ref := tree.Random(names(6), rng.New(6))
+	reps := []*tree.Tree{ref.Clone(), ref.Clone()}
+	v, err := Compute(ref, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Annotate(ref, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, ")100:") {
+		t.Fatalf("annotation missing from %s", s)
+	}
+}
+
+func TestMinEmpty(t *testing.T) {
+	if (Values{}).Min() != 0 || (Values{}).Mean() != 0 {
+		t.Fatal("empty Values should report zeros")
+	}
+}

@@ -1,0 +1,249 @@
+// Package threads is the fine-grained parallel substrate of this
+// reproduction: the Go analogue of RAxML's Pthreads layer.
+//
+// RAxML's Pthreads code keeps a fixed crew of worker threads alive for
+// the whole run. The master posts a "job code" (newview, evaluate,
+// makenewz, ...), every worker executes that job over its statically
+// assigned range of alignment patterns, and a barrier collects them;
+// reductions (log-likelihood sums, derivative sums) combine per-worker
+// partials. This package reproduces that structure with goroutines and
+// channels — share memory by communicating for control, communicate by
+// sharing (disjoint slices) for data.
+//
+// A Pool with W workers partitions [0, n) patterns into W contiguous
+// ranges balanced by pattern weight mass. ParallelFor runs a function
+// over the ranges; ReduceSum additionally sums one float64 per worker.
+// A Pool with 1 worker executes inline on the caller's goroutine: the
+// serial code path is literally the same code, as in RAxML where the
+// standalone binary is the single-thread special case.
+package threads
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Range is a half-open interval of pattern indices assigned to a worker.
+type Range struct{ Lo, Hi int }
+
+// Len returns the number of patterns in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Pool is a crew of persistent workers executing pattern-parallel jobs.
+// The zero value is not usable; construct with NewPool. A Pool must be
+// Closed when no longer needed, except the inline single-worker pool.
+type Pool struct {
+	workers int
+	ranges  []Range
+
+	// job dispatch: each worker blocks on its own channel; the master
+	// posts one function per worker per job and waits on done.
+	jobs []chan func(worker int, r Range)
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	closed bool
+	mu     sync.Mutex
+}
+
+// NewPool creates a pool of `workers` goroutines over `nPatterns`
+// patterns split into contiguous ranges of (nearly) equal pattern count.
+// workers is clamped to [1, nPatterns] (a worker with an empty range
+// would only add synchronization cost, as the paper's small-data-set
+// results show).
+func NewPool(workers, nPatterns int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if nPatterns > 0 && workers > nPatterns {
+		workers = nPatterns
+	}
+	p := &Pool{workers: workers}
+	p.ranges = SplitEven(nPatterns, workers)
+	if workers == 1 {
+		return p // inline execution; no goroutines
+	}
+	p.jobs = make([]chan func(int, Range), workers)
+	p.done = make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		p.jobs[w] = make(chan func(int, Range), 1)
+		p.wg.Add(1)
+		go p.worker(w)
+	}
+	return p
+}
+
+// NewPoolWeighted creates a pool whose ranges balance total pattern
+// weight rather than pattern count, mirroring RAxML's weighted pattern
+// distribution: a bootstrap replicate concentrates weight on few
+// patterns, and unweighted splitting would idle most workers.
+func NewPoolWeighted(workers int, weights []int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	n := len(weights)
+	if n > 0 && workers > n {
+		workers = n
+	}
+	p := &Pool{workers: workers}
+	p.ranges = SplitWeighted(weights, workers)
+	if workers == 1 {
+		return p
+	}
+	p.jobs = make([]chan func(int, Range), workers)
+	p.done = make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		p.jobs[w] = make(chan func(int, Range), 1)
+		p.wg.Add(1)
+		go p.worker(w)
+	}
+	return p
+}
+
+func (p *Pool) worker(w int) {
+	defer p.wg.Done()
+	r := p.ranges[w]
+	for job := range p.jobs[w] {
+		job(w, r)
+		p.done <- struct{}{}
+	}
+}
+
+// Workers returns the number of workers in the pool.
+func (p *Pool) Workers() int { return p.workers }
+
+// Ranges returns the per-worker pattern ranges.
+func (p *Pool) Ranges() []Range { return p.ranges }
+
+// ParallelFor executes fn once per worker over that worker's pattern
+// range and returns when all workers finished (barrier semantics).
+// fn must only write to data indexed within its range or to the
+// per-worker slot it owns.
+func (p *Pool) ParallelFor(fn func(worker int, r Range)) {
+	if p.workers == 1 {
+		fn(0, p.ranges[0])
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		panic("threads: ParallelFor on closed Pool")
+	}
+	for w := 0; w < p.workers; w++ {
+		p.jobs[w] <- fn
+	}
+	for w := 0; w < p.workers; w++ {
+		<-p.done
+	}
+	p.mu.Unlock()
+}
+
+// ReduceSum executes fn per worker and returns the sum of the per-worker
+// results: the reduction pattern behind log-likelihood evaluation and
+// branch-length derivative accumulation.
+func (p *Pool) ReduceSum(fn func(worker int, r Range) float64) float64 {
+	partial := make([]float64, p.workers)
+	p.ParallelFor(func(w int, r Range) {
+		partial[w] = fn(w, r)
+	})
+	// Deterministic combination order: summing in worker order keeps
+	// results bit-identical run to run regardless of completion order.
+	sum := 0.0
+	for _, v := range partial {
+		sum += v
+	}
+	return sum
+}
+
+// ReduceSum2 is ReduceSum for functions producing two sums at once
+// (first and second derivatives share one traversal in makenewz).
+func (p *Pool) ReduceSum2(fn func(worker int, r Range) (float64, float64)) (float64, float64) {
+	a := make([]float64, p.workers)
+	b := make([]float64, p.workers)
+	p.ParallelFor(func(w int, r Range) {
+		a[w], b[w] = fn(w, r)
+	})
+	var sa, sb float64
+	for w := 0; w < p.workers; w++ {
+		sa += a[w]
+		sb += b[w]
+	}
+	return sa, sb
+}
+
+// Close shuts the worker goroutines down. The pool must not be used
+// afterwards. Closing an inline pool or closing twice is a no-op.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || p.workers == 1 {
+		p.closed = true
+		return
+	}
+	p.closed = true
+	for _, c := range p.jobs {
+		close(c)
+	}
+	p.wg.Wait()
+}
+
+// SplitEven partitions [0, n) into k contiguous ranges differing in size
+// by at most 1.
+func SplitEven(n, k int) []Range {
+	if k < 1 {
+		panic(fmt.Sprintf("threads: SplitEven with k=%d", k))
+	}
+	out := make([]Range, k)
+	base := n / k
+	rem := n % k
+	lo := 0
+	for i := 0; i < k; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		out[i] = Range{lo, lo + size}
+		lo += size
+	}
+	return out
+}
+
+// SplitWeighted partitions [0, n) into k contiguous ranges of
+// approximately equal total weight using a greedy threshold sweep.
+// Zero-weight prefixes/suffixes land in the adjacent range.
+func SplitWeighted(weights []int, k int) []Range {
+	n := len(weights)
+	if k < 1 {
+		panic(fmt.Sprintf("threads: SplitWeighted with k=%d", k))
+	}
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	if total == 0 {
+		return SplitEven(n, k)
+	}
+	out := make([]Range, k)
+	lo := 0
+	acc := 0
+	for i := 0; i < k; i++ {
+		target := (total*(i+1) + k/2) / k
+		hi := lo
+		for hi < n && acc < target {
+			acc += weights[hi]
+			hi++
+		}
+		if i == k-1 {
+			hi = n
+		}
+		out[i] = Range{lo, hi}
+		lo = hi
+	}
+	return out
+}
+
+// DefaultWorkers returns a sensible worker count for the host: the
+// number of available CPUs, the quantity the paper calls "cores per
+// node" when running one rank per node.
+func DefaultWorkers() int { return runtime.NumCPU() }

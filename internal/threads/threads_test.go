@@ -1,0 +1,293 @@
+package threads
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitEvenCoversAll(t *testing.T) {
+	prop := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw)
+		k := int(kRaw)%16 + 1
+		rs := SplitEven(n, k)
+		if len(rs) != k {
+			return false
+		}
+		lo := 0
+		for _, r := range rs {
+			if r.Lo != lo || r.Hi < r.Lo {
+				return false
+			}
+			lo = r.Hi
+		}
+		if lo != n {
+			return false
+		}
+		// sizes differ by at most 1
+		min, max := n+1, -1
+		for _, r := range rs {
+			if r.Len() < min {
+				min = r.Len()
+			}
+			if r.Len() > max {
+				max = r.Len()
+			}
+		}
+		return max-min <= 1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitWeightedCoversAll(t *testing.T) {
+	prop := func(seed int64, kRaw uint8) bool {
+		k := int(kRaw)%8 + 1
+		weights := make([]int, 50)
+		s := seed
+		for i := range weights {
+			s = s*6364136223846793005 + 1442695040888963407
+			weights[i] = int(uint64(s)>>58) % 20
+		}
+		rs := SplitWeighted(weights, k)
+		lo := 0
+		for _, r := range rs {
+			if r.Lo != lo || r.Hi < r.Lo {
+				return false
+			}
+			lo = r.Hi
+		}
+		return lo == len(weights)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitWeightedBalances(t *testing.T) {
+	// Heavy weight at the front: unweighted split would give worker 0
+	// nearly all the mass.
+	weights := make([]int, 100)
+	for i := range weights {
+		if i < 10 {
+			weights[i] = 100
+		} else {
+			weights[i] = 1
+		}
+	}
+	rs := SplitWeighted(weights, 4)
+	mass := func(r Range) int {
+		m := 0
+		for i := r.Lo; i < r.Hi; i++ {
+			m += weights[i]
+		}
+		return m
+	}
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	for i, r := range rs {
+		m := mass(r)
+		if m > total {
+			t.Fatalf("range %d mass %d exceeds total", i, m)
+		}
+	}
+	// The first range should NOT contain all heavy patterns' mass plus more:
+	// it should hold roughly total/4.
+	if m := mass(rs[0]); m > total/2 {
+		t.Fatalf("weighted split left %d of %d mass in first range", m, total)
+	}
+}
+
+func TestPoolClampsWorkers(t *testing.T) {
+	p := NewPool(16, 4)
+	defer p.Close()
+	if p.Workers() != 4 {
+		t.Fatalf("pool over 4 patterns kept %d workers, want 4", p.Workers())
+	}
+	q := NewPool(0, 10)
+	defer q.Close()
+	if q.Workers() != 1 {
+		t.Fatalf("workers=0 should clamp to 1, got %d", q.Workers())
+	}
+}
+
+func TestParallelForVisitsAllPatterns(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		p := NewPool(workers, 1000)
+		visited := make([]int32, 1000)
+		p.ParallelFor(func(w int, r Range) {
+			for i := r.Lo; i < r.Hi; i++ {
+				atomic.AddInt32(&visited[i], 1)
+			}
+		})
+		for i, v := range visited {
+			if v != 1 {
+				t.Fatalf("workers=%d: pattern %d visited %d times", workers, i, v)
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestParallelForBarrierSemantics(t *testing.T) {
+	p := NewPool(4, 400)
+	defer p.Close()
+	var flag int32
+	p.ParallelFor(func(w int, r Range) {
+		atomic.AddInt32(&flag, 1)
+	})
+	// After ParallelFor returns, every worker must have completed.
+	if got := atomic.LoadInt32(&flag); got != 4 {
+		t.Fatalf("barrier returned before all workers done: %d of 4", got)
+	}
+}
+
+func TestReduceSumMatchesSerial(t *testing.T) {
+	data := make([]float64, 1777)
+	for i := range data {
+		data[i] = float64(i%13) * 0.25
+	}
+	want := 0.0
+	for _, v := range data {
+		want += v
+	}
+	for _, workers := range []int{1, 2, 4, 7} {
+		p := NewPool(workers, len(data))
+		got := p.ReduceSum(func(w int, r Range) float64 {
+			s := 0.0
+			for i := r.Lo; i < r.Hi; i++ {
+				s += data[i]
+			}
+			return s
+		})
+		p.Close()
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("workers=%d: ReduceSum=%g want %g", workers, got, want)
+		}
+	}
+}
+
+func TestReduceSumDeterministicAcrossRuns(t *testing.T) {
+	data := make([]float64, 5000)
+	for i := range data {
+		data[i] = 1.0 / float64(i+1)
+	}
+	p := NewPool(8, len(data))
+	defer p.Close()
+	f := func(w int, r Range) float64 {
+		s := 0.0
+		for i := r.Lo; i < r.Hi; i++ {
+			s += data[i]
+		}
+		return s
+	}
+	first := p.ReduceSum(f)
+	for trial := 0; trial < 50; trial++ {
+		if got := p.ReduceSum(f); got != first {
+			t.Fatalf("trial %d: reduction not bit-identical: %v vs %v", trial, got, first)
+		}
+	}
+}
+
+func TestReduceSum2(t *testing.T) {
+	p := NewPool(3, 300)
+	defer p.Close()
+	a, b := p.ReduceSum2(func(w int, r Range) (float64, float64) {
+		return float64(r.Len()), 2 * float64(r.Len())
+	})
+	if a != 300 || b != 600 {
+		t.Fatalf("ReduceSum2 = (%g, %g), want (300, 600)", a, b)
+	}
+}
+
+func TestPoolReusableManyJobs(t *testing.T) {
+	p := NewPool(4, 128)
+	defer p.Close()
+	var total int64
+	for job := 0; job < 200; job++ {
+		p.ParallelFor(func(w int, r Range) {
+			atomic.AddInt64(&total, int64(r.Len()))
+		})
+	}
+	if total != 200*128 {
+		t.Fatalf("total work = %d, want %d", total, 200*128)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	p := NewPool(2, 10)
+	p.Close()
+	p.Close() // must not panic
+}
+
+func TestInlinePoolNoGoroutines(t *testing.T) {
+	p := NewPool(1, 100)
+	ran := false
+	p.ParallelFor(func(w int, r Range) {
+		if w != 0 || r.Lo != 0 || r.Hi != 100 {
+			t.Errorf("inline pool gave worker=%d range=%+v", w, r)
+		}
+		ran = true
+	})
+	if !ran {
+		t.Fatal("inline pool did not run the job")
+	}
+	p.Close()
+}
+
+func TestWeightedPool(t *testing.T) {
+	weights := make([]int, 64)
+	for i := range weights {
+		weights[i] = i
+	}
+	p := NewPoolWeighted(4, weights)
+	defer p.Close()
+	covered := make([]bool, 64)
+	p.ParallelFor(func(w int, r Range) {
+		for i := r.Lo; i < r.Hi; i++ {
+			covered[i] = true
+		}
+	})
+	for i, c := range covered {
+		if !c {
+			t.Fatalf("pattern %d not covered by weighted pool", i)
+		}
+	}
+}
+
+func BenchmarkParallelForOverhead(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run("workers="+string(rune('0'+workers)), func(b *testing.B) {
+			p := NewPool(workers, 1846)
+			defer p.Close()
+			for i := 0; i < b.N; i++ {
+				p.ParallelFor(func(w int, r Range) {})
+			}
+		})
+	}
+}
+
+func BenchmarkReduceSumKernel(b *testing.B) {
+	data := make([]float64, 19436)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run("workers="+string(rune('0'+workers)), func(b *testing.B) {
+			p := NewPool(workers, len(data))
+			defer p.Close()
+			for i := 0; i < b.N; i++ {
+				_ = p.ReduceSum(func(w int, r Range) float64 {
+					s := 0.0
+					for j := r.Lo; j < r.Hi; j++ {
+						s += data[j]
+					}
+					return s
+				})
+			}
+		})
+	}
+}

@@ -1,0 +1,143 @@
+package tree
+
+import (
+	"fmt"
+
+	"raxml/internal/rng"
+)
+
+// Random builds a uniformly random unrooted binary topology over the
+// given taxa by sequential random insertion, with all branch lengths set
+// to DefaultBranchLength scaled by an exponential draw. It is used for
+// random starting trees and by the synthetic data generator.
+func Random(taxonNames []string, r *rng.RNG) *Tree {
+	t := New(taxonNames)
+	n := len(taxonNames)
+	if n < 4 {
+		panic(fmt.Sprintf("tree: Random needs >= 4 taxa, got %d", n))
+	}
+	order := r.Perm(n)
+	// initial quartet-free core: join first three taxa at one internal node
+	center := t.NewInternal()
+	for i := 0; i < 3; i++ {
+		t.Connect(center, order[i], randLen(r))
+	}
+	for i := 3; i < n; i++ {
+		edges := t.Edges()
+		e := edges[r.Intn(len(edges))]
+		t.InsertTipOnEdge(order[i], e, randLen(r))
+	}
+	return t
+}
+
+func randLen(r *rng.RNG) float64 {
+	l := DefaultBranchLength * r.ExpFloat64()
+	if l < MinBranchLength {
+		l = MinBranchLength
+	}
+	if l > MaxBranchLength {
+		l = MaxBranchLength
+	}
+	return l
+}
+
+// InsertTipOnEdge splits edge e with a new internal node and attaches the
+// tip to it with the given pendant branch length. The split edge's length
+// is divided evenly between the two halves.
+func (t *Tree) InsertTipOnEdge(tip int, e Edge, pendant float64) {
+	length := t.Disconnect(e.A, e.B)
+	mid := t.NewInternal()
+	t.Connect(mid, e.A, length/2)
+	t.Connect(mid, e.B, length/2)
+	t.Connect(mid, tip, pendant)
+}
+
+// RemoveTip prunes a tip and its attachment node, reconnecting the two
+// remaining neighbors with the sum of the removed edge lengths. It is the
+// inverse of InsertTipOnEdge and the building block of stepwise-addition
+// starting trees.
+func (t *Tree) RemoveTip(tip int) {
+	att := t.Nodes[tip].Neighbors[0]
+	if att < 0 {
+		panic(fmt.Sprintf("tree: tip %d not attached", tip))
+	}
+	t.Disconnect(tip, att)
+	var rest []int
+	var lens []float64
+	for s, v := range t.Nodes[att].Neighbors {
+		if v >= 0 {
+			rest = append(rest, v)
+			lens = append(lens, t.Nodes[att].Lengths[s])
+		}
+	}
+	if len(rest) != 2 {
+		panic(fmt.Sprintf("tree: attachment node %d has degree %d after tip removal", att, len(rest)))
+	}
+	t.Disconnect(att, rest[0])
+	t.Disconnect(att, rest[1])
+	t.releaseInternal(att)
+	t.Connect(rest[0], rest[1], lens[0]+lens[1])
+}
+
+// Caterpillar builds the fully pectinate (ladder) tree over the taxa in
+// order; useful as a degenerate test topology.
+func Caterpillar(taxonNames []string) *Tree {
+	t := New(taxonNames)
+	n := len(taxonNames)
+	if n < 4 {
+		panic(fmt.Sprintf("tree: Caterpillar needs >= 4 taxa, got %d", n))
+	}
+	center := t.NewInternal()
+	t.Connect(center, 0, DefaultBranchLength)
+	t.Connect(center, 1, DefaultBranchLength)
+	prev := center
+	for i := 2; i < n-1; i++ {
+		next := t.NewInternal()
+		t.Connect(prev, next, DefaultBranchLength)
+		t.Connect(next, i, DefaultBranchLength)
+		prev = next
+	}
+	t.Connect(prev, n-1, DefaultBranchLength)
+	return t
+}
+
+// Balanced builds a balanced topology over the taxa (recursive halving).
+func Balanced(taxonNames []string) *Tree {
+	t := New(taxonNames)
+	n := len(taxonNames)
+	if n < 4 {
+		panic(fmt.Sprintf("tree: Balanced needs >= 4 taxa, got %d", n))
+	}
+	var build func(taxa []int) int
+	build = func(taxa []int) int {
+		if len(taxa) == 1 {
+			return taxa[0]
+		}
+		mid := len(taxa) / 2
+		left := build(taxa[:mid])
+		right := build(taxa[mid:])
+		join := t.NewInternal()
+		t.Connect(join, left, DefaultBranchLength)
+		t.Connect(join, right, DefaultBranchLength)
+		return join
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	mid := n / 2
+	left := build(all[1:mid])
+	right := build(all[mid:])
+	center := t.NewInternal()
+	t.Connect(center, 0, DefaultBranchLength)
+	t.Connect(center, left, DefaultBranchLength)
+	t.Connect(center, right, DefaultBranchLength)
+	return t
+}
+
+// ScaleBranchLengths multiplies every branch length by factor (clamped).
+func (t *Tree) ScaleBranchLengths(factor float64) {
+	for _, e := range t.Edges() {
+		t.SetEdgeLength(e.A, e.B, t.EdgeLength(e.A, e.B)*factor)
+	}
+}

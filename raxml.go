@@ -1,0 +1,179 @@
+// Package raxml is a Go reproduction of the hybrid MPI/Pthreads
+// parallelization of the RAxML phylogenetics code described by Pfeiffer
+// & Stamatakis (IPDPS/IPPS Workshops 2010).
+//
+// The package is a facade over the internal engine:
+//
+//   - Alignment handling and site-pattern compression (internal/msa),
+//   - a GTR+CAT/GAMMA maximum-likelihood engine with SPR search
+//     (internal/{gtr,likelihood,search}),
+//   - randomized stepwise-addition parsimony starting trees
+//     (internal/parsimony),
+//   - the rapid bootstrap algorithm (internal/rapidbs),
+//   - the paper's hybrid comprehensive analysis: coarse-grained
+//     message-passing ranks (internal/fabric, the MPI analogue) each
+//     running pattern-parallel workers (internal/threads, the Pthreads
+//     analogue), orchestrated by internal/core,
+//   - the WC bootstopping extension (internal/bootstop), and
+//   - a calibrated performance model of the paper's four benchmark
+//     clusters (internal/perfmodel) with generators for every table and
+//     figure (internal/figures).
+//
+// The quickest path from data to an annotated best tree:
+//
+//	pat, err := raxml.ParseAlignment(data)
+//	res, err := raxml.Comprehensive(pat, raxml.Options{
+//		Bootstraps: 100, Ranks: 4, Workers: 2,
+//		SeedParsimony: 12345, SeedBootstrap: 12345,
+//	})
+//	fmt.Println(res.AnnotatedNewick())
+package raxml
+
+import (
+	"fmt"
+	"os"
+
+	"raxml/internal/consensus"
+	"raxml/internal/core"
+	"raxml/internal/figures"
+	"raxml/internal/msa"
+	"raxml/internal/perfmodel"
+	"raxml/internal/seqgen"
+	"raxml/internal/tree"
+)
+
+// Options configures a comprehensive analysis; it is core.Options
+// re-exported.
+type Options = core.Options
+
+// Result is the outcome of a comprehensive analysis.
+type Result struct {
+	*core.Result
+}
+
+// AnnotatedNewick renders the best tree with bootstrap support values.
+func (r *Result) AnnotatedNewick() (string, error) {
+	return tree.FormatNewick(r.BestTree, r.Support)
+}
+
+// Newick renders the best tree without annotations.
+func (r *Result) Newick() (string, error) {
+	return tree.FormatNewick(r.BestTree, nil)
+}
+
+// Model type selectors, re-exported.
+const (
+	GTRCAT   = core.GTRCAT
+	GTRGAMMA = core.GTRGAMMA
+)
+
+// Patterns is a compressed alignment, the input of every analysis.
+type Patterns = msa.Patterns
+
+// Alignment is an uncompressed multiple sequence alignment.
+type Alignment = msa.Alignment
+
+// ParseAlignment reads PHYLIP or FASTA data (auto-detected) and
+// compresses it to site patterns.
+func ParseAlignment(data []byte) (*Patterns, error) {
+	a, err := msa.Sniff(data)
+	if err != nil {
+		return nil, err
+	}
+	return msa.Compress(a)
+}
+
+// LoadAlignment reads and compresses an alignment file.
+func LoadAlignment(path string) (*Patterns, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("raxml: %v", err)
+	}
+	return ParseAlignment(data)
+}
+
+// Comprehensive runs the paper's -f a pipeline: rapid bootstraps, fast
+// and slow ML searches, one thorough search per rank, best-tree
+// selection and support mapping. Options.Ranks == 1 is the serial
+// algorithm.
+func Comprehensive(pat *Patterns, opts Options) (*Result, error) {
+	res, err := core.Run(pat, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{res}, nil
+}
+
+// Schedule exposes the Table-2 work-partitioning rules.
+func Schedule(processes, bootstraps int) core.Schedule {
+	return core.NewSchedule(processes, bootstraps)
+}
+
+// GenerateConfig configures synthetic data generation.
+type GenerateConfig = seqgen.Config
+
+// Generate synthesizes an alignment by GTR evolution along a random
+// tree and returns it compressed, together with the true tree.
+func Generate(cfg GenerateConfig) (*Patterns, *tree.Tree, error) {
+	a, truth, err := seqgen.Generate(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	pat, err := msa.Compress(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pat, truth, nil
+}
+
+// BenchmarkDataSets returns the five Table-3 data-set descriptions with
+// generator configs for their synthetic stand-ins.
+func BenchmarkDataSets() []seqgen.PaperDataSet { return seqgen.PaperDataSets() }
+
+// Machines returns the Table-4 benchmark computer models.
+func Machines() []perfmodel.Machine { return perfmodel.Machines() }
+
+// ModelRun simulates a (machine, data set, ranks, threads) run on the
+// calibrated performance model and returns the stage times.
+func ModelRun(spec perfmodel.Spec) (perfmodel.Times, error) {
+	return perfmodel.Simulate(spec)
+}
+
+// Artifacts regenerates every table and figure of the paper (quick=true
+// scales the real-run pieces down to CI time).
+func Artifacts(quick bool) ([]*figures.Artifact, error) {
+	return figures.All(quick)
+}
+
+// MultiSearch runs the paper's analysis type 1: `searches` independent
+// maximum-likelihood searches from randomized starting trees distributed
+// over Options.Ranks ranks (ceil(searches/ranks) each), returning every
+// outcome and the global best.
+func MultiSearch(pat *Patterns, searches int, opts Options) (*core.MultiSearchResult, error) {
+	return core.RunMultiSearch(pat, searches, opts)
+}
+
+// Bootstraps runs the paper's analysis type 2: Options.Bootstraps rapid
+// bootstrap replicates distributed over the ranks, returning all
+// replicate topologies.
+func Bootstraps(pat *Patterns, opts Options) (*core.BootstrapResult, error) {
+	return core.RunBootstraps(pat, opts)
+}
+
+// MajorityConsensus builds the majority-rule consensus (threshold 0.5)
+// of a set of replicate trees.
+func MajorityConsensus(trees []*tree.Tree) (*consensus.Tree, error) {
+	return consensus.Majority(trees, 0.5)
+}
+
+// GreedyConsensus builds the greedy (MRE) consensus of a set of
+// replicate trees.
+func GreedyConsensus(trees []*tree.Tree) (*consensus.Tree, error) {
+	return consensus.Greedy(trees)
+}
+
+// Evaluate optimizes branch lengths and model parameters on a fixed
+// topology (RAxML -f e) and returns the optimized tree and score.
+func Evaluate(pat *Patterns, t *tree.Tree, opts Options) (*core.EvaluationResult, error) {
+	return core.EvaluateTree(pat, t, opts)
+}
