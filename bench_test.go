@@ -170,6 +170,45 @@ func BenchmarkThreadScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkTraversalDispatch measures what the traversal-descriptor job
+// engine buys: a full-tree relikelihood posted as ONE batched job (one
+// barrier crossing) versus the pre-descriptor behaviour of one job per
+// stale node. The gap is pure synchronization overhead — the quantity
+// RAxML's traversalInfo machinery exists to amortize — and widens with
+// the worker count.
+func BenchmarkTraversalDispatch(b *testing.B) {
+	pat := benchData(b, 60, 2400)
+	tr := tree.Random(pat.Names, rng.New(7))
+	for _, mode := range []struct {
+		name    string
+		perNode bool
+	}{{"batched", false}, {"pernode", true}} {
+		for _, workers := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/workers=%d", mode.name, workers), func(b *testing.B) {
+				pool := threads.NewPool(workers, pat.NumPatterns())
+				defer pool.Close()
+				eng, err := likelihood.New(pat, gtr.Default(), gtr.NewUniform(pat.NumPatterns()),
+					likelihood.Config{Pool: pool})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := eng.AttachTree(tr); err != nil {
+					b.Fatal(err)
+				}
+				eng.SetPerNodeDispatch(mode.perNode)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng.InvalidateAll()
+					_ = eng.LogLikelihood()
+				}
+				b.StopTimer()
+				d := float64(eng.DispatchCount()) / float64(b.N)
+				b.ReportMetric(d, "dispatches/op")
+			})
+		}
+	}
+}
+
 // ---------- ablations (DESIGN.md §6) ----------
 
 // BenchmarkAblationLazyVsFullSPR compares the lazy insertion scoring

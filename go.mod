@@ -1,0 +1,3 @@
+module raxml
+
+go 1.24

@@ -121,6 +121,12 @@ type RankReport struct {
 	SlowScores []float64
 	// ThoroughScore is the rank's final thorough-search log-likelihood.
 	ThoroughScore float64
+	// Dispatches counts the rank's fine-grained pool jobs (barrier
+	// crossings) over the whole analysis. The traversal-descriptor
+	// engine keeps this proportional to traversals rather than to
+	// nodes×traversals — the synchronization overhead the paper's
+	// Pthreads layer amortizes.
+	Dispatches int64
 
 	// bootstrapNewicks stashes the rank's replicate topologies for the
 	// support gather; cleared before the report is published.
@@ -244,6 +250,10 @@ func runRank(pat *msa.Patterns, opts Options, sched Schedule, rank int, c *fabri
 	parsRNG := rng.ForRank(opts.SeedParsimony, rank)
 	bsRNG := rng.ForRank(opts.SeedBootstrap, rank)
 
+	// One pool and one engine serve the rank's whole analysis: the
+	// worker crew, the CLV arena and the traversal-descriptor buffer
+	// are all reused across every bootstrap replicate and search stage
+	// (the persistent-crew structure of the paper's Pthreads layer).
 	pool := threads.NewPool(opts.Workers, pat.NumPatterns())
 	defer pool.Close()
 
@@ -352,6 +362,7 @@ func runRank(pat *msa.Patterns, opts Options, sched Schedule, rank int, c *fabri
 	}
 	rep.ThoroughScore = r.LogLikelihood
 	rep.Times.Thorough = time.Since(t0)
+	rep.Dispatches = pool.Dispatches()
 	return rep, r.Tree, nil
 }
 

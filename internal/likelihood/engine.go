@@ -19,8 +19,18 @@
 // likelihood of the subtree seen from u looking away from neighbor i.
 // CLVs are computed lazily with validity flags; topology edits
 // invalidate everything, branch-length changes invalidate precisely the
-// directions that can observe the changed edge. This mirrors RAxML's
-// traversal-descriptor machinery in a simpler form.
+// directions that can observe the changed edge.
+//
+// Traversal descriptors. Lazy CLV maintenance is split from execution,
+// mirroring RAxML's traversalInfo machinery (see traversal.go): the
+// master plans a traversal — the ordered list of stale directed CLVs
+// with child references and branch lengths — precomputes every entry's
+// transition matrices, and posts the whole plan to the pool as ONE job
+// code (threads.JobEvaluate, JobMakenewz, ...). Workers walk the full
+// descriptor over their private pattern ranges, so a full-tree
+// relikelihood costs one barrier crossing instead of one per node, and
+// posting allocates nothing. The serial path is the same code run
+// inline by a 1-worker pool.
 package likelihood
 
 import (
@@ -70,10 +80,28 @@ type Engine struct {
 	tipVec [][]float64
 
 	// scratch transition matrices, one per category (master-computed,
-	// read-only inside parallel sections).
+	// read-only inside parallel sections). pLeft/pRight serve the
+	// insertion-scan kernel; pEval/pD1/pD2 the evaluate and makenewz
+	// kernels. Per-entry newview matrices live in the traversal arena.
 	pLeft, pRight []([4][4]float64)
 	pEval         [][4][4]float64
 	pD1, pD2      [][4][4]float64
+
+	// traversal descriptor state (see traversal.go): the ordered list
+	// of stale directed CLVs posted to the pool as one job, its
+	// transition-matrix arena, and the window workers execute. Both
+	// buffers are reused across jobs for the engine's whole life.
+	trav            []travEntry
+	travP           [][4][4]float64
+	travLo, travHi  int
+	perNodeDispatch bool
+
+	// job inputs published by the master before posting a job code:
+	// the endpoint views of the edge being evaluated/differentiated,
+	// the three views of an insertion scan, and the site-LL output.
+	jobVA, jobVB        childView
+	jobVX, jobVY, jobVS childView
+	jobDst              []float64
 
 	// statistics
 	newviewCount int64
@@ -352,17 +380,27 @@ func (e *Engine) LogLikelihood() float64 {
 	return e.EvaluateEdge(a, b)
 }
 
-// EvaluateEdge computes the log-likelihood across edge (a, b).
+// EvaluateEdge computes the log-likelihood across edge (a, b): it
+// builds one traversal descriptor covering every stale CLV on both
+// sides, then posts a single JobEvaluate that walks the descriptor and
+// reduces the log-likelihood — exactly one pool dispatch (one barrier
+// crossing) regardless of how much of the tree went stale.
 func (e *Engine) EvaluateEdge(a, b int) float64 {
 	e.ensureArena()
 	slotA := e.slotOf(a, b)
 	slotB := e.slotOf(b, a)
-	e.refresh(a, slotA)
-	e.refresh(b, slotB)
+	e.beginTraversal()
+	e.queueTraversal(a, slotA)
+	e.queueTraversal(b, slotB)
+	e.prepareTraversal()
 	t := e.tree.EdgeLength(a, b)
 	e.ensureP()
 	e.fillP(t, e.pEval)
-	return e.evaluateKernel(a, slotA, b, slotB)
+	e.jobVA = e.viewOf(a, slotA)
+	e.jobVB = e.viewOf(b, slotB)
+	e.evalCount++
+	e.dispatch(threads.JobEvaluate)
+	return e.pool.SumSlots(0)
 }
 
 // slotOf returns the neighbor slot of `of` pointing at `at`.
@@ -375,37 +413,7 @@ func (e *Engine) slotOf(of, at int) int {
 	panic(fmt.Sprintf("likelihood: nodes %d and %d not adjacent", of, at))
 }
 
-// refresh (re)computes the directed CLV (node, slot) if stale, first
-// refreshing the two upstream CLVs it combines. Tips are always fresh.
-func (e *Engine) refresh(node, slot int) {
-	n := &e.tree.Nodes[node]
-	if n.IsTip() {
-		return
-	}
-	idx := node*3 + slot
-	if e.valid[idx] {
-		return
-	}
-	// The two neighbors other than nb[slot] feed this view.
-	var children [2]int
-	var childSlots [2]int
-	var lengths [2]float64
-	j := 0
-	for s, v := range n.Neighbors {
-		if s == slot || v < 0 {
-			continue
-		}
-		children[j] = v
-		childSlots[j] = e.slotOf(v, node)
-		lengths[j] = n.Lengths[s]
-		j++
-	}
-	if j != 2 {
-		panic(fmt.Sprintf("likelihood: internal node %d has %d usable children", node, j))
-	}
-	e.refresh(children[0], childSlots[0])
-	e.refresh(children[1], childSlots[1])
-	e.newview(node, slot, children[0], childSlots[0], lengths[0],
-		children[1], childSlots[1], lengths[1])
-	e.valid[idx] = true
-}
+// DispatchCount returns the number of jobs the engine's pool has
+// posted so far (barrier crossings). Exposed so callers can account
+// for synchronization overhead per search stage.
+func (e *Engine) DispatchCount() int64 { return e.pool.Dispatches() }

@@ -8,8 +8,12 @@ import (
 
 // This file holds the per-pattern compute kernels — the loops that
 // RAxML's Pthreads layer distributes over threads and this reproduction
-// distributes over the engine's worker pool. Each kernel's pattern loop
-// is embarrassingly parallel; workers write disjoint pattern ranges.
+// distributes over the engine's worker pool. Each kernel operates on
+// one worker's pattern range and is invoked through the job engine
+// (RunJob in traversal.go): the master prepares job inputs in engine
+// fields, posts a job code, and workers run these kernels over disjoint
+// ranges. Reduction kernels return partials that land in the worker's
+// preallocated slot.
 
 // childView describes one input of a newview combination: either a tip
 // (flat 4-wide vector, no scaling) or an internal directed CLV.
@@ -29,66 +33,60 @@ func (e *Engine) viewOf(node, slot int) childView {
 	return childView{vec: e.clv[idx], scale: e.scale[idx], stride: e.nCat * 4}
 }
 
-// newview combines the CLVs of two children across their branches into
-// the directed CLV (node, slot). Children must already be fresh.
-func (e *Engine) newview(node, slot, c1, c1slot int, len1 float64, c2, c2slot int, len2 float64) {
-	e.newviewCount++
-	e.ensureP()
-	e.fillP(len1, e.pLeft)
-	e.fillP(len2, e.pRight)
-	dst := e.clvFor(node, slot)
-	dstScale := e.scale[node*3+slot]
-	left := e.viewOf(c1, c1slot)
-	right := e.viewOf(c2, c2slot)
+// newviewRange combines the CLVs of one traversal entry's two children
+// across their branches into the entry's directed CLV, over one pattern
+// range. The entry's views, destination and transition matrices were
+// resolved by the master in prepareTraversal; children at pattern k are
+// already fresh because descriptor order puts them first.
+func (e *Engine) newviewRange(ent *travEntry, r threads.Range) {
+	left, right := ent.left, ent.right
+	dst, dstScale := ent.dst, ent.dstScale
 	nCat := e.nCat
-
-	e.pool.ParallelFor(func(w int, r threads.Range) {
-		for k := r.Lo; k < r.Hi; k++ {
-			if e.weights[k] == 0 {
-				continue
-			}
-			base := k * nCat * 4
-			var sc int32
-			if left.scale != nil {
-				sc += left.scale[k]
-			}
-			if right.scale != nil {
-				sc += right.scale[k]
-			}
-			maxEntry := 0.0
-			for cat := 0; cat < nCat; cat++ {
-				pc := e.pIndex(k, cat)
-				pl := &e.pLeft[pc]
-				pr := &e.pRight[pc]
-				lBase := k*left.stride + boolIdx(left.tip, 0, cat*4)
-				rBase := k*right.stride + boolIdx(right.tip, 0, cat*4)
-				l0 := left.vec[lBase]
-				l1 := left.vec[lBase+1]
-				l2 := left.vec[lBase+2]
-				l3 := left.vec[lBase+3]
-				r0 := right.vec[rBase]
-				r1 := right.vec[rBase+1]
-				r2 := right.vec[rBase+2]
-				r3 := right.vec[rBase+3]
-				for s := 0; s < 4; s++ {
-					ls := pl[s][0]*l0 + pl[s][1]*l1 + pl[s][2]*l2 + pl[s][3]*l3
-					rs := pr[s][0]*r0 + pr[s][1]*r1 + pr[s][2]*r2 + pr[s][3]*r3
-					v := ls * rs
-					dst[base+cat*4+s] = v
-					if v > maxEntry {
-						maxEntry = v
-					}
-				}
-			}
-			if maxEntry < scaleThreshold {
-				for i := base; i < base+nCat*4; i++ {
-					dst[i] *= scaleFactor
-				}
-				sc++
-			}
-			dstScale[k] = sc
+	for k := r.Lo; k < r.Hi; k++ {
+		if e.weights[k] == 0 {
+			continue
 		}
-	})
+		base := k * nCat * 4
+		var sc int32
+		if left.scale != nil {
+			sc += left.scale[k]
+		}
+		if right.scale != nil {
+			sc += right.scale[k]
+		}
+		maxEntry := 0.0
+		for cat := 0; cat < nCat; cat++ {
+			pc := e.pIndex(k, cat)
+			pl := &ent.pL[pc]
+			pr := &ent.pR[pc]
+			lBase := k*left.stride + boolIdx(left.tip, 0, cat*4)
+			rBase := k*right.stride + boolIdx(right.tip, 0, cat*4)
+			l0 := left.vec[lBase]
+			l1 := left.vec[lBase+1]
+			l2 := left.vec[lBase+2]
+			l3 := left.vec[lBase+3]
+			r0 := right.vec[rBase]
+			r1 := right.vec[rBase+1]
+			r2 := right.vec[rBase+2]
+			r3 := right.vec[rBase+3]
+			for s := 0; s < 4; s++ {
+				ls := pl[s][0]*l0 + pl[s][1]*l1 + pl[s][2]*l2 + pl[s][3]*l3
+				rs := pr[s][0]*r0 + pr[s][1]*r1 + pr[s][2]*r2 + pr[s][3]*r3
+				v := ls * rs
+				dst[base+cat*4+s] = v
+				if v > maxEntry {
+					maxEntry = v
+				}
+			}
+		}
+		if maxEntry < scaleThreshold {
+			for i := base; i < base+nCat*4; i++ {
+				dst[i] *= scaleFactor
+			}
+			sc++
+		}
+		dstScale[k] = sc
+	}
 }
 
 // boolIdx returns a when cond is true, else b: selects the tip (flat)
@@ -100,182 +98,203 @@ func boolIdx(cond bool, a, b int) int {
 	return b
 }
 
-// evaluateKernel computes the weighted log-likelihood across the edge
-// whose endpoint views are (a, slotA) and (b, slotB), using the
-// transition matrices already in pEval.
-func (e *Engine) evaluateKernel(a, slotA, b, slotB int) float64 {
-	e.evalCount++
-	va := e.viewOf(a, slotA)
-	vb := e.viewOf(b, slotB)
+// evaluateRange computes one worker's weighted log-likelihood partial
+// across the edge whose endpoint views the master stored in jobVA and
+// jobVB, using the transition matrices already in pEval.
+func (e *Engine) evaluateRange(r threads.Range) float64 {
+	va := e.jobVA
+	vb := e.jobVB
 	nCat := e.nCat
 	freqs := e.model.Freqs
 	isCAT := e.rates.IsCAT()
 
-	return e.pool.ReduceSum(func(w int, r threads.Range) float64 {
-		sum := 0.0
-		for k := r.Lo; k < r.Hi; k++ {
-			wk := e.weights[k]
-			if wk == 0 {
-				continue
-			}
-			var site float64
-			for cat := 0; cat < nCat; cat++ {
-				pc := e.pIndex(k, cat)
-				p := &e.pEval[pc]
-				aBase := k*va.stride + boolIdx(va.tip, 0, cat*4)
-				bBase := k*vb.stride + boolIdx(vb.tip, 0, cat*4)
-				catL := 0.0
-				for s := 0; s < 4; s++ {
-					as := va.vec[aBase+s]
-					if as == 0 {
-						continue
-					}
-					dot := p[s][0]*vb.vec[bBase] + p[s][1]*vb.vec[bBase+1] +
-						p[s][2]*vb.vec[bBase+2] + p[s][3]*vb.vec[bBase+3]
-					catL += freqs[s] * as * dot
-				}
-				if isCAT {
-					site = catL
-				} else {
-					site += e.rates.Probs[cat] * catL
-				}
-			}
-			logSite := math.Log(math.Max(site, math.SmallestNonzeroFloat64))
-			if va.scale != nil {
-				logSite -= float64(va.scale[k]) * logScaleFactor
-			}
-			if vb.scale != nil {
-				logSite -= float64(vb.scale[k]) * logScaleFactor
-			}
-			sum += float64(wk) * logSite
+	sum := 0.0
+	for k := r.Lo; k < r.Hi; k++ {
+		wk := e.weights[k]
+		if wk == 0 {
+			continue
 		}
-		return sum
-	})
+		var site float64
+		for cat := 0; cat < nCat; cat++ {
+			pc := e.pIndex(k, cat)
+			p := &e.pEval[pc]
+			aBase := k*va.stride + boolIdx(va.tip, 0, cat*4)
+			bBase := k*vb.stride + boolIdx(vb.tip, 0, cat*4)
+			catL := 0.0
+			for s := 0; s < 4; s++ {
+				as := va.vec[aBase+s]
+				if as == 0 {
+					continue
+				}
+				dot := p[s][0]*vb.vec[bBase] + p[s][1]*vb.vec[bBase+1] +
+					p[s][2]*vb.vec[bBase+2] + p[s][3]*vb.vec[bBase+3]
+				catL += freqs[s] * as * dot
+			}
+			if isCAT {
+				site = catL
+			} else {
+				site += e.rates.Probs[cat] * catL
+			}
+		}
+		logSite := math.Log(math.Max(site, math.SmallestNonzeroFloat64))
+		if va.scale != nil {
+			logSite -= float64(va.scale[k]) * logScaleFactor
+		}
+		if vb.scale != nil {
+			logSite -= float64(vb.scale[k]) * logScaleFactor
+		}
+		sum += float64(wk) * logSite
+	}
+	return sum
+}
+
+// siteLLRange fills one worker's window of jobDst with per-pattern log
+// likelihoods at the edge views in jobVA/jobVB. Zero-weight patterns
+// get 0.
+func (e *Engine) siteLLRange(r threads.Range) {
+	va := e.jobVA
+	vb := e.jobVB
+	dst := e.jobDst
+	nCat := e.nCat
+	freqs := e.model.Freqs
+	isCAT := e.rates.IsCAT()
+	for k := r.Lo; k < r.Hi; k++ {
+		if e.weights[k] == 0 {
+			dst[k] = 0
+			continue
+		}
+		var site float64
+		for cat := 0; cat < nCat; cat++ {
+			pc := e.pIndex(k, cat)
+			p := &e.pEval[pc]
+			aBase := k*va.stride + boolIdx(va.tip, 0, cat*4)
+			bBase := k*vb.stride + boolIdx(vb.tip, 0, cat*4)
+			catL := 0.0
+			for s := 0; s < 4; s++ {
+				as := va.vec[aBase+s]
+				if as == 0 {
+					continue
+				}
+				dot := p[s][0]*vb.vec[bBase] + p[s][1]*vb.vec[bBase+1] +
+					p[s][2]*vb.vec[bBase+2] + p[s][3]*vb.vec[bBase+3]
+				catL += freqs[s] * as * dot
+			}
+			if isCAT {
+				site = catL
+			} else {
+				site += e.rates.Probs[cat] * catL
+			}
+		}
+		logSite := math.Log(math.Max(site, math.SmallestNonzeroFloat64))
+		if va.scale != nil {
+			logSite -= float64(va.scale[k]) * logScaleFactor
+		}
+		if vb.scale != nil {
+			logSite -= float64(vb.scale[k]) * logScaleFactor
+		}
+		dst[k] = logSite
+	}
 }
 
 // SiteLogLikelihoods fills dst (allocating if nil) with the per-pattern
 // log-likelihoods of the attached tree evaluated at the edge incident to
 // taxon 0. Zero-weight patterns get 0. Used by per-site rate
-// optimization (GTRCAT) and by the RELL-style diagnostics.
+// optimization (GTRCAT) and by the RELL-style diagnostics. One pool
+// dispatch covers the whole refresh-plus-scan.
 func (e *Engine) SiteLogLikelihoods(dst []float64) []float64 {
 	if dst == nil {
 		dst = make([]float64, e.nPatterns)
 	}
+	e.ensureArena()
 	a := 0
 	b := e.tree.Nodes[0].Neighbors[0]
 	slotA := e.slotOf(a, b)
 	slotB := e.slotOf(b, a)
-	e.refresh(a, slotA)
-	e.refresh(b, slotB)
+	e.beginTraversal()
+	e.queueTraversal(a, slotA)
+	e.queueTraversal(b, slotB)
+	e.prepareTraversal()
 	e.ensureP()
 	e.fillP(e.tree.EdgeLength(a, b), e.pEval)
-
-	va := e.viewOf(a, slotA)
-	vb := e.viewOf(b, slotB)
-	nCat := e.nCat
-	freqs := e.model.Freqs
-	isCAT := e.rates.IsCAT()
-	e.pool.ParallelFor(func(w int, r threads.Range) {
-		for k := r.Lo; k < r.Hi; k++ {
-			if e.weights[k] == 0 {
-				dst[k] = 0
-				continue
-			}
-			var site float64
-			for cat := 0; cat < nCat; cat++ {
-				pc := e.pIndex(k, cat)
-				p := &e.pEval[pc]
-				aBase := k*va.stride + boolIdx(va.tip, 0, cat*4)
-				bBase := k*vb.stride + boolIdx(vb.tip, 0, cat*4)
-				catL := 0.0
-				for s := 0; s < 4; s++ {
-					as := va.vec[aBase+s]
-					if as == 0 {
-						continue
-					}
-					dot := p[s][0]*vb.vec[bBase] + p[s][1]*vb.vec[bBase+1] +
-						p[s][2]*vb.vec[bBase+2] + p[s][3]*vb.vec[bBase+3]
-					catL += freqs[s] * as * dot
-				}
-				if isCAT {
-					site = catL
-				} else {
-					site += e.rates.Probs[cat] * catL
-				}
-			}
-			logSite := math.Log(math.Max(site, math.SmallestNonzeroFloat64))
-			if va.scale != nil {
-				logSite -= float64(va.scale[k]) * logScaleFactor
-			}
-			if vb.scale != nil {
-				logSite -= float64(vb.scale[k]) * logScaleFactor
-			}
-			dst[k] = logSite
-		}
-	})
+	e.jobVA = e.viewOf(a, slotA)
+	e.jobVB = e.viewOf(b, slotB)
+	e.jobDst = dst
+	e.dispatch(threads.JobSiteLL)
+	e.jobDst = nil
 	return dst
 }
 
-// branchDerivatives returns d(lnL)/dt and d²(lnL)/dt² across the edge
-// with endpoint views (a, slotA), (b, slotB) at branch length t — the
-// quantities RAxML's makenewz feeds its Newton–Raphson iteration.
+// derivativesRange computes one worker's partials of d(lnL)/dt and
+// d²(lnL)/dt² across the edge views in jobVA/jobVB — the quantities
+// RAxML's makenewz feeds its Newton–Raphson iteration. The derivative
+// matrices pEval/pD1/pD2 were filled by the master.
+func (e *Engine) derivativesRange(r threads.Range) (d1, d2 float64) {
+	va := e.jobVA
+	vb := e.jobVB
+	nCat := e.nCat
+	freqs := e.model.Freqs
+	isCAT := e.rates.IsCAT()
+
+	var s1, s2 float64
+	for k := r.Lo; k < r.Hi; k++ {
+		wk := e.weights[k]
+		if wk == 0 {
+			continue
+		}
+		var siteL, siteD1, siteD2 float64
+		for cat := 0; cat < nCat; cat++ {
+			pc := e.pIndex(k, cat)
+			p := &e.pEval[pc]
+			pd1 := &e.pD1[pc]
+			pd2 := &e.pD2[pc]
+			aBase := k*va.stride + boolIdx(va.tip, 0, cat*4)
+			bBase := k*vb.stride + boolIdx(vb.tip, 0, cat*4)
+			var catL, catD1, catD2 float64
+			for s := 0; s < 4; s++ {
+				as := va.vec[aBase+s]
+				if as == 0 {
+					continue
+				}
+				fa := freqs[s] * as
+				b0 := vb.vec[bBase]
+				b1 := vb.vec[bBase+1]
+				b2 := vb.vec[bBase+2]
+				b3 := vb.vec[bBase+3]
+				catL += fa * (p[s][0]*b0 + p[s][1]*b1 + p[s][2]*b2 + p[s][3]*b3)
+				catD1 += fa * (pd1[s][0]*b0 + pd1[s][1]*b1 + pd1[s][2]*b2 + pd1[s][3]*b3)
+				catD2 += fa * (pd2[s][0]*b0 + pd2[s][1]*b1 + pd2[s][2]*b2 + pd2[s][3]*b3)
+			}
+			if isCAT {
+				siteL, siteD1, siteD2 = catL, catD1, catD2
+			} else {
+				pr := e.rates.Probs[cat]
+				siteL += pr * catL
+				siteD1 += pr * catD1
+				siteD2 += pr * catD2
+			}
+		}
+		if siteL < math.SmallestNonzeroFloat64 {
+			continue
+		}
+		ratio := siteD1 / siteL
+		s1 += float64(wk) * ratio
+		s2 += float64(wk) * (siteD2/siteL - ratio*ratio)
+	}
+	return s1, s2
+}
+
+// branchDerivatives posts one JobMakenewz over fresh endpoint views
+// (a, slotA) and (b, slotB) at branch length t and returns the reduced
+// derivatives. Callers must have refreshed the views (refreshViews);
+// each Newton iteration then costs exactly one barrier crossing.
 func (e *Engine) branchDerivatives(a, slotA, b, slotB int, t float64) (d1, d2 float64) {
 	e.ensureP()
 	for c := 0; c < e.rates.NumCats(); c++ {
 		e.model.PDeriv(t, e.rates.Rates[c], &e.pEval[c], &e.pD1[c], &e.pD2[c])
 	}
-	va := e.viewOf(a, slotA)
-	vb := e.viewOf(b, slotB)
-	nCat := e.nCat
-	freqs := e.model.Freqs
-	isCAT := e.rates.IsCAT()
-
-	return e.pool.ReduceSum2(func(w int, r threads.Range) (float64, float64) {
-		var s1, s2 float64
-		for k := r.Lo; k < r.Hi; k++ {
-			wk := e.weights[k]
-			if wk == 0 {
-				continue
-			}
-			var siteL, siteD1, siteD2 float64
-			for cat := 0; cat < nCat; cat++ {
-				pc := e.pIndex(k, cat)
-				p := &e.pEval[pc]
-				pd1 := &e.pD1[pc]
-				pd2 := &e.pD2[pc]
-				aBase := k*va.stride + boolIdx(va.tip, 0, cat*4)
-				bBase := k*vb.stride + boolIdx(vb.tip, 0, cat*4)
-				var catL, catD1, catD2 float64
-				for s := 0; s < 4; s++ {
-					as := va.vec[aBase+s]
-					if as == 0 {
-						continue
-					}
-					fa := freqs[s] * as
-					b0 := vb.vec[bBase]
-					b1 := vb.vec[bBase+1]
-					b2 := vb.vec[bBase+2]
-					b3 := vb.vec[bBase+3]
-					catL += fa * (p[s][0]*b0 + p[s][1]*b1 + p[s][2]*b2 + p[s][3]*b3)
-					catD1 += fa * (pd1[s][0]*b0 + pd1[s][1]*b1 + pd1[s][2]*b2 + pd1[s][3]*b3)
-					catD2 += fa * (pd2[s][0]*b0 + pd2[s][1]*b1 + pd2[s][2]*b2 + pd2[s][3]*b3)
-				}
-				if isCAT {
-					siteL, siteD1, siteD2 = catL, catD1, catD2
-				} else {
-					pr := e.rates.Probs[cat]
-					siteL += pr * catL
-					siteD1 += pr * catD1
-					siteD2 += pr * catD2
-				}
-			}
-			if siteL < math.SmallestNonzeroFloat64 {
-				continue
-			}
-			ratio := siteD1 / siteL
-			s1 += float64(wk) * ratio
-			s2 += float64(wk) * (siteD2/siteL - ratio*ratio)
-		}
-		return s1, s2
-	})
+	e.jobVA = e.viewOf(a, slotA)
+	e.jobVB = e.viewOf(b, slotB)
+	e.beginTraversal() // views are fresh: empty descriptor, pure reduction
+	e.dispatch(threads.JobMakenewz)
+	return e.pool.SumSlots2(0, 1)
 }

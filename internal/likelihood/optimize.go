@@ -21,12 +21,14 @@ const (
 
 // OptimizeBranch optimizes the length of edge (a, b) by Newton–Raphson
 // on d(lnL)/dt with a bisection-style fallback when the second
-// derivative is not usable. Returns the optimized length.
+// derivative is not usable. Returns the optimized length. The endpoint
+// views are refreshed once with a single batched traversal job; each
+// Newton iteration then costs one JobMakenewz dispatch.
 func (e *Engine) OptimizeBranch(a, b int) float64 {
+	e.ensureArena()
 	slotA := e.slotOf(a, b)
 	slotB := e.slotOf(b, a)
-	e.refresh(a, slotA)
-	e.refresh(b, slotB)
+	e.refreshViews([2]int{a, slotA}, [2]int{b, slotB})
 
 	t := e.tree.EdgeLength(a, b)
 	for iter := 0; iter < newtonMaxIter; iter++ {

@@ -13,7 +13,10 @@ import (
 // insertion therefore needs no newview at all: it is a single three-way
 // join of cached CLVs at the would-be junction — an O(patterns) kernel.
 // This is what makes SPR scans affordable and is precisely the loop the
-// paper's fine-grained threads accelerate during search stages.
+// paper's fine-grained threads accelerate during search stages. Each
+// scored insertion is one JobInsertScan post: any stale CLVs ride along
+// in the job's traversal descriptor, so even the first scan after a
+// prune costs a single barrier crossing.
 
 // EvaluateInsertion estimates the log-likelihood of inserting the
 // dangling subtree (rooted at subRoot, hanging from attachment node
@@ -26,9 +29,11 @@ func (e *Engine) EvaluateInsertion(subRoot, attach, x, y int) float64 {
 	slotSub := e.slotOf(subRoot, attach)
 	slotXY := e.slotOf(x, y)
 	slotYX := e.slotOf(y, x)
-	e.refresh(subRoot, slotSub)
-	e.refresh(x, slotXY)
-	e.refresh(y, slotYX)
+	e.beginTraversal()
+	e.queueTraversal(subRoot, slotSub)
+	e.queueTraversal(x, slotXY)
+	e.queueTraversal(y, slotYX)
+	e.prepareTraversal()
 
 	txy := e.tree.EdgeLength(x, y)
 	pendant := e.tree.EdgeLength(subRoot, attach)
@@ -37,57 +42,67 @@ func (e *Engine) EvaluateInsertion(subRoot, attach, x, y int) float64 {
 	e.fillP(txy/2, e.pRight)  // toward y
 	e.fillP(pendant, e.pEval) // toward the subtree
 
-	vx := e.viewOf(x, slotXY)
-	vy := e.viewOf(y, slotYX)
-	vs := e.viewOf(subRoot, slotSub)
+	e.jobVX = e.viewOf(x, slotXY)
+	e.jobVY = e.viewOf(y, slotYX)
+	e.jobVS = e.viewOf(subRoot, slotSub)
+	e.dispatch(threads.JobInsertScan)
+	return e.pool.SumSlots(0)
+}
+
+// insertScanRange computes one worker's partial of the three-way CLV
+// join at a candidate insertion point, over the views jobVX/jobVY/jobVS
+// with transition matrices pLeft (toward x), pRight (toward y) and
+// pEval (toward the subtree).
+func (e *Engine) insertScanRange(r threads.Range) float64 {
+	vx := e.jobVX
+	vy := e.jobVY
+	vs := e.jobVS
 	nCat := e.nCat
 	freqs := e.model.Freqs
 	isCAT := e.rates.IsCAT()
 
-	return e.pool.ReduceSum(func(w int, r threads.Range) float64 {
-		sum := 0.0
-		for k := r.Lo; k < r.Hi; k++ {
-			wk := e.weights[k]
-			if wk == 0 {
-				continue
-			}
-			var site float64
-			for cat := 0; cat < nCat; cat++ {
-				pc := e.pIndex(k, cat)
-				px := &e.pLeft[pc]
-				py := &e.pRight[pc]
-				ps := &e.pEval[pc]
-				xB := k*vx.stride + boolIdx(vx.tip, 0, cat*4)
-				yB := k*vy.stride + boolIdx(vy.tip, 0, cat*4)
-				sB := k*vs.stride + boolIdx(vs.tip, 0, cat*4)
-				catL := 0.0
-				for s := 0; s < 4; s++ {
-					ax := px[s][0]*vx.vec[xB] + px[s][1]*vx.vec[xB+1] +
-						px[s][2]*vx.vec[xB+2] + px[s][3]*vx.vec[xB+3]
-					ay := py[s][0]*vy.vec[yB] + py[s][1]*vy.vec[yB+1] +
-						py[s][2]*vy.vec[yB+2] + py[s][3]*vy.vec[yB+3]
-					ac := ps[s][0]*vs.vec[sB] + ps[s][1]*vs.vec[sB+1] +
-						ps[s][2]*vs.vec[sB+2] + ps[s][3]*vs.vec[sB+3]
-					catL += freqs[s] * ax * ay * ac
-				}
-				if isCAT {
-					site = catL
-				} else {
-					site += e.rates.Probs[cat] * catL
-				}
-			}
-			logSite := math.Log(math.Max(site, math.SmallestNonzeroFloat64))
-			if vx.scale != nil {
-				logSite -= float64(vx.scale[k]) * logScaleFactor
-			}
-			if vy.scale != nil {
-				logSite -= float64(vy.scale[k]) * logScaleFactor
-			}
-			if vs.scale != nil {
-				logSite -= float64(vs.scale[k]) * logScaleFactor
-			}
-			sum += float64(wk) * logSite
+	sum := 0.0
+	for k := r.Lo; k < r.Hi; k++ {
+		wk := e.weights[k]
+		if wk == 0 {
+			continue
 		}
-		return sum
-	})
+		var site float64
+		for cat := 0; cat < nCat; cat++ {
+			pc := e.pIndex(k, cat)
+			px := &e.pLeft[pc]
+			py := &e.pRight[pc]
+			ps := &e.pEval[pc]
+			xB := k*vx.stride + boolIdx(vx.tip, 0, cat*4)
+			yB := k*vy.stride + boolIdx(vy.tip, 0, cat*4)
+			sB := k*vs.stride + boolIdx(vs.tip, 0, cat*4)
+			catL := 0.0
+			for s := 0; s < 4; s++ {
+				ax := px[s][0]*vx.vec[xB] + px[s][1]*vx.vec[xB+1] +
+					px[s][2]*vx.vec[xB+2] + px[s][3]*vx.vec[xB+3]
+				ay := py[s][0]*vy.vec[yB] + py[s][1]*vy.vec[yB+1] +
+					py[s][2]*vy.vec[yB+2] + py[s][3]*vy.vec[yB+3]
+				ac := ps[s][0]*vs.vec[sB] + ps[s][1]*vs.vec[sB+1] +
+					ps[s][2]*vs.vec[sB+2] + ps[s][3]*vs.vec[sB+3]
+				catL += freqs[s] * ax * ay * ac
+			}
+			if isCAT {
+				site = catL
+			} else {
+				site += e.rates.Probs[cat] * catL
+			}
+		}
+		logSite := math.Log(math.Max(site, math.SmallestNonzeroFloat64))
+		if vx.scale != nil {
+			logSite -= float64(vx.scale[k]) * logScaleFactor
+		}
+		if vy.scale != nil {
+			logSite -= float64(vy.scale[k]) * logScaleFactor
+		}
+		if vs.scale != nil {
+			logSite -= float64(vs.scale[k]) * logScaleFactor
+		}
+		sum += float64(wk) * logSite
+	}
+	return sum
 }

@@ -1,0 +1,252 @@
+package likelihood
+
+import (
+	"fmt"
+
+	"raxml/internal/threads"
+)
+
+// This file implements the traversal-descriptor job engine: the batched
+// replacement for per-node kernel dispatch. Mirroring RAxML's
+// traversalInfo machinery, the master separates *planning* from
+// *execution*: it walks the tree once to collect the ordered list of
+// stale directed CLVs (children before parents) together with their
+// child references and branch lengths, precomputes every entry's
+// transition matrices into a reusable arena, and then posts the whole
+// descriptor to the worker pool as ONE job. Each worker walks the full
+// descriptor over its private pattern range; because pattern k of a
+// parent CLV depends only on pattern k of its children, no intra-walk
+// barrier is needed. A full-tree relikelihood therefore costs exactly
+// one barrier crossing instead of O(nodes) crossings — the
+// synchronization amortization the paper's Pthreads layer relies on.
+//
+// The descriptor buffer, its transition-matrix arena, and the pool's
+// reduction slots are all reused across jobs, so steady-state posting
+// allocates nothing (after the engine's CLVs are warm).
+
+// TraversalEntry is one step of a traversal descriptor: compute the
+// directed CLV (Node, Slot) from children (C1, C1Slot) and (C2, C2Slot)
+// across branches of length Len1 and Len2. The exported view exists for
+// tests and diagnostics; execution uses the resolved internal form.
+type TraversalEntry struct {
+	Node, Slot int
+	C1, C1Slot int
+	C2, C2Slot int
+	Len1, Len2 float64
+}
+
+// travEntry is a TraversalEntry resolved for execution: buffer
+// references are bound by the master in prepareTraversal so workers
+// never touch the engine's allocation paths.
+type travEntry struct {
+	pub         TraversalEntry
+	left, right childView
+	dst         []float64
+	dstScale    []int32
+	// pL, pR are this entry's transition matrices (one per rate
+	// category), subslices of the engine's arena.
+	pL, pR [][4][4]float64
+}
+
+// beginTraversal resets the descriptor buffer for a new plan. The
+// backing array is retained: one engine reuses one descriptor buffer
+// across its whole life (every replicate of the bootstrap loop).
+func (e *Engine) beginTraversal() {
+	e.trav = e.trav[:0]
+	e.travLo, e.travHi = 0, 0
+}
+
+// queueTraversal appends, post-order, every stale directed CLV needed
+// for the view (node, slot) and marks it valid — validity now means
+// "computed, or queued in the descriptor about to be executed".
+func (e *Engine) queueTraversal(node, slot int) {
+	n := &e.tree.Nodes[node]
+	if n.IsTip() {
+		return
+	}
+	idx := node*3 + slot
+	if e.valid[idx] {
+		return
+	}
+	var children [2]int
+	var childSlots [2]int
+	var lengths [2]float64
+	j := 0
+	for s, v := range n.Neighbors {
+		if s == slot || v < 0 {
+			continue
+		}
+		children[j] = v
+		childSlots[j] = e.slotOf(v, node)
+		lengths[j] = n.Lengths[s]
+		j++
+	}
+	if j != 2 {
+		panic(fmt.Sprintf("likelihood: internal node %d has %d usable children", node, j))
+	}
+	e.queueTraversal(children[0], childSlots[0])
+	e.queueTraversal(children[1], childSlots[1])
+	e.trav = append(e.trav, travEntry{pub: TraversalEntry{
+		Node: node, Slot: slot,
+		C1: children[0], C1Slot: childSlots[0],
+		C2: children[1], C2Slot: childSlots[1],
+		Len1: lengths[0], Len2: lengths[1],
+	}})
+	e.valid[idx] = true
+}
+
+// prepareTraversal resolves the queued descriptor for execution: it
+// allocates destination CLVs, binds child views (earlier entries'
+// destinations become later entries' inputs), and fills each entry's
+// transition matrices into the shared arena. All serial master work —
+// workers only ever read the result.
+func (e *Engine) prepareTraversal() {
+	n := len(e.trav)
+	if n == 0 {
+		return
+	}
+	nc := e.rates.NumCats()
+	need := 2 * nc * n
+	if cap(e.travP) < need {
+		e.travP = make([][4][4]float64, need)
+	}
+	e.travP = e.travP[:need]
+	off := 0
+	for i := range e.trav {
+		ent := &e.trav[i]
+		ent.dst = e.clvFor(ent.pub.Node, ent.pub.Slot)
+		ent.dstScale = e.scale[ent.pub.Node*3+ent.pub.Slot]
+		ent.left = e.viewOf(ent.pub.C1, ent.pub.C1Slot)
+		ent.right = e.viewOf(ent.pub.C2, ent.pub.C2Slot)
+		ent.pL = e.travP[off : off+nc]
+		ent.pR = e.travP[off+nc : off+2*nc]
+		off += 2 * nc
+		for c := 0; c < nc; c++ {
+			e.model.P(ent.pub.Len1, e.rates.Rates[c], &ent.pL[c])
+			e.model.P(ent.pub.Len2, e.rates.Rates[c], &ent.pR[c])
+		}
+	}
+	e.newviewCount += int64(n)
+}
+
+// dispatch posts the prepared descriptor (and the follow-on kernel
+// selected by code) to the pool. Batched mode — the default — posts
+// everything as one job: one barrier crossing per traversal. Per-node
+// mode posts every descriptor entry as its own job, reproducing the
+// pre-descriptor dispatch cost for benchmarking (BenchmarkTraversalDispatch).
+func (e *Engine) dispatch(code threads.JobCode) {
+	n := len(e.trav)
+	if e.perNodeDispatch {
+		for i := 0; i < n; i++ {
+			e.travLo, e.travHi = i, i+1
+			e.pool.Post(e, threads.JobNewview)
+			if e.pool.Aborted() {
+				e.rollbackTraversal()
+				return
+			}
+		}
+		e.travLo, e.travHi = n, n
+		if code != threads.JobNewview {
+			e.pool.Post(e, code)
+		}
+		if e.pool.Aborted() {
+			e.rollbackTraversal()
+		}
+		return
+	}
+	if code == threads.JobNewview && n == 0 {
+		return // nothing stale, nothing to post
+	}
+	e.travLo, e.travHi = 0, n
+	e.pool.Post(e, code)
+	if e.pool.Aborted() {
+		e.rollbackTraversal()
+	}
+}
+
+// rollbackTraversal un-marks every CLV the current descriptor promised
+// to compute. queueTraversal flags CLVs valid at plan time; when a job
+// is aborted mid-walk some of them were never written (and workers may
+// disagree on how far they got), so the whole plan must be re-marked
+// stale or later evaluations would silently read garbage. The aborted
+// job's own result is meaningless and must be discarded by the caller.
+func (e *Engine) rollbackTraversal() {
+	for i := range e.trav {
+		e.valid[e.trav[i].pub.Node*3+e.trav[i].pub.Slot] = false
+	}
+}
+
+// refreshViews builds and executes one descriptor covering all the
+// given directed views, leaving them fresh. One pool dispatch at most,
+// zero if everything is already valid.
+func (e *Engine) refreshViews(views ...[2]int) {
+	e.beginTraversal()
+	for _, v := range views {
+		e.queueTraversal(v[0], v[1])
+	}
+	e.prepareTraversal()
+	e.dispatch(threads.JobNewview)
+}
+
+// walkTraversal executes the posted descriptor window over one worker's
+// pattern range: the worker-side half of the job engine. Entries run in
+// descriptor order; pattern k of an entry depends only on pattern k of
+// its children, so ranges never interact. Polls the pool's abort flag
+// between entries.
+func (e *Engine) walkTraversal(r threads.Range) {
+	for i := e.travLo; i < e.travHi; i++ {
+		if e.pool.Aborted() {
+			return
+		}
+		e.newviewRange(&e.trav[i], r)
+	}
+}
+
+// RunJob implements threads.JobRunner: the engine executes posted job
+// codes over one worker's pattern range. Every code first walks the
+// pending traversal window (usually the whole descriptor; empty for
+// pure reductions), then runs its own kernel, writing reduction
+// partials into the worker's preallocated slot. If the job was aborted
+// the follow-on kernel is skipped and the slot zeroed: the master
+// rolls the descriptor back (rollbackTraversal) and the job's result
+// is discarded.
+func (e *Engine) RunJob(code threads.JobCode, w int, r threads.Range) {
+	e.walkTraversal(r)
+	if e.pool.Aborted() {
+		s := e.pool.Slot(w)
+		s[0], s[1] = 0, 0
+		return
+	}
+	switch code {
+	case threads.JobNewview:
+		// descriptor walk only
+	case threads.JobEvaluate:
+		e.pool.Slot(w)[0] = e.evaluateRange(r)
+	case threads.JobMakenewz:
+		s := e.pool.Slot(w)
+		s[0], s[1] = e.derivativesRange(r)
+	case threads.JobSiteLL:
+		e.siteLLRange(r)
+	case threads.JobInsertScan:
+		e.pool.Slot(w)[0] = e.insertScanRange(r)
+	default:
+		panic(fmt.Sprintf("likelihood: unknown job code %d", code))
+	}
+}
+
+// SetPerNodeDispatch toggles the per-node dispatch ablation: when
+// enabled, every descriptor entry is posted as a separate job (one
+// barrier crossing per node, the pre-descriptor behaviour). Exists so
+// benchmarks and tests can measure what batching buys; production code
+// never enables it.
+func (e *Engine) SetPerNodeDispatch(enabled bool) { e.perNodeDispatch = enabled }
+
+// LastTraversal returns a copy of the most recently built traversal
+// descriptor, for tests asserting construction and invalidation order.
+func (e *Engine) LastTraversal() []TraversalEntry {
+	out := make([]TraversalEntry, len(e.trav))
+	for i := range e.trav {
+		out[i] = e.trav[i].pub
+	}
+	return out
+}

@@ -3,9 +3,15 @@
 // trees for maximum-likelihood searches and rapid-bootstrap restarts.
 //
 // States are the 4-bit sets of package msa, so Fitch's set operations
-// are single AND/OR instructions, and the per-pattern loop parallelizes
-// over a threads.Pool exactly like the likelihood kernels (in RAxML the
-// parsimony kernel is distributed over the same worker crew).
+// are single AND/OR instructions. Scoring runs through the same
+// job-code engine as the likelihood kernels (in RAxML the parsimony
+// kernel is distributed over the same worker crew): Score builds a
+// Fitch traversal descriptor — the post-order list of internal nodes
+// with resolved child buffers — and posts it to the pool as ONE
+// threads.JobParsimony, whose workers walk the whole descriptor over
+// their pattern ranges and reduce the score partial at the anchor
+// edge. One Score call is one barrier crossing regardless of tree
+// size.
 package parsimony
 
 import (
@@ -16,6 +22,17 @@ import (
 	"raxml/internal/threads"
 	"raxml/internal/tree"
 )
+
+// fitchEntry is one step of a Fitch traversal descriptor: combine the
+// two children's state sets into the node's buffers. Child buffers are
+// resolved by the master at build time; tips read straight from the
+// pattern matrix with nil cost.
+type fitchEntry struct {
+	dstState       []msa.State
+	dstCost        []int32
+	lState, rState []msa.State
+	lCost, rCost   []int32
+}
 
 // Engine scores trees under Fitch parsimony over one pattern set.
 type Engine struct {
@@ -28,6 +45,15 @@ type Engine struct {
 	state [][]msa.State
 	// cost[node][k] is the accumulated mutation count below node.
 	cost [][]int32
+
+	// trav is the Fitch descriptor buffer, reused across Score calls
+	// (stepwise addition scores O(taxa²) trees on one engine).
+	trav []fitchEntry
+	// anchor reduction inputs: the tip-side states and the folded
+	// subtree buffers at the scoring root edge.
+	anchorA    []msa.State
+	anchorB    []msa.State
+	anchorCost []int32
 }
 
 // New creates a parsimony engine. A nil pool means serial execution.
@@ -71,7 +97,8 @@ func (e *Engine) buffersFor(node int) ([]msa.State, []int32) {
 // Score returns the weighted Fitch parsimony score of the tree (the
 // minimum number of state changes, summed over patterns with weights).
 // The tree may be partial (mid stepwise addition); scoring roots at the
-// lowest-numbered attached tip.
+// lowest-numbered attached tip. The whole fold — every internal node
+// plus the anchor-edge reduction — is one pool dispatch.
 func (e *Engine) Score(t *tree.Tree) int {
 	e.ensure(t.MaxNodeID())
 	// Root on the edge at the first attached tip: fold both sides, join.
@@ -86,41 +113,25 @@ func (e *Engine) Score(t *tree.Tree) int {
 		panic("parsimony: tree has no attached tips")
 	}
 	b := t.Nodes[a].Neighbors[0]
-	order := t.PostOrder(b, a)
-	for _, pair := range order {
-		e.fitchNode(t, pair[0], pair[1])
+
+	// Plan: resolve the post-order fold into a descriptor (master-only
+	// work: buffer allocation and child lookup happen here, never in
+	// workers).
+	e.trav = e.trav[:0]
+	for _, pair := range t.PostOrder(b, a) {
+		e.queueFitch(t, pair[0], pair[1])
 	}
-	// anchor tip side
-	aState := e.tipState(a)
-	bState, bCost := e.childBuffers(b)
-	total := e.pool.ReduceSum(func(w int, r threads.Range) float64 {
-		sum := 0
-		for k := r.Lo; k < r.Hi; k++ {
-			wk := e.weights[k]
-			if wk == 0 {
-				continue
-			}
-			c := 0
-			if bCost != nil {
-				c = int(bCost[k])
-			}
-			if aState[k]&bState[k] == 0 {
-				c++
-			}
-			sum += wk * c
-		}
-		return float64(sum)
-	})
-	return int(total)
+	e.anchorA = e.tipState(a)
+	e.anchorB, e.anchorCost = e.childBuffers(b)
+
+	// Execute: one job walks the descriptor and reduces the score.
+	e.pool.Post(e, threads.JobParsimony)
+	return int(e.pool.SumSlots(0))
 }
 
-// tipState returns the pattern states of a taxon.
-func (e *Engine) tipState(taxon int) []msa.State {
-	return e.pat.Data[taxon]
-}
-
-// fitchNode computes the Fitch sets of `node` viewed from `parent`.
-func (e *Engine) fitchNode(t *tree.Tree, node, parent int) {
+// queueFitch appends the descriptor entry computing `node` viewed from
+// `parent`. Tips contribute no entry.
+func (e *Engine) queueFitch(t *tree.Tree, node, parent int) {
 	n := &t.Nodes[node]
 	if n.IsTip() {
 		return // tip states live in the pattern matrix
@@ -139,30 +150,79 @@ func (e *Engine) fitchNode(t *tree.Tree, node, parent int) {
 	dstState, dstCost := e.buffersFor(node)
 	lState, lCost := e.childBuffers(children[0])
 	rState, rCost := e.childBuffers(children[1])
-	e.pool.ParallelFor(func(w int, r threads.Range) {
-		for k := r.Lo; k < r.Hi; k++ {
-			if e.weights[k] == 0 {
-				continue
-			}
-			ls := lState[k]
-			rs := rState[k]
-			var c int32
-			if lCost != nil {
-				c += lCost[k]
-			}
-			if rCost != nil {
-				c += rCost[k]
-			}
-			inter := ls & rs
-			if inter != 0 {
-				dstState[k] = inter
-			} else {
-				dstState[k] = ls | rs
-				c++
-			}
-			dstCost[k] = c
-		}
+	e.trav = append(e.trav, fitchEntry{
+		dstState: dstState, dstCost: dstCost,
+		lState: lState, lCost: lCost,
+		rState: rState, rCost: rCost,
 	})
+}
+
+// RunJob implements threads.JobRunner: walk the Fitch descriptor over
+// the worker's pattern range, then reduce the anchor-edge score partial
+// into the worker's slot. The slot is zeroed up front so an aborted
+// job can never leak a previous job's partial (the pool is shared with
+// the likelihood engine) into the score reduction; an aborted Score is
+// meaningless and must be discarded by the caller.
+func (e *Engine) RunJob(code threads.JobCode, w int, r threads.Range) {
+	if code != threads.JobParsimony {
+		panic(fmt.Sprintf("parsimony: unknown job code %d", code))
+	}
+	e.pool.Slot(w)[0] = 0
+	for i := range e.trav {
+		if e.pool.Aborted() {
+			return
+		}
+		e.fitchRange(&e.trav[i], r)
+	}
+	sum := 0
+	for k := r.Lo; k < r.Hi; k++ {
+		wk := e.weights[k]
+		if wk == 0 {
+			continue
+		}
+		c := 0
+		if e.anchorCost != nil {
+			c = int(e.anchorCost[k])
+		}
+		if e.anchorA[k]&e.anchorB[k] == 0 {
+			c++
+		}
+		sum += wk * c
+	}
+	e.pool.Slot(w)[0] = float64(sum)
+}
+
+// fitchRange applies one descriptor entry's Fitch set combination over
+// a pattern range. Pattern k of a parent depends only on pattern k of
+// its children, so descriptor order makes the walk barrier-free.
+func (e *Engine) fitchRange(ent *fitchEntry, r threads.Range) {
+	for k := r.Lo; k < r.Hi; k++ {
+		if e.weights[k] == 0 {
+			continue
+		}
+		ls := ent.lState[k]
+		rs := ent.rState[k]
+		var c int32
+		if ent.lCost != nil {
+			c += ent.lCost[k]
+		}
+		if ent.rCost != nil {
+			c += ent.rCost[k]
+		}
+		inter := ls & rs
+		if inter != 0 {
+			ent.dstState[k] = inter
+		} else {
+			ent.dstState[k] = ls | rs
+			c++
+		}
+		ent.dstCost[k] = c
+	}
+}
+
+// tipState returns the pattern states of a taxon.
+func (e *Engine) tipState(taxon int) []msa.State {
+	return e.pat.Data[taxon]
 }
 
 func (e *Engine) childBuffers(child int) ([]msa.State, []int32) {

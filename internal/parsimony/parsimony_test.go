@@ -276,3 +276,22 @@ func BenchmarkStepwiseAddition(b *testing.B) {
 		_ = StepwiseAddition(pat, rng.New(int64(i)), nil)
 	}
 }
+
+func TestScoreSingleDispatch(t *testing.T) {
+	// One Score call folds the whole tree and reduces the result in
+	// exactly one pool job — the batched Fitch descriptor at work.
+	r := rng.New(77)
+	pat := randomPatterns(t, r, 40, 200)
+	pool := threads.NewPool(4, pat.NumPatterns())
+	defer pool.Close()
+	e := New(pat, pool)
+	tr := tree.Random(pat.Names, r)
+	serial := New(pat, nil).Score(tr)
+	before := pool.Dispatches()
+	if got := e.Score(tr); got != serial {
+		t.Fatalf("parallel score %d != serial score %d", got, serial)
+	}
+	if used := pool.Dispatches() - before; used != 1 {
+		t.Fatalf("Score used %d dispatches, want exactly 1", used)
+	}
+}

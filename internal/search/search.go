@@ -114,6 +114,12 @@ type Result struct {
 	// ScannedInsertions counts lazily evaluated insertion candidates —
 	// the work unit of the search stages in the performance model.
 	ScannedInsertions int
+	// Dispatches counts pool jobs posted during the search (barrier
+	// crossings of the fine-grained layer). With the traversal-
+	// descriptor engine this grows per traversal, not per node; the
+	// ratio Dispatches/ScannedInsertions stays O(1) regardless of tree
+	// size.
+	Dispatches int64
 }
 
 // Run hill-climbs from the given starting tree under the settings and
@@ -130,6 +136,7 @@ func Run(eng *likelihood.Engine, start *tree.Tree, s Settings) (*Result, error) 
 		s.MaxRadius = s.MinRadius
 	}
 	res := &Result{Tree: start}
+	dispatch0 := eng.DispatchCount()
 	best := eng.OptimizeAllBranches(maxInt(1, s.BranchRounds), 0.01)
 
 	radius := s.MinRadius
@@ -162,6 +169,7 @@ func Run(eng *likelihood.Engine, start *tree.Tree, s Settings) (*Result, error) 
 		}
 	}
 	res.LogLikelihood = eng.OptimizeAllBranches(maxInt(1, s.BranchRounds), 0.001)
+	res.Dispatches = eng.DispatchCount() - dispatch0
 	return res, nil
 }
 

@@ -6,22 +6,48 @@
 // makenewz, ...), every worker executes that job over its statically
 // assigned range of alignment patterns, and a barrier collects them;
 // reductions (log-likelihood sums, derivative sums) combine per-worker
-// partials. This package reproduces that structure with goroutines and
-// channels — share memory by communicating for control, communicate by
-// sharing (disjoint slices) for data.
+// partials. This package reproduces that structure as a job-code
+// execution engine, mirroring PLL's genericParallelization.c:
+//
+//   - Job codes. A job is identified by a small integer (JobNewview,
+//     JobEvaluate, JobMakenewz, JobParsimony, ...), not by a closure.
+//     The engine that owns the job's data implements JobRunner; posting
+//     a job stores the code, releases the crew, and allocates nothing.
+//     Job arguments travel through fields of the runner that the master
+//     writes before Post — the publication of the job code is the
+//     synchronization point (like RAxML's volatile threadJob).
+//
+//   - Spin/park barrier. Workers wait for the next job generation by
+//     spinning briefly on an atomic counter (the hot path inside tight
+//     optimization loops, where the next job arrives within
+//     microseconds) and park on a condition variable when the master
+//     goes quiet. The master symmetrically spin-waits for job
+//     completion. One Post is one barrier crossing; Dispatches counts
+//     them, making synchronization overhead a measurable quantity.
+//
+//   - Reduction slots. Every worker owns a cache-line padded slot of
+//     float64 accumulators, preallocated at pool construction. Kernels
+//     write partial sums into their slot; the master combines them in
+//     worker order (SumSlots), keeping reductions deterministic and
+//     allocation-free.
 //
 // A Pool with W workers partitions [0, n) patterns into W contiguous
-// ranges balanced by pattern weight mass. ParallelFor runs a function
-// over the ranges; ReduceSum additionally sums one float64 per worker.
-// A Pool with 1 worker executes inline on the caller's goroutine: the
-// serial code path is literally the same code, as in RAxML where the
-// standalone binary is the single-thread special case.
+// ranges balanced by pattern weight mass. The master executes range 0
+// on the posting goroutine itself; W-1 helper goroutines cover the
+// rest. A Pool with 1 worker executes inline on the caller's goroutine:
+// the serial code path is literally the same code, as in RAxML where
+// the standalone binary is the single-thread special case.
+//
+// ParallelFor and ReduceSum remain as closure-based conveniences for
+// tests and one-off kernels; they run through the same job engine under
+// a reserved internal job code.
 package threads
 
 import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Range is a half-open interval of pattern indices assigned to a worker.
@@ -30,48 +56,102 @@ type Range struct{ Lo, Hi int }
 // Len returns the number of patterns in the range.
 func (r Range) Len() int { return r.Hi - r.Lo }
 
+// JobCode identifies a parallel job posted to the crew, mirroring
+// RAxML's THREAD_* job codes. The codes are defined here, in the
+// substrate layer, so that every engine (likelihood, parsimony, ...)
+// shares one vocabulary and one dispatch path.
+type JobCode int32
+
+const (
+	// jobClosure is the reserved internal code behind ParallelFor.
+	jobClosure JobCode = iota
+	// JobNewview walks a traversal descriptor, computing every stale
+	// conditional likelihood vector over the worker's pattern range.
+	JobNewview
+	// JobEvaluate walks a traversal descriptor and then computes the
+	// per-worker log-likelihood partial at the virtual root.
+	JobEvaluate
+	// JobMakenewz computes the first and second branch-length
+	// derivative partials (the Newton-Raphson quantities).
+	JobMakenewz
+	// JobSiteLL fills per-pattern site log-likelihoods.
+	JobSiteLL
+	// JobInsertScan scores one lazy-SPR insertion (three-way CLV join).
+	JobInsertScan
+	// JobParsimony walks a Fitch descriptor and reduces the parsimony
+	// score partial.
+	JobParsimony
+)
+
+// JobRunner executes posted job codes. The runner owns all job data
+// (descriptors, scratch matrices, destination buffers); RunJob must
+// confine writes to the worker's pattern range and the worker's
+// reduction slot.
+type JobRunner interface {
+	RunJob(code JobCode, worker int, r Range)
+}
+
+// SlotWidth is the number of float64 accumulators in one worker's
+// reduction slot — enough for every current reduction (log-likelihood,
+// two derivatives, parsimony score) with room to grow.
+const SlotWidth = 8
+
+// slot is one worker's reduction storage, padded so adjacent workers
+// never share a cache line (false sharing would serialize the very
+// loops the pool exists to parallelize).
+type slot struct {
+	v [SlotWidth]float64
+	_ [64]byte
+}
+
+// spinIters bounds the busy-wait before a waiter parks on its condition
+// variable. Within tight optimization loops the next job arrives in
+// well under this budget; between jobs (master doing serial work) the
+// crew parks and costs nothing.
+const spinIters = 4096
+
 // Pool is a crew of persistent workers executing pattern-parallel jobs.
 // The zero value is not usable; construct with NewPool. A Pool must be
 // Closed when no longer needed, except the inline single-worker pool.
+// Posting is single-master: only one goroutine may post jobs at a time.
 type Pool struct {
 	workers int
 	ranges  []Range
+	slots   []slot
 
-	// job dispatch: each worker blocks on its own channel; the master
-	// posts one function per worker per job and waits on done.
-	jobs []chan func(worker int, r Range)
-	done chan struct{}
-	wg   sync.WaitGroup
+	// Current job, published by the master before bumping gen. Plain
+	// fields: the atomic gen increment is the release point and the
+	// worker's gen load the acquire point.
+	runner JobRunner
+	code   JobCode
+	fn     func(worker int, r Range)
 
+	gen     atomic.Uint64 // job generation counter
+	arrived atomic.Int64  // helpers finished with the current job
+	abort   atomic.Bool   // cooperative cancel of the current job
+	stop    atomic.Bool   // pool shutdown
+
+	dispatches atomic.Int64 // total barrier crossings (Posts)
+
+	jobMu   sync.Mutex // guards worker parking on jobCond
+	jobCond *sync.Cond
+	barMu   sync.Mutex // guards master parking on barCond
+	barCond *sync.Cond
+
+	postMu sync.Mutex // serializes posts; also guards closed
 	closed bool
-	mu     sync.Mutex
+	wg     sync.WaitGroup
 }
 
-// NewPool creates a pool of `workers` goroutines over `nPatterns`
-// patterns split into contiguous ranges of (nearly) equal pattern count.
-// workers is clamped to [1, nPatterns] (a worker with an empty range
-// would only add synchronization cost, as the paper's small-data-set
-// results show).
+// NewPool creates a pool of `workers` over `nPatterns` patterns split
+// into contiguous ranges of (nearly) equal pattern count. workers is
+// clamped to [1, nPatterns] (a worker with an empty range would only
+// add synchronization cost, as the paper's small-data-set results
+// show). The posting goroutine acts as worker 0; workers-1 helper
+// goroutines are spawned.
 func NewPool(workers, nPatterns int) *Pool {
-	if workers < 1 {
-		workers = 1
-	}
-	if nPatterns > 0 && workers > nPatterns {
-		workers = nPatterns
-	}
-	p := &Pool{workers: workers}
-	p.ranges = SplitEven(nPatterns, workers)
-	if workers == 1 {
-		return p // inline execution; no goroutines
-	}
-	p.jobs = make([]chan func(int, Range), workers)
-	p.done = make(chan struct{}, workers)
-	for w := 0; w < workers; w++ {
-		p.jobs[w] = make(chan func(int, Range), 1)
-		p.wg.Add(1)
-		go p.worker(w)
-	}
-	return p
+	w := clampWorkers(workers, nPatterns)
+	return newPool(w, SplitEven(nPatterns, w))
 }
 
 // NewPoolWeighted creates a pool whose ranges balance total pattern
@@ -79,35 +159,154 @@ func NewPool(workers, nPatterns int) *Pool {
 // distribution: a bootstrap replicate concentrates weight on few
 // patterns, and unweighted splitting would idle most workers.
 func NewPoolWeighted(workers int, weights []int) *Pool {
+	w := clampWorkers(workers, len(weights))
+	return newPool(w, SplitWeighted(weights, w))
+}
+
+func clampWorkers(workers, n int) int {
 	if workers < 1 {
 		workers = 1
 	}
-	n := len(weights)
 	if n > 0 && workers > n {
 		workers = n
 	}
-	p := &Pool{workers: workers}
-	p.ranges = SplitWeighted(weights, workers)
+	return workers
+}
+
+func newPool(workers int, ranges []Range) *Pool {
+	p := &Pool{workers: workers, ranges: ranges}
+	p.slots = make([]slot, workers)
 	if workers == 1 {
-		return p
+		return p // inline execution; no goroutines, no barrier
 	}
-	p.jobs = make([]chan func(int, Range), workers)
-	p.done = make(chan struct{}, workers)
-	for w := 0; w < workers; w++ {
-		p.jobs[w] = make(chan func(int, Range), 1)
+	p.jobCond = sync.NewCond(&p.jobMu)
+	p.barCond = sync.NewCond(&p.barMu)
+	for w := 1; w < workers; w++ {
 		p.wg.Add(1)
-		go p.worker(w)
+		go p.workerLoop(w)
 	}
 	return p
 }
 
-func (p *Pool) worker(w int) {
+// workerLoop is the life of one helper worker: wait for a job
+// generation, execute the job over the worker's range, report arrival.
+func (p *Pool) workerLoop(w int) {
 	defer p.wg.Done()
 	r := p.ranges[w]
-	for job := range p.jobs[w] {
-		job(w, r)
-		p.done <- struct{}{}
+	var seen uint64
+	for {
+		if !p.awaitJob(&seen) {
+			return
+		}
+		p.execute(w, r)
+		if p.arrived.Add(1) == int64(p.workers-1) {
+			// Last helper: wake the master if it parked.
+			p.barMu.Lock()
+			p.barCond.Broadcast()
+			p.barMu.Unlock()
+		}
 	}
+}
+
+// awaitJob blocks until a job generation newer than *seen is posted
+// (spin first, then park) and records it. Returns false on shutdown.
+func (p *Pool) awaitJob(seen *uint64) bool {
+	for i := 0; i < spinIters; i++ {
+		if g := p.gen.Load(); g != *seen {
+			*seen = g
+			return true
+		}
+		if p.stop.Load() {
+			return false
+		}
+		if i&63 == 63 {
+			runtime.Gosched()
+		}
+	}
+	p.jobMu.Lock()
+	for {
+		if g := p.gen.Load(); g != *seen {
+			p.jobMu.Unlock()
+			*seen = g
+			return true
+		}
+		if p.stop.Load() {
+			p.jobMu.Unlock()
+			return false
+		}
+		p.jobCond.Wait()
+	}
+}
+
+// execute runs the current job for one worker.
+func (p *Pool) execute(w int, r Range) {
+	if p.code == jobClosure {
+		p.fn(w, r)
+	} else {
+		p.runner.RunJob(p.code, w, r)
+	}
+}
+
+// Post runs one job code on every worker over its pattern range and
+// returns when all workers have finished (one barrier crossing). The
+// job's inputs must already be stored in the runner; posting allocates
+// nothing. The abort flag is cleared on entry.
+func (p *Pool) Post(runner JobRunner, code JobCode) {
+	p.post(runner, code, nil)
+}
+
+// post is the single dispatch/barrier sequence behind Post and
+// ParallelFor: serialize on postMu, publish the job, run the master's
+// own range, and wait out the crew.
+func (p *Pool) post(runner JobRunner, code JobCode, fn func(worker int, r Range)) {
+	p.postMu.Lock()
+	if p.closed {
+		p.postMu.Unlock()
+		panic("threads: job posted on closed Pool")
+	}
+	p.dispatches.Add(1)
+	p.abort.Store(false)
+	if p.workers == 1 {
+		p.runner, p.code, p.fn = runner, code, fn
+		p.execute(0, p.ranges[0])
+		p.postMu.Unlock()
+		return
+	}
+	p.runner, p.code, p.fn = runner, code, fn
+	p.release()
+	p.execute(0, p.ranges[0]) // the master is worker 0
+	p.awaitCrew()
+	p.postMu.Unlock()
+}
+
+// release publishes the current job to the crew: reset the arrival
+// counter, bump the generation, wake parked workers.
+func (p *Pool) release() {
+	p.arrived.Store(0)
+	p.jobMu.Lock()
+	p.gen.Add(1)
+	p.jobCond.Broadcast()
+	p.jobMu.Unlock()
+}
+
+// awaitCrew blocks until every helper finished the current job: spin
+// first (the helpers finish within microseconds of the master on
+// balanced ranges), then park.
+func (p *Pool) awaitCrew() {
+	want := int64(p.workers - 1)
+	for i := 0; i < spinIters; i++ {
+		if p.arrived.Load() == want {
+			return
+		}
+		if i&63 == 63 {
+			runtime.Gosched()
+		}
+	}
+	p.barMu.Lock()
+	for p.arrived.Load() != want {
+		p.barCond.Wait()
+	}
+	p.barMu.Unlock()
 }
 
 // Workers returns the number of workers in the pool.
@@ -116,75 +315,91 @@ func (p *Pool) Workers() int { return p.workers }
 // Ranges returns the per-worker pattern ranges.
 func (p *Pool) Ranges() []Range { return p.ranges }
 
+// Dispatches returns the number of jobs posted so far — the number of
+// barrier crossings paid. The traversal-descriptor engine exists to
+// keep this counter growing per *traversal* rather than per node.
+func (p *Pool) Dispatches() int64 { return p.dispatches.Load() }
+
+// Slot returns worker w's reduction slot. Kernels write partials here
+// during a job; the master reads them after the barrier via SumSlots.
+func (p *Pool) Slot(w int) *[SlotWidth]float64 { return &p.slots[w].v }
+
+// SumSlots combines slot index i across workers in worker order —
+// deterministic regardless of completion order, so results are
+// bit-identical run to run at a fixed worker count.
+func (p *Pool) SumSlots(i int) float64 {
+	sum := 0.0
+	for w := 0; w < p.workers; w++ {
+		sum += p.slots[w].v[i]
+	}
+	return sum
+}
+
+// SumSlots2 combines two slot indices at once (first and second
+// derivatives share one traversal in makenewz).
+func (p *Pool) SumSlots2(i, j int) (float64, float64) {
+	var a, b float64
+	for w := 0; w < p.workers; w++ {
+		a += p.slots[w].v[i]
+		b += p.slots[w].v[j]
+	}
+	return a, b
+}
+
+// AbortJob requests cooperative cancellation of the job in flight.
+// Long-running kernels poll Aborted between descriptor entries and
+// bail out early; the barrier still completes normally, so the pool
+// remains usable. The flag is cleared by the next Post. An aborted
+// job's outputs (reduction slots, destination buffers) are undefined:
+// callers must discard the result, and runners must restore any
+// invariants they staged before posting (see the likelihood engine's
+// rollbackTraversal).
+func (p *Pool) AbortJob() { p.abort.Store(true) }
+
+// Aborted reports whether the current job has been asked to stop.
+func (p *Pool) Aborted() bool { return p.abort.Load() }
+
 // ParallelFor executes fn once per worker over that worker's pattern
 // range and returns when all workers finished (barrier semantics).
 // fn must only write to data indexed within its range or to the
-// per-worker slot it owns.
+// per-worker slot it owns. This is the closure-based convenience path;
+// hot engine loops post job codes instead.
 func (p *Pool) ParallelFor(fn func(worker int, r Range)) {
-	if p.workers == 1 {
-		fn(0, p.ranges[0])
-		return
-	}
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		panic("threads: ParallelFor on closed Pool")
-	}
-	for w := 0; w < p.workers; w++ {
-		p.jobs[w] <- fn
-	}
-	for w := 0; w < p.workers; w++ {
-		<-p.done
-	}
-	p.mu.Unlock()
+	p.post(nil, jobClosure, fn)
 }
 
 // ReduceSum executes fn per worker and returns the sum of the per-worker
 // results: the reduction pattern behind log-likelihood evaluation and
 // branch-length derivative accumulation.
 func (p *Pool) ReduceSum(fn func(worker int, r Range) float64) float64 {
-	partial := make([]float64, p.workers)
 	p.ParallelFor(func(w int, r Range) {
-		partial[w] = fn(w, r)
+		p.slots[w].v[0] = fn(w, r)
 	})
-	// Deterministic combination order: summing in worker order keeps
-	// results bit-identical run to run regardless of completion order.
-	sum := 0.0
-	for _, v := range partial {
-		sum += v
-	}
-	return sum
+	return p.SumSlots(0)
 }
 
-// ReduceSum2 is ReduceSum for functions producing two sums at once
-// (first and second derivatives share one traversal in makenewz).
+// ReduceSum2 is ReduceSum for functions producing two sums at once.
 func (p *Pool) ReduceSum2(fn func(worker int, r Range) (float64, float64)) (float64, float64) {
-	a := make([]float64, p.workers)
-	b := make([]float64, p.workers)
 	p.ParallelFor(func(w int, r Range) {
-		a[w], b[w] = fn(w, r)
+		p.slots[w].v[0], p.slots[w].v[1] = fn(w, r)
 	})
-	var sa, sb float64
-	for w := 0; w < p.workers; w++ {
-		sa += a[w]
-		sb += b[w]
-	}
-	return sa, sb
+	return p.SumSlots2(0, 1)
 }
 
 // Close shuts the worker goroutines down. The pool must not be used
 // afterwards. Closing an inline pool or closing twice is a no-op.
 func (p *Pool) Close() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.postMu.Lock()
+	defer p.postMu.Unlock()
 	if p.closed || p.workers == 1 {
 		p.closed = true
 		return
 	}
 	p.closed = true
-	for _, c := range p.jobs {
-		close(c)
-	}
+	p.stop.Store(true)
+	p.jobMu.Lock()
+	p.jobCond.Broadcast()
+	p.jobMu.Unlock()
 	p.wg.Wait()
 }
 
