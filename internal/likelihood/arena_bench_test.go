@@ -1,0 +1,120 @@
+package likelihood
+
+import (
+	"testing"
+
+	"raxml/internal/gtr"
+	"raxml/internal/msa"
+	"raxml/internal/rng"
+	"raxml/internal/threads"
+	"raxml/internal/tree"
+)
+
+// The paper's smallest multi-gene workload class: ~1288 alignment
+// patterns. Random DNA makes essentially every column a distinct
+// pattern, so 1288 characters compress to 1288 patterns.
+func bench1288Patterns(b *testing.B) *msa.Patterns {
+	b.Helper()
+	r := rng.New(1288)
+	letters := []byte("ACGT")
+	a := &msa.Alignment{}
+	nm := names(50)
+	for i := 0; i < 50; i++ {
+		a.Names = append(a.Names, nm[i])
+		row := make([]msa.State, 1288)
+		for j := range row {
+			row[j] = msa.EncodeChar(letters[r.Intn(4)])
+		}
+		a.Seqs = append(a.Seqs, row)
+	}
+	p, err := msa.Compress(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if p.NumPatterns() != 1288 {
+		b.Fatalf("workload has %d patterns, want 1288", p.NumPatterns())
+	}
+	return p
+}
+
+// BenchmarkNewviewArena measures the newview hot path — a full-tree
+// descriptor walk refreshing every directed CLV on the evaluation path —
+// on the 1288-pattern workload, under both rate treatments. This is the
+// benchmark the flat-CLV arena refactor is gated on (ISSUE 2 acceptance:
+// >= 1.3x over the recorded per-slice baseline) and the one benchdiff
+// watches most closely for regressions.
+func BenchmarkNewviewArena(b *testing.B) {
+	pat := bench1288Patterns(b)
+	tr := tree.Random(pat.Names, rng.New(3))
+	cases := []struct {
+		name  string
+		rates func() *gtr.RateCategories
+	}{
+		{"CAT", func() *gtr.RateCategories {
+			r := rng.New(5)
+			perSite := make([]float64, pat.NumPatterns())
+			for i := range perSite {
+				perSite[i] = 0.25 + 2*r.Float64()
+			}
+			return gtr.ClusterCAT(perSite, 25)
+		}},
+		{"GAMMA", func() *gtr.RateCategories {
+			rc, err := gtr.NewGamma(0.8, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return rc
+		}},
+	}
+	for _, tc := range cases {
+		for _, workers := range []int{1, 4} {
+			b.Run(tc.name+"/workers="+string(rune('0'+workers)), func(b *testing.B) {
+				pool := threads.NewPool(workers, pat.NumPatterns())
+				defer pool.Close()
+				e, err := New(pat, gtr.Default(), tc.rates(), Config{Pool: pool})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := e.AttachTree(tr); err != nil {
+					b.Fatal(err)
+				}
+				a := 0
+				nb := tr.Nodes[0].Neighbors[0]
+				slotA := e.slotOf(a, nb)
+				slotB := e.slotOf(nb, a)
+				_ = e.LogLikelihood() // warm allocation paths
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e.InvalidateAll()
+					e.refreshViews([2]int{a, slotA}, [2]int{nb, slotB})
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkEvaluateArena measures the evaluate (virtual-root reduction)
+// kernel alone over fresh CLVs — the other per-pattern loop the arena
+// layout streams.
+func BenchmarkEvaluateArena(b *testing.B) {
+	pat := bench1288Patterns(b)
+	tr := tree.Random(pat.Names, rng.New(3))
+	pool := threads.NewPool(1, pat.NumPatterns())
+	defer pool.Close()
+	rc, err := gtr.NewGamma(0.8, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := New(pat, gtr.Default(), rc, Config{Pool: pool})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.AttachTree(tr); err != nil {
+		b.Fatal(err)
+	}
+	_ = e.LogLikelihood() // CLVs fresh from here on
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.LogLikelihood()
+	}
+}

@@ -21,6 +21,18 @@
 // invalidate everything, branch-length changes invalidate precisely the
 // directions that can observe the changed edge.
 //
+// Flat CLV arena. All directed CLVs live in ONE contiguous []float64
+// owned by the engine, carved into fixed-size tiles of
+// nPatterns·nCat·4 float64, padded to whole 64-byte cache lines
+// (pattern-major within a tile:
+// tile + pattern·nCat·4 + cat·4 + state). Directed edges are bound to
+// tiles lazily on first use through a free list, so SPR-heavy searches
+// and bootstrap replicates reuse tiles instead of growing the heap, a
+// worker's pattern stripe of any CLV is one contiguous, streamable
+// block, and the newview inner loops index flat offsets the compiler
+// can bounds-check-eliminate. See docs/memory-layout.md for the layout
+// sketch and offset formula.
+//
 // Traversal descriptors. Lazy CLV maintenance is split from execution,
 // mirroring RAxML's traversalInfo machinery (see traversal.go): the
 // master plans a traversal — the ordered list of stale directed CLVs
@@ -51,6 +63,9 @@ const (
 	logScaleFactor = 589.4971701159494 // ln(1e256)
 )
 
+// noTile marks a directed edge with no arena tile bound yet.
+const noTile = int32(-1)
+
 // Engine evaluates and optimizes the likelihood of trees over one
 // pattern set. An Engine is bound to at most one tree at a time
 // (AttachTree) and is not safe for concurrent use by multiple
@@ -67,17 +82,36 @@ type Engine struct {
 	nPatterns int
 	nCat      int // CLV categories per pattern: 1 for CAT, k for GAMMA
 
-	// clv[node*3+slot] is the directed CLV, laid out
-	// [pattern*nCat*4 + cat*4 + state]; nil until first needed.
-	clv [][]float64
-	// scale[node*3+slot][pattern] counts rescaling events.
-	scale [][]int32
+	// The flat CLV arena. arena holds nTiles tiles of tileFloats
+	// float64 each; scaleArena holds the matching rescaling counters,
+	// tileScale int32 per tile. Both strides are padded up to full
+	// 64-byte cache lines (8 float64 / 16 int32) so every tile starts
+	// on its own line and AlignRanges stripe snapping keeps workers off
+	// each other's lines. tileOf[node*3+slot] maps a directed edge to
+	// its tile (noTile until first needed); freeTiles recycles tiles
+	// released by AttachTree. The float64 offset of directed CLV
+	// (node, slot) at pattern k, category c, state s is
+	//
+	//	tileOf[node*3+slot]*tileFloats + (k*nCat + c)*4 + s
+	arena      []float64
+	scaleArena []int32
+	tileOf     []int32
+	freeTiles  []int32
+	nTiles     int
+	tileFloats int
+	tileScale  int
+
 	// valid[node*3+slot] marks CLVs consistent with the current tree.
 	valid []bool
 
-	// tipVec[taxon] is the (undirected) tip CLV for one pattern block of
-	// the taxon, laid out [pattern*4 + state]; shared across categories.
-	tipVec [][]float64
+	// tipFlat packs every taxon's (undirected) tip CLV into one flat
+	// block: tipFlat[taxon*nPatterns*4 + pattern*4 + state], shared
+	// across categories.
+	tipFlat []float64
+	// tipCodeMask[taxon] has bit c set iff ambiguity code c occurs in
+	// the taxon's pattern row — the tip lookup tables are only filled
+	// for codes that can be indexed.
+	tipCodeMask []uint16
 
 	// scratch transition matrices, one per category (master-computed,
 	// read-only inside parallel sections). pLeft/pRight serve the
@@ -89,10 +123,12 @@ type Engine struct {
 
 	// traversal descriptor state (see traversal.go): the ordered list
 	// of stale directed CLVs posted to the pool as one job, its
-	// transition-matrix arena, and the window workers execute. Both
-	// buffers are reused across jobs for the engine's whole life.
+	// transition-matrix arena, the tip-lookup-table arena, and the
+	// window workers execute. All buffers are reused across jobs for
+	// the engine's whole life.
 	trav            []travEntry
 	travP           [][4][4]float64
+	travLUT         []float64
 	travLo, travHi  int
 	perNodeDispatch bool
 
@@ -142,6 +178,15 @@ func New(pat *msa.Patterns, model *gtr.Model, rates *gtr.RateCategories, cfg Con
 	} else {
 		e.nCat = rates.NumCats()
 	}
+	e.tileFloats = padTo(e.nPatterns*e.nCat*4, 8)
+	e.tileScale = padTo(e.nPatterns, 16)
+	// Snap worker stripe boundaries so no two workers write the same
+	// 64-byte cache line of any tile. The binding constraint is the
+	// scale counters (16 int32 per line); 16 patterns is also a
+	// multiple of every CLV line quantum (2 patterns/line for CAT,
+	// 1 for GAMMA), and the padded tile strides keep tile starts
+	// line-aligned, so quantum 16 covers both arenas.
+	e.pool.AlignRanges(16)
 	e.weights = append([]int(nil), pat.Weights...)
 	e.buildTipVectors()
 	e.pLeft = make([][4][4]float64, rates.NumCats())
@@ -154,19 +199,25 @@ func New(pat *msa.Patterns, model *gtr.Model, rates *gtr.RateCategories, cfg Con
 
 func (e *Engine) buildTipVectors() {
 	nTaxa := e.pat.NumTaxa()
-	e.tipVec = make([][]float64, nTaxa)
+	e.tipFlat = make([]float64, nTaxa*e.nPatterns*4)
+	e.tipCodeMask = make([]uint16, nTaxa)
 	for taxon := 0; taxon < nTaxa; taxon++ {
-		v := make([]float64, e.nPatterns*4)
+		v := e.tipFlat[taxon*e.nPatterns*4 : (taxon+1)*e.nPatterns*4]
 		for k := 0; k < e.nPatterns; k++ {
 			s := e.pat.Data[taxon][k]
+			e.tipCodeMask[taxon] |= 1 << uint(s)
 			for st := 0; st < 4; st++ {
 				if s&(1<<uint(st)) != 0 {
 					v[k*4+st] = 1
 				}
 			}
 		}
-		e.tipVec[taxon] = v
 	}
+}
+
+// tipVecOf returns taxon's flat tip CLV ([pattern*4 + state]).
+func (e *Engine) tipVecOf(taxon int) []float64 {
+	return e.tipFlat[taxon*e.nPatterns*4 : (taxon+1)*e.nPatterns*4]
 }
 
 // Pool returns the engine's worker pool.
@@ -192,42 +243,34 @@ func (e *Engine) Counts() (newviews, evals int64) {
 }
 
 // MemoryBytes returns the engine's current likelihood-buffer footprint:
-// allocated directed CLVs, scaling counters and tip vectors. Section 7
+// the CLV arena, its scaling counters and the tip vectors. Section 7
 // of the paper predicts that growing pattern counts will force one rank
 // to own the memory of many cores ("perhaps even the entire node");
 // this accessor quantifies the per-rank footprint driving that
-// prediction.
+// prediction. Because the arena is one flat allocation, the figure is
+// exact, not a sum over stray slices.
 func (e *Engine) MemoryBytes() int64 {
-	var total int64
-	for _, c := range e.clv {
-		total += int64(len(c)) * 8
-	}
-	for _, s := range e.scale {
-		total += int64(len(s)) * 4
-	}
-	for _, v := range e.tipVec {
-		total += int64(len(v)) * 8
-	}
-	return total
+	return int64(len(e.arena))*8 + int64(len(e.scaleArena))*4 + int64(len(e.tipFlat))*8
 }
 
-// EstimateMemoryBytes predicts the fully populated CLV footprint of an
-// engine over an alignment with the given dimensions: an unrooted tree
-// holds 2·taxa−2 nodes with up to 3 directed CLVs each, every CLV
-// carries 4·nCat float64 per pattern plus an int32 scaling counter, and
-// each taxon owns a flat tip vector. GTRCAT uses nCat = 1 per pattern;
+// EstimateMemoryBytes predicts the fully populated CLV-arena footprint
+// of an engine over an alignment with the given dimensions, exactly:
+// only the taxa−2 internal nodes of an unrooted tree carry directed
+// CLVs (3 each; tips use the shared flat tip vectors), every tile holds
+// 4·nCat float64 per pattern plus an int32 scaling counter per pattern
+// (both strides padded to whole 64-byte cache lines), and each taxon
+// owns a flat 4-wide tip vector. GTRCAT uses nCat = 1 per pattern;
 // GTRGAMMA nCat = 4 — the 4x memory ratio is why RAxML (and this
 // reproduction) default large analyses to CAT.
 func EstimateMemoryBytes(taxa, patterns, nCat int) int64 {
 	if taxa < 2 || patterns < 1 || nCat < 1 {
 		return 0
 	}
-	nodes := int64(2*taxa - 2)
-	perCLV := int64(patterns) * int64(nCat) * 4 * 8
-	perScale := int64(patterns) * 4
-	clvs := nodes * 3 * (perCLV + perScale)
+	tiles := int64(taxa-2) * 3
+	perTile := int64(padTo(patterns*nCat*4, 8)) * 8
+	perScale := int64(padTo(patterns, 16)) * 4
 	tips := int64(taxa) * int64(patterns) * 4 * 8
-	return clvs + tips
+	return tiles*(perTile+perScale) + tips
 }
 
 // SetWeights installs a pattern weight vector (a bootstrap replicate).
@@ -249,25 +292,91 @@ func (e *Engine) SetWeights(w []int) {
 func (e *Engine) Weights() []int { return e.weights }
 
 // AttachTree binds the engine to a tree and invalidates all CLVs.
-// The tree's taxon set must match the pattern set's rows.
+// The tree's taxon set must match the pattern set's rows. Every
+// tile→edge binding is released back to the free list, so successive
+// attachments (bootstrap replicates, restarts) reuse the arena instead
+// of growing it.
 func (e *Engine) AttachTree(t *tree.Tree) error {
 	if t.NumTaxa() != e.pat.NumTaxa() {
 		return fmt.Errorf("likelihood: tree has %d taxa, patterns have %d", t.NumTaxa(), e.pat.NumTaxa())
 	}
 	e.tree = t
 	e.ensureArena()
+	e.releaseTiles()
 	e.InvalidateAll()
 	return nil
 }
 
-// ensureArena grows the CLV bookkeeping to the tree's arena size.
+// ensureArena grows the per-directed-edge bookkeeping (tile bindings
+// and validity flags) to the tree's node-arena size in one grow per
+// slice — no per-element appends.
 func (e *Engine) ensureArena() {
 	n := e.tree.MaxNodeID() * 3
-	for len(e.clv) < n {
-		e.clv = append(e.clv, nil)
-		e.scale = append(e.scale, nil)
-		e.valid = append(e.valid, false)
+	if len(e.tileOf) >= n {
+		return
 	}
+	old := len(e.tileOf)
+	tiles := make([]int32, n)
+	copy(tiles, e.tileOf)
+	for i := old; i < n; i++ {
+		tiles[i] = noTile
+	}
+	e.tileOf = tiles
+	valid := make([]bool, n)
+	copy(valid, e.valid)
+	e.valid = valid
+}
+
+// releaseTiles unbinds every directed edge from its tile and returns
+// all tiles to the free list. The arena itself is retained.
+func (e *Engine) releaseTiles() {
+	for i := range e.tileOf {
+		e.tileOf[i] = noTile
+	}
+	e.freeTiles = e.freeTiles[:0]
+	for t := e.nTiles - 1; t >= 0; t-- {
+		e.freeTiles = append(e.freeTiles, int32(t))
+	}
+}
+
+// tileFor returns the arena tile bound to the directed edge
+// (node, slot), binding one lazily on first use: free-listed tiles are
+// reused before the arena grows by one tile.
+func (e *Engine) tileFor(node, slot int) int32 {
+	idx := node*3 + slot
+	t := e.tileOf[idx]
+	if t != noTile {
+		return t
+	}
+	if n := len(e.freeTiles); n > 0 {
+		t = e.freeTiles[n-1]
+		e.freeTiles = e.freeTiles[:n-1]
+	} else {
+		t = int32(e.nTiles)
+		e.nTiles++
+		e.arena = append(e.arena, make([]float64, e.tileFloats)...)
+		e.scaleArena = append(e.scaleArena, make([]int32, e.tileScale)...)
+	}
+	e.tileOf[idx] = t
+	return t
+}
+
+// clvOffset returns the float64 offset of directed CLV (node, slot) in
+// the arena, binding a tile on first use.
+func (e *Engine) clvOffset(node, slot int) int {
+	return int(e.tileFor(node, slot)) * e.tileFloats
+}
+
+// scaleOffset returns the int32 offset of the scaling counters of the
+// directed CLV (node, slot). Must be called after the tile is bound.
+func (e *Engine) scaleOffset(node, slot int) int {
+	return int(e.tileOf[node*3+slot]) * e.tileScale
+}
+
+// padTo rounds n up to the next multiple of q — tile strides are padded
+// to whole 64-byte cache lines so tiles never share a line.
+func padTo(n, q int) int {
+	return (n + q - 1) / q * q
 }
 
 // InvalidateAll marks every cached CLV stale (topology changed).
@@ -315,25 +424,6 @@ func (e *Engine) invalidateSide(from, acrossTo int) {
 			queue = append(queue, qe{nb, cur.node})
 		}
 	}
-}
-
-// clvFor returns the CLV buffer for the directed edge (node, slot),
-// allocating on first use.
-func (e *Engine) clvFor(node, slot int) []float64 {
-	idx := node*3 + slot
-	if e.clv[idx] == nil {
-		e.clv[idx] = make([]float64, e.nPatterns*e.nCat*4)
-		e.scale[idx] = make([]int32, e.nPatterns)
-	}
-	return e.clv[idx]
-}
-
-// catRate returns the rate multiplier for (pattern, clv-category).
-func (e *Engine) catRate(pattern, cat int) float64 {
-	if e.rates.IsCAT() {
-		return e.rates.Rates[e.rates.PatternCategory[pattern]]
-	}
-	return e.rates.Rates[cat]
 }
 
 // ensureP grows the per-category transition-matrix scratch buffers to

@@ -14,12 +14,23 @@ import (
 // fields, posts a job code, and workers run these kernels over disjoint
 // ranges. Reduction kernels return partials that land in the worker's
 // preallocated slot.
+//
+// The newview kernels are written against the flat CLV arena: each
+// worker materializes its contiguous pattern stripe of the destination
+// and child tiles once per entry (a three-index subslice of the arena,
+// so the compiler can drop bounds checks inside the loop), and the
+// child-kind combinations (tip x tip, tip x inner, inner x inner) and
+// the two rate treatments are specialized so the inner loop carries no
+// per-pattern branches beyond the weight skip. Tip children cost four
+// lookup-table loads instead of a 4x4 matrix-vector product.
 
-// childView describes one input of a newview combination: either a tip
-// (flat 4-wide vector, no scaling) or an internal directed CLV.
+// childView describes one input of an evaluate-side kernel: either a
+// tip (flat 4-wide vector, no scaling) or an internal directed CLV. The
+// slices are pattern stripes of the engine's flat arenas, materialized
+// by the master after all tiles are bound.
 type childView struct {
 	tip    bool
-	vec    []float64 // tipVec (tip) or clv (internal)
+	vec    []float64 // tip vector (tip) or arena tile (internal)
 	scale  []int32   // nil for tips
 	stride int       // 4 for tips, nCat*4 for internal CLVs
 }
@@ -27,65 +38,291 @@ type childView struct {
 func (e *Engine) viewOf(node, slot int) childView {
 	n := &e.tree.Nodes[node]
 	if n.IsTip() {
-		return childView{tip: true, vec: e.tipVec[n.Taxon], stride: 4}
+		return childView{tip: true, vec: e.tipVecOf(n.Taxon), stride: 4}
 	}
-	idx := node*3 + slot
-	return childView{vec: e.clv[idx], scale: e.scale[idx], stride: e.nCat * 4}
+	off := e.clvOffset(node, slot)
+	so := e.scaleOffset(node, slot)
+	return childView{
+		vec:    e.arena[off : off+e.tileFloats : off+e.tileFloats],
+		scale:  e.scaleArena[so : so+e.nPatterns : so+e.nPatterns],
+		stride: e.nCat * 4,
+	}
 }
 
 // newviewRange combines the CLVs of one traversal entry's two children
-// across their branches into the entry's directed CLV, over one pattern
-// range. The entry's views, destination and transition matrices were
-// resolved by the master in prepareTraversal; children at pattern k are
-// already fresh because descriptor order puts them first.
+// across their branches into the entry's directed CLV, over one worker's
+// pattern stripe. The entry's offsets, lookup tables and transition
+// matrices were resolved by the master in prepareTraversal; children at
+// pattern k are already fresh because descriptor order puts them first.
 func (e *Engine) newviewRange(ent *travEntry, r threads.Range) {
+	if r.Hi <= r.Lo {
+		return
+	}
+	if e.rates.IsCAT() {
+		e.newviewRangeCAT(ent, r)
+	} else {
+		e.newviewRangeGamma(ent, r)
+	}
+}
+
+// newviewRangeCAT is the nCat == 1 (per-pattern rate category) newview:
+// one 4-wide block per pattern, transition matrices selected by the
+// pattern's category.
+func (e *Engine) newviewRangeCAT(ent *travEntry, r threads.Range) {
+	lo, hi := r.Lo, r.Hi
+	dst := e.arena[ent.dstOff+lo*4 : ent.dstOff+hi*4 : ent.dstOff+hi*4]
+	dsc := e.scaleArena[ent.dstScaleOff+lo : ent.dstScaleOff+hi : ent.dstScaleOff+hi]
+	w := e.weights[lo:hi]
+	pcat := e.rates.PatternCategory[lo:hi]
+	npc := e.rates.NumCats()
 	left, right := ent.left, ent.right
-	dst, dstScale := ent.dst, ent.dstScale
+
+	switch {
+	case left.tip && right.tip:
+		codesL := e.pat.Data[left.taxon][lo:hi]
+		codesR := e.pat.Data[right.taxon][lo:hi]
+		lutL, lutR := ent.lutL, ent.lutR
+		for k := 0; k < len(w); k++ {
+			if w[k] == 0 {
+				continue
+			}
+			pc := pcat[k]
+			lb := (int(codesL[k])*npc + pc) * 4
+			rb := (int(codesR[k])*npc + pc) * 4
+			l := lutL[lb : lb+4 : lb+4]
+			rr := lutR[rb : rb+4 : rb+4]
+			v0 := l[0] * rr[0]
+			v1 := l[1] * rr[1]
+			v2 := l[2] * rr[2]
+			v3 := l[3] * rr[3]
+			var sc int32
+			if v0 < scaleThreshold && v1 < scaleThreshold && v2 < scaleThreshold && v3 < scaleThreshold {
+				v0 *= scaleFactor
+				v1 *= scaleFactor
+				v2 *= scaleFactor
+				v3 *= scaleFactor
+				sc = 1
+			}
+			o := k * 4
+			d := dst[o : o+4 : o+4]
+			d[0], d[1], d[2], d[3] = v0, v1, v2, v3
+			dsc[k] = sc
+		}
+
+	case left.tip != right.tip:
+		// Normalize: tip contribution from the lookup table, inner
+		// child through its matrices. v = tip * inner commutes, so the
+		// swap is exact.
+		tip, inner := left, right
+		lut, pm := ent.lutL, ent.pR
+		if right.tip {
+			tip, inner = right, left
+			lut, pm = ent.lutR, ent.pL
+		}
+		codes := e.pat.Data[tip.taxon][lo:hi]
+		iv := e.arena[inner.off+lo*4 : inner.off+hi*4 : inner.off+hi*4]
+		isc := e.scaleArena[inner.scaleOff+lo : inner.scaleOff+hi : inner.scaleOff+hi]
+		for k := 0; k < len(w); k++ {
+			if w[k] == 0 {
+				continue
+			}
+			pc := pcat[k]
+			tb := (int(codes[k])*npc + pc) * 4
+			t := lut[tb : tb+4 : tb+4]
+			o := k * 4
+			c := iv[o : o+4 : o+4]
+			c0, c1, c2, c3 := c[0], c[1], c[2], c[3]
+			p := &pm[pc]
+			v0 := t[0] * (p[0][0]*c0 + p[0][1]*c1 + p[0][2]*c2 + p[0][3]*c3)
+			v1 := t[1] * (p[1][0]*c0 + p[1][1]*c1 + p[1][2]*c2 + p[1][3]*c3)
+			v2 := t[2] * (p[2][0]*c0 + p[2][1]*c1 + p[2][2]*c2 + p[2][3]*c3)
+			v3 := t[3] * (p[3][0]*c0 + p[3][1]*c1 + p[3][2]*c2 + p[3][3]*c3)
+			sc := isc[k]
+			if v0 < scaleThreshold && v1 < scaleThreshold && v2 < scaleThreshold && v3 < scaleThreshold {
+				v0 *= scaleFactor
+				v1 *= scaleFactor
+				v2 *= scaleFactor
+				v3 *= scaleFactor
+				sc++
+			}
+			d := dst[o : o+4 : o+4]
+			d[0], d[1], d[2], d[3] = v0, v1, v2, v3
+			dsc[k] = sc
+		}
+
+	default: // inner x inner
+		lv := e.arena[left.off+lo*4 : left.off+hi*4 : left.off+hi*4]
+		rv := e.arena[right.off+lo*4 : right.off+hi*4 : right.off+hi*4]
+		lsc := e.scaleArena[left.scaleOff+lo : left.scaleOff+hi : left.scaleOff+hi]
+		rsc := e.scaleArena[right.scaleOff+lo : right.scaleOff+hi : right.scaleOff+hi]
+		pL, pR := ent.pL, ent.pR
+		for k := 0; k < len(w); k++ {
+			if w[k] == 0 {
+				continue
+			}
+			pc := pcat[k]
+			pl := &pL[pc]
+			pr := &pR[pc]
+			o := k * 4
+			l := lv[o : o+4 : o+4]
+			rr := rv[o : o+4 : o+4]
+			l0, l1, l2, l3 := l[0], l[1], l[2], l[3]
+			r0, r1, r2, r3 := rr[0], rr[1], rr[2], rr[3]
+			v0 := (pl[0][0]*l0 + pl[0][1]*l1 + pl[0][2]*l2 + pl[0][3]*l3) *
+				(pr[0][0]*r0 + pr[0][1]*r1 + pr[0][2]*r2 + pr[0][3]*r3)
+			v1 := (pl[1][0]*l0 + pl[1][1]*l1 + pl[1][2]*l2 + pl[1][3]*l3) *
+				(pr[1][0]*r0 + pr[1][1]*r1 + pr[1][2]*r2 + pr[1][3]*r3)
+			v2 := (pl[2][0]*l0 + pl[2][1]*l1 + pl[2][2]*l2 + pl[2][3]*l3) *
+				(pr[2][0]*r0 + pr[2][1]*r1 + pr[2][2]*r2 + pr[2][3]*r3)
+			v3 := (pl[3][0]*l0 + pl[3][1]*l1 + pl[3][2]*l2 + pl[3][3]*l3) *
+				(pr[3][0]*r0 + pr[3][1]*r1 + pr[3][2]*r2 + pr[3][3]*r3)
+			sc := lsc[k] + rsc[k]
+			if v0 < scaleThreshold && v1 < scaleThreshold && v2 < scaleThreshold && v3 < scaleThreshold {
+				v0 *= scaleFactor
+				v1 *= scaleFactor
+				v2 *= scaleFactor
+				v3 *= scaleFactor
+				sc++
+			}
+			d := dst[o : o+4 : o+4]
+			d[0], d[1], d[2], d[3] = v0, v1, v2, v3
+			dsc[k] = sc
+		}
+	}
+}
+
+// newviewRangeGamma is the multi-category (GAMMA) newview: nCat 4-wide
+// blocks per pattern, category c using transition matrices pL[c]/pR[c];
+// rescaling considers the maximum across all categories of a pattern.
+func (e *Engine) newviewRangeGamma(ent *travEntry, r threads.Range) {
+	lo, hi := r.Lo, r.Hi
 	nCat := e.nCat
-	for k := r.Lo; k < r.Hi; k++ {
-		if e.weights[k] == 0 {
-			continue
-		}
-		base := k * nCat * 4
-		var sc int32
-		if left.scale != nil {
-			sc += left.scale[k]
-		}
-		if right.scale != nil {
-			sc += right.scale[k]
-		}
-		maxEntry := 0.0
-		for cat := 0; cat < nCat; cat++ {
-			pc := e.pIndex(k, cat)
-			pl := &ent.pL[pc]
-			pr := &ent.pR[pc]
-			lBase := k*left.stride + boolIdx(left.tip, 0, cat*4)
-			rBase := k*right.stride + boolIdx(right.tip, 0, cat*4)
-			l0 := left.vec[lBase]
-			l1 := left.vec[lBase+1]
-			l2 := left.vec[lBase+2]
-			l3 := left.vec[lBase+3]
-			r0 := right.vec[rBase]
-			r1 := right.vec[rBase+1]
-			r2 := right.vec[rBase+2]
-			r3 := right.vec[rBase+3]
-			for s := 0; s < 4; s++ {
-				ls := pl[s][0]*l0 + pl[s][1]*l1 + pl[s][2]*l2 + pl[s][3]*l3
-				rs := pr[s][0]*r0 + pr[s][1]*r1 + pr[s][2]*r2 + pr[s][3]*r3
-				v := ls * rs
-				dst[base+cat*4+s] = v
-				if v > maxEntry {
-					maxEntry = v
+	st := nCat * 4
+	dst := e.arena[ent.dstOff+lo*st : ent.dstOff+hi*st : ent.dstOff+hi*st]
+	dsc := e.scaleArena[ent.dstScaleOff+lo : ent.dstScaleOff+hi : ent.dstScaleOff+hi]
+	w := e.weights[lo:hi]
+	left, right := ent.left, ent.right
+
+	switch {
+	case left.tip && right.tip:
+		codesL := e.pat.Data[left.taxon][lo:hi]
+		codesR := e.pat.Data[right.taxon][lo:hi]
+		lutL, lutR := ent.lutL, ent.lutR
+		for k := 0; k < len(w); k++ {
+			if w[k] == 0 {
+				continue
+			}
+			lc := int(codesL[k]) * st
+			rc := int(codesR[k]) * st
+			o := k * st
+			small := true
+			for c := 0; c < nCat; c++ {
+				l := lutL[lc+c*4 : lc+c*4+4 : lc+c*4+4]
+				rr := lutR[rc+c*4 : rc+c*4+4 : rc+c*4+4]
+				v0 := l[0] * rr[0]
+				v1 := l[1] * rr[1]
+				v2 := l[2] * rr[2]
+				v3 := l[3] * rr[3]
+				small = small && v0 < scaleThreshold && v1 < scaleThreshold &&
+					v2 < scaleThreshold && v3 < scaleThreshold
+				ob := o + c*4
+				d := dst[ob : ob+4 : ob+4]
+				d[0], d[1], d[2], d[3] = v0, v1, v2, v3
+			}
+			var sc int32
+			if small {
+				for i := o; i < o+st; i++ {
+					dst[i] *= scaleFactor
 				}
+				sc = 1
 			}
+			dsc[k] = sc
 		}
-		if maxEntry < scaleThreshold {
-			for i := base; i < base+nCat*4; i++ {
-				dst[i] *= scaleFactor
+
+	case left.tip != right.tip:
+		tip, inner := left, right
+		lut, pm := ent.lutL, ent.pR
+		if right.tip {
+			tip, inner = right, left
+			lut, pm = ent.lutR, ent.pL
+		}
+		codes := e.pat.Data[tip.taxon][lo:hi]
+		iv := e.arena[inner.off+lo*st : inner.off+hi*st : inner.off+hi*st]
+		isc := e.scaleArena[inner.scaleOff+lo : inner.scaleOff+hi : inner.scaleOff+hi]
+		for k := 0; k < len(w); k++ {
+			if w[k] == 0 {
+				continue
 			}
-			sc++
+			tb := int(codes[k]) * st
+			o := k * st
+			small := true
+			for c := 0; c < nCat; c++ {
+				t := lut[tb+c*4 : tb+c*4+4 : tb+c*4+4]
+				ob := o + c*4
+				cv := iv[ob : ob+4 : ob+4]
+				c0, c1, c2, c3 := cv[0], cv[1], cv[2], cv[3]
+				p := &pm[c]
+				v0 := t[0] * (p[0][0]*c0 + p[0][1]*c1 + p[0][2]*c2 + p[0][3]*c3)
+				v1 := t[1] * (p[1][0]*c0 + p[1][1]*c1 + p[1][2]*c2 + p[1][3]*c3)
+				v2 := t[2] * (p[2][0]*c0 + p[2][1]*c1 + p[2][2]*c2 + p[2][3]*c3)
+				v3 := t[3] * (p[3][0]*c0 + p[3][1]*c1 + p[3][2]*c2 + p[3][3]*c3)
+				small = small && v0 < scaleThreshold && v1 < scaleThreshold &&
+					v2 < scaleThreshold && v3 < scaleThreshold
+				d := dst[ob : ob+4 : ob+4]
+				d[0], d[1], d[2], d[3] = v0, v1, v2, v3
+			}
+			sc := isc[k]
+			if small {
+				for i := o; i < o+st; i++ {
+					dst[i] *= scaleFactor
+				}
+				sc++
+			}
+			dsc[k] = sc
 		}
-		dstScale[k] = sc
+
+	default: // inner x inner
+		lv := e.arena[left.off+lo*st : left.off+hi*st : left.off+hi*st]
+		rv := e.arena[right.off+lo*st : right.off+hi*st : right.off+hi*st]
+		lsc := e.scaleArena[left.scaleOff+lo : left.scaleOff+hi : left.scaleOff+hi]
+		rsc := e.scaleArena[right.scaleOff+lo : right.scaleOff+hi : right.scaleOff+hi]
+		pL, pR := ent.pL, ent.pR
+		for k := 0; k < len(w); k++ {
+			if w[k] == 0 {
+				continue
+			}
+			o := k * st
+			small := true
+			for c := 0; c < nCat; c++ {
+				ob := o + c*4
+				l := lv[ob : ob+4 : ob+4]
+				rr := rv[ob : ob+4 : ob+4]
+				l0, l1, l2, l3 := l[0], l[1], l[2], l[3]
+				r0, r1, r2, r3 := rr[0], rr[1], rr[2], rr[3]
+				pl := &pL[c]
+				pr := &pR[c]
+				v0 := (pl[0][0]*l0 + pl[0][1]*l1 + pl[0][2]*l2 + pl[0][3]*l3) *
+					(pr[0][0]*r0 + pr[0][1]*r1 + pr[0][2]*r2 + pr[0][3]*r3)
+				v1 := (pl[1][0]*l0 + pl[1][1]*l1 + pl[1][2]*l2 + pl[1][3]*l3) *
+					(pr[1][0]*r0 + pr[1][1]*r1 + pr[1][2]*r2 + pr[1][3]*r3)
+				v2 := (pl[2][0]*l0 + pl[2][1]*l1 + pl[2][2]*l2 + pl[2][3]*l3) *
+					(pr[2][0]*r0 + pr[2][1]*r1 + pr[2][2]*r2 + pr[2][3]*r3)
+				v3 := (pl[3][0]*l0 + pl[3][1]*l1 + pl[3][2]*l2 + pl[3][3]*l3) *
+					(pr[3][0]*r0 + pr[3][1]*r1 + pr[3][2]*r2 + pr[3][3]*r3)
+				small = small && v0 < scaleThreshold && v1 < scaleThreshold &&
+					v2 < scaleThreshold && v3 < scaleThreshold
+				d := dst[ob : ob+4 : ob+4]
+				d[0], d[1], d[2], d[3] = v0, v1, v2, v3
+			}
+			sc := lsc[k] + rsc[k]
+			if small {
+				for i := o; i < o+st; i++ {
+					dst[i] *= scaleFactor
+				}
+				sc++
+			}
+			dsc[k] = sc
+		}
 	}
 }
 

@@ -20,9 +20,18 @@ import (
 // one barrier crossing instead of O(nodes) crossings — the
 // synchronization amortization the paper's Pthreads layer relies on.
 //
-// The descriptor buffer, its transition-matrix arena, and the pool's
-// reduction slots are all reused across jobs, so steady-state posting
-// allocates nothing (after the engine's CLVs are warm).
+// Entries are resolved to *flat arena offsets*, not slice headers: a
+// worker materializes its own pattern stripe of the destination and
+// child tiles at execution time. Tip children are additionally resolved
+// to per-entry lookup tables (RAxML's tipVector/umpX tables): the
+// P-matrix row sums for all 16 ambiguity codes are precomputed by the
+// master, so the kernel replaces a 4x4 matrix-vector product per
+// pattern with four loads.
+//
+// The descriptor buffer, its transition-matrix arena, the tip-lookup
+// arena, and the pool's reduction slots are all reused across jobs, so
+// steady-state posting allocates nothing (after the engine's CLV arena
+// is warm).
 
 // TraversalEntry is one step of a traversal descriptor: compute the
 // directed CLV (Node, Slot) from children (C1, C1Slot) and (C2, C2Slot)
@@ -35,17 +44,31 @@ type TraversalEntry struct {
 	Len1, Len2 float64
 }
 
-// travEntry is a TraversalEntry resolved for execution: buffer
-// references are bound by the master in prepareTraversal so workers
-// never touch the engine's allocation paths.
+// travChild is one resolved input of a newview combination: either a
+// tip (identified by its taxon; the kernel reads the pattern codes and
+// the entry's lookup table) or an internal directed CLV identified by
+// its flat arena offsets.
+type travChild struct {
+	tip      bool
+	taxon    int // tip: row into the pattern matrix
+	off      int // internal: float64 offset of the child tile
+	scaleOff int // internal: int32 offset of the child's scale counters
+}
+
+// travEntry is a TraversalEntry resolved for execution: arena offsets
+// and lookup tables are bound by the master in prepareTraversal so
+// workers never touch the engine's allocation paths.
 type travEntry struct {
 	pub         TraversalEntry
-	left, right childView
-	dst         []float64
-	dstScale    []int32
+	left, right travChild
+	dstOff      int // float64 offset of the destination tile
+	dstScaleOff int // int32 offset of the destination scale counters
 	// pL, pR are this entry's transition matrices (one per rate
 	// category), subslices of the engine's arena.
 	pL, pR [][4][4]float64
+	// lutL, lutR are the tip lookup tables (16 codes x NumCats x 4
+	// states, subslices of e.travLUT); nil for internal children.
+	lutL, lutR []float64
 }
 
 // beginTraversal resets the descriptor buffer for a new plan. The
@@ -95,11 +118,65 @@ func (e *Engine) queueTraversal(node, slot int) {
 	e.valid[idx] = true
 }
 
+// childOf resolves a descriptor child to its executable form, binding
+// arena tiles as needed (master-side only).
+func (e *Engine) childOf(node, slot int) travChild {
+	n := &e.tree.Nodes[node]
+	if n.IsTip() {
+		return travChild{tip: true, taxon: n.Taxon}
+	}
+	off := e.clvOffset(node, slot)
+	return travChild{off: off, scaleOff: e.scaleOffset(node, slot)}
+}
+
+// fillTipLUT precomputes the left/right contribution of a tip child for
+// every ambiguity code the taxon actually uses (mask bit per code):
+// lut[(code*nc + c)*4 + s] = Σ_{j in code} P_c[s][j]. The per-pattern
+// kernel work for a tip child collapses to four loads. Summation visits
+// states in increasing order, exactly like the matrix-vector product
+// over a 0/1 tip CLV it replaces, so results are bit-identical. Plain
+// unambiguous codes (the overwhelming majority) are straight P-column
+// copies.
+func fillTipLUT(lut []float64, pm [][4][4]float64, mask uint16) {
+	nc := len(pm)
+	for c := 0; c < nc; c++ {
+		p := &pm[c]
+		for code := 1; code < 16; code++ {
+			if mask&(1<<uint(code)) == 0 {
+				continue
+			}
+			base := (code*nc + c) * 4
+			if code&(code-1) == 0 {
+				// single state: the P column itself
+				j := 0
+				for code>>uint(j+1) != 0 {
+					j++
+				}
+				lut[base+0] = p[0][j]
+				lut[base+1] = p[1][j]
+				lut[base+2] = p[2][j]
+				lut[base+3] = p[3][j]
+				continue
+			}
+			for s := 0; s < 4; s++ {
+				sum := 0.0
+				for j := 0; j < 4; j++ {
+					if code&(1<<uint(j)) != 0 {
+						sum += p[s][j]
+					}
+				}
+				lut[base+s] = sum
+			}
+		}
+	}
+}
+
 // prepareTraversal resolves the queued descriptor for execution: it
-// allocates destination CLVs, binds child views (earlier entries'
-// destinations become later entries' inputs), and fills each entry's
-// transition matrices into the shared arena. All serial master work —
-// workers only ever read the result.
+// binds destination tiles in the CLV arena, resolves child offsets
+// (earlier entries' destinations become later entries' inputs), fills
+// each entry's transition matrices into the shared matrix arena, and
+// builds tip lookup tables. All serial master work — workers only ever
+// read the result.
 func (e *Engine) prepareTraversal() {
 	n := len(e.trav)
 	if n == 0 {
@@ -111,19 +188,48 @@ func (e *Engine) prepareTraversal() {
 		e.travP = make([][4][4]float64, need)
 	}
 	e.travP = e.travP[:need]
+
+	// Size the tip-lookup arena: one 16 x nc x 4 table per tip child.
+	lutSize := 16 * nc * 4
+	tips := 0
+	for i := range e.trav {
+		if e.tree.Nodes[e.trav[i].pub.C1].IsTip() {
+			tips++
+		}
+		if e.tree.Nodes[e.trav[i].pub.C2].IsTip() {
+			tips++
+		}
+	}
+	if cap(e.travLUT) < tips*lutSize {
+		e.travLUT = make([]float64, tips*lutSize)
+	}
+	e.travLUT = e.travLUT[:tips*lutSize]
+
 	off := 0
+	lutOff := 0
 	for i := range e.trav {
 		ent := &e.trav[i]
-		ent.dst = e.clvFor(ent.pub.Node, ent.pub.Slot)
-		ent.dstScale = e.scale[ent.pub.Node*3+ent.pub.Slot]
-		ent.left = e.viewOf(ent.pub.C1, ent.pub.C1Slot)
-		ent.right = e.viewOf(ent.pub.C2, ent.pub.C2Slot)
+		ent.dstOff = e.clvOffset(ent.pub.Node, ent.pub.Slot)
+		ent.dstScaleOff = e.scaleOffset(ent.pub.Node, ent.pub.Slot)
+		ent.left = e.childOf(ent.pub.C1, ent.pub.C1Slot)
+		ent.right = e.childOf(ent.pub.C2, ent.pub.C2Slot)
 		ent.pL = e.travP[off : off+nc]
 		ent.pR = e.travP[off+nc : off+2*nc]
 		off += 2 * nc
 		for c := 0; c < nc; c++ {
 			e.model.P(ent.pub.Len1, e.rates.Rates[c], &ent.pL[c])
 			e.model.P(ent.pub.Len2, e.rates.Rates[c], &ent.pR[c])
+		}
+		ent.lutL, ent.lutR = nil, nil
+		if ent.left.tip {
+			ent.lutL = e.travLUT[lutOff : lutOff+lutSize]
+			fillTipLUT(ent.lutL, ent.pL, e.tipCodeMask[ent.left.taxon])
+			lutOff += lutSize
+		}
+		if ent.right.tip {
+			ent.lutR = e.travLUT[lutOff : lutOff+lutSize]
+			fillTipLUT(ent.lutR, ent.pR, e.tipCodeMask[ent.right.taxon])
+			lutOff += lutSize
 		}
 	}
 	e.newviewCount += int64(n)

@@ -192,13 +192,15 @@ func newPool(workers int, ranges []Range) *Pool {
 // generation, execute the job over the worker's range, report arrival.
 func (p *Pool) workerLoop(w int) {
 	defer p.wg.Done()
-	r := p.ranges[w]
 	var seen uint64
 	for {
 		if !p.awaitJob(&seen) {
 			return
 		}
-		p.execute(w, r)
+		// Re-read the stripe each job: AlignRanges may have snapped the
+		// boundaries after this worker started (the master's generation
+		// bump orders that write before this read).
+		p.execute(w, p.ranges[w])
 		if p.arrived.Add(1) == int64(p.workers-1) {
 			// Last helper: wake the master if it parked.
 			p.barMu.Lock()
@@ -307,6 +309,47 @@ func (p *Pool) awaitCrew() {
 		p.barCond.Wait()
 	}
 	p.barMu.Unlock()
+}
+
+// AlignRanges snaps the pool's internal stripe boundaries to multiples
+// of quantum patterns. Engines whose buffers tile the pattern axis call
+// this once so that no two workers ever write the same cache line of a
+// tile (e.g. a GTRCAT CLV packs two 32-byte patterns per 64-byte line:
+// quantum 2 keeps stripe edges off shared lines). Boundaries move by at
+// most quantum/2 patterns, so stripes stay balanced (weighted splits
+// shift at most quantum/2 patterns of weight per edge) and non-empty —
+// when any stripe is under 2·quantum patterns that guarantee fails, so
+// the call is a no-op: such workloads are latency-bound, not
+// bandwidth-bound, and an empty stripe would cost more than a shared
+// line. Must not be called concurrently with a posted job; the next
+// Post publishes the new stripes to the crew.
+func (p *Pool) AlignRanges(quantum int) {
+	if quantum <= 1 || p.workers == 1 {
+		return
+	}
+	p.postMu.Lock()
+	defer p.postMu.Unlock()
+	for _, r := range p.ranges {
+		if r.Len() < 2*quantum {
+			return
+		}
+	}
+	n := p.ranges[p.workers-1].Hi
+	lo := p.ranges[0].Lo
+	for i := 0; i < p.workers; i++ {
+		hi := p.ranges[i].Hi
+		if i < p.workers-1 {
+			hi = (hi + quantum/2) / quantum * quantum
+			if hi < lo {
+				hi = lo
+			}
+			if hi > n {
+				hi = n
+			}
+		}
+		p.ranges[i] = Range{lo, hi}
+		lo = hi
+	}
 }
 
 // Workers returns the number of workers in the pool.

@@ -291,3 +291,80 @@ func BenchmarkReduceSumKernel(b *testing.B) {
 		})
 	}
 }
+
+func TestAlignRangesSnapsBoundaries(t *testing.T) {
+	const n, workers, quantum = 1288, 4, 16
+	p := NewPool(workers, n)
+	defer p.Close()
+	p.AlignRanges(quantum)
+	lo := 0
+	for i, r := range p.Ranges() {
+		if r.Lo != lo {
+			t.Fatalf("worker %d: stripe starts at %d, want %d (contiguous cover)", i, r.Lo, lo)
+		}
+		if i < workers-1 && r.Hi%quantum != 0 {
+			t.Fatalf("worker %d: boundary %d not a multiple of %d", i, r.Hi, quantum)
+		}
+		if r.Len() == 0 {
+			t.Fatalf("worker %d: empty stripe after alignment", i)
+		}
+		// Boundaries move by at most quantum/2, so stripes stay balanced.
+		if want := n / workers; r.Len() < want-quantum || r.Len() > want+quantum {
+			t.Fatalf("worker %d: stripe of %d patterns, want %d±%d", i, r.Len(), want, quantum)
+		}
+		lo = r.Hi
+	}
+	if lo != n {
+		t.Fatalf("stripes cover %d patterns, want %d", lo, n)
+	}
+}
+
+func TestAlignRangesSmallWorkloadNoOp(t *testing.T) {
+	// Average stripe below 2*quantum: snapping could empty a stripe, so
+	// the call must leave the even split untouched.
+	const n, workers, quantum = 100, 16, 16
+	p := NewPool(workers, n)
+	defer p.Close()
+	want := append([]Range(nil), p.Ranges()...)
+	p.AlignRanges(quantum)
+	for i, r := range p.Ranges() {
+		if r != want[i] {
+			t.Fatalf("worker %d: stripe changed %v -> %v on a small workload", i, want[i], r)
+		}
+		if r.Len() == 0 {
+			t.Fatalf("worker %d: empty stripe", i)
+		}
+	}
+}
+
+func TestAlignRangesNarrowWeightedStripeNoOp(t *testing.T) {
+	// A weighted split can produce a stripe narrower than the quantum
+	// even when the total span is large; snapping would empty it, so the
+	// call must be a no-op whenever any stripe is under 2*quantum.
+	weights := make([]int, 1288)
+	for i := range weights {
+		weights[i] = 1
+	}
+	// Pile weight onto a narrow band so one worker's stripe is thin.
+	for i := 100; i < 104; i++ {
+		weights[i] = 1000
+	}
+	p := NewPoolWeighted(4, weights)
+	defer p.Close()
+	narrow := false
+	for _, r := range p.Ranges() {
+		if r.Len() < 32 {
+			narrow = true
+		}
+	}
+	if !narrow {
+		t.Skip("weighted split produced no narrow stripe; probe needs retuning")
+	}
+	want := append([]Range(nil), p.Ranges()...)
+	p.AlignRanges(16)
+	for i, r := range p.Ranges() {
+		if r != want[i] {
+			t.Fatalf("worker %d: stripe changed %v -> %v despite narrow stripe", i, want[i], r)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+// Command benchdiff compares a `go test -bench` text output against the
+// committed benchmark baseline (BENCH_BASELINE.json at the repo root)
+// and exits non-zero when a gated benchmark regressed by more than the
+// threshold in ns/op. The CI bench job runs it after every PR's
+// benchmark sweep, so a slowdown in the likelihood hot path fails the
+// build instead of landing silently.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . ./internal/likelihood/ | \
+//	    go run ./scripts/benchdiff.go -baseline BENCH_BASELINE.json
+//
+//	go run ./scripts/benchdiff.go -bench out.txt -baseline BENCH_BASELINE.json -update
+//
+// Benchmarks are keyed as "<import path>/<benchmark name>" (the
+// GOMAXPROCS "-N" suffix is stripped), and only keys matching the -gate
+// prefix are compared and stored — the likelihood package by default,
+// per the repo's regression policy. New benchmarks absent from the
+// baseline are reported but do not fail the run; gated benchmarks that
+// are in the baseline but MISSING from the run DO fail it (a crashed
+// or deleted benchmark must not silently vacate the gate). Refresh the
+// baseline with -update on a quiet machine when the set changes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Baseline is the schema of BENCH_BASELINE.json.
+type Baseline struct {
+	Recorded string `json:"recorded"`
+	CPU      string `json:"cpu"`
+	Note     string `json:"note,omitempty"`
+	// Benchmarks maps "<pkg>/<name>" to ns/op.
+	Benchmarks map[string]float64 `json:"benchmarks"`
+	// PreRefactor optionally records historical reference points (e.g.
+	// the per-slice CLV layout before the flat-arena refactor) so the
+	// current numbers carry their context.
+	PreRefactor map[string]float64 `json:"pre_refactor,omitempty"`
+}
+
+var (
+	benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+	pkgLine   = regexp.MustCompile(`^pkg:\s+(\S+)`)
+	cpuLine   = regexp.MustCompile(`^cpu:\s+(.+)$`)
+	procsTail = regexp.MustCompile(`-\d+$`)
+)
+
+// parseBench extracts "<pkg>/<name>" → ns/op from go test -bench output.
+func parseBench(r io.Reader) (map[string]float64, string, error) {
+	out := map[string]float64{}
+	cpu := ""
+	pkg := ""
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return nil, "", err
+	}
+	for _, line := range strings.Split(string(buf), "\n") {
+		line = strings.TrimSpace(line)
+		if m := pkgLine.FindStringSubmatch(line); m != nil {
+			pkg = m[1]
+			continue
+		}
+		if m := cpuLine.FindStringSubmatch(line); m != nil {
+			cpu = m[1]
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := procsTail.ReplaceAllString(m[1], "")
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		key := name
+		if pkg != "" {
+			key = pkg + "/" + name
+		}
+		out[key] = ns
+	}
+	return out, cpu, nil
+}
+
+func main() {
+	benchPath := flag.String("bench", "-", "benchmark output file ('-' for stdin)")
+	basePath := flag.String("baseline", "BENCH_BASELINE.json", "baseline JSON path")
+	threshold := flag.Float64("threshold", 0.15, "allowed ns/op regression fraction")
+	gate := flag.String("gate", "raxml/internal/likelihood", "key prefix of gated benchmarks")
+	update := flag.Bool("update", false, "rewrite the baseline from this output instead of comparing")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *benchPath != "-" {
+		f, err := os.Open(*benchPath)
+		if err != nil {
+			fatal("open bench output: %v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	got, cpu, err := parseBench(in)
+	if err != nil {
+		fatal("parse bench output: %v", err)
+	}
+	gated := map[string]float64{}
+	for k, v := range got {
+		if strings.HasPrefix(k, *gate) {
+			gated[k] = v
+		}
+	}
+	if len(gated) == 0 {
+		fatal("no benchmarks under gate prefix %q in input (%d total)", *gate, len(got))
+	}
+
+	if *update {
+		old, _ := readBaseline(*basePath)
+		b := Baseline{
+			Recorded:   time.Now().UTC().Format("2006-01-02"),
+			CPU:        cpu,
+			Benchmarks: gated,
+		}
+		if old != nil {
+			b.Note = old.Note
+			b.PreRefactor = old.PreRefactor
+		}
+		j, err := json.MarshalIndent(&b, "", "  ")
+		if err != nil {
+			fatal("encode baseline: %v", err)
+		}
+		if err := os.WriteFile(*basePath, append(j, '\n'), 0o644); err != nil {
+			fatal("write baseline: %v", err)
+		}
+		fmt.Printf("benchdiff: wrote %s with %d gated benchmarks\n", *basePath, len(gated))
+		return
+	}
+
+	base, err := readBaseline(*basePath)
+	if err != nil {
+		fatal("read baseline: %v", err)
+	}
+	keys := make([]string, 0, len(gated))
+	for k := range gated {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	regressions := 0
+	for _, k := range keys {
+		ns := gated[k]
+		old, ok := base.Benchmarks[k]
+		if !ok {
+			fmt.Printf("NEW        %-70s %12.0f ns/op (not in baseline)\n", k, ns)
+			continue
+		}
+		delta := ns/old - 1
+		status := "ok"
+		if delta > *threshold {
+			status = "REGRESSION"
+			regressions++
+		} else if delta < -*threshold {
+			status = "faster"
+		}
+		fmt.Printf("%-10s %-70s %12.0f ns/op  baseline %12.0f  (%+.1f%%)\n",
+			status, k, ns, old, 100*delta)
+	}
+	missing := 0
+	for k := range base.Benchmarks {
+		if _, ok := gated[k]; !ok && strings.HasPrefix(k, *gate) {
+			fmt.Printf("MISSING    %-70s (in baseline, not in this run)\n", k)
+			missing++
+		}
+	}
+	if missing > 0 {
+		fatal("%d gated benchmark(s) in %s did not run — a crashed or renamed benchmark must not vacate the gate (re-record with -update if the set changed intentionally)",
+			missing, *basePath)
+	}
+	if regressions > 0 {
+		fatal("%d gated benchmark(s) regressed more than %.0f%% vs %s (cpu now: %s, baseline: %s)",
+			regressions, *threshold*100, *basePath, cpu, base.CPU)
+	}
+	fmt.Printf("benchdiff: %d gated benchmarks within %.0f%% of baseline\n", len(keys), *threshold*100)
+}
+
+func readBaseline(path string) (*Baseline, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(buf, &b); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if b.Benchmarks == nil {
+		b.Benchmarks = map[string]float64{}
+	}
+	return &b, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchdiff: "+format+"\n", args...)
+	os.Exit(1)
+}
