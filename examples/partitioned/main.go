@@ -1,0 +1,71 @@
+// Partitioned: a multi-gene (-q) analysis end to end. mkdata
+// synthesizes a 3-gene alignment — every gene evolved on the SAME true
+// topology but under different per-gene conditions (rate heterogeneity,
+// overall rate) — and writes the RAxML-style partition file next to it;
+// the raxml tool then runs a partitioned comprehensive analysis where
+// every gene gets its own GTR model instance (frequencies,
+// exchangeabilities, per-gene rates) under linked branch lengths, and
+// the whole likelihood hot path still costs one pool dispatch per
+// traversal.
+//
+// This drives the exact same code paths as the command lines
+//
+//	mkdata -out DIR -taxa 12 -chars 300 -genes 3 -seed 7
+//	raxml -s DIR/multigene_12x3x300.phy -q DIR/multigene_12x3x300.part \
+//	      -m GTRGAMMA -f a -N 8 -T 2 -w DIR -n partdemo
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"raxml"
+	"raxml/internal/cli"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "raxml-partitioned")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// 1. Synthesize the multi-gene data set + partition file.
+	if err := cli.Mkdata([]string{
+		"-out", dir, "-taxa", "12", "-chars", "300", "-genes", "3", "-seed", "7",
+	}, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	base := filepath.Join(dir, "multigene_12x3x300")
+
+	// 2. Inspect the partitioned pattern set through the facade.
+	pat, err := raxml.LoadPartitionedAlignment(base+".phy", base+".part")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d taxa, %d sites, %d partitions, %d patterns (partition-major)\n",
+		pat.NumTaxa(), pat.NumChars(), pat.NumParts(), pat.NumPatterns())
+	for _, pr := range pat.PartRanges() {
+		fmt.Printf("  %-8s patterns [%4d, %4d)\n", pr.Name, pr.Lo, pr.Hi)
+	}
+	fmt.Println()
+
+	// 3. Run the -q analysis through the raxml command-line tool: a
+	// small comprehensive run with per-gene GTRGAMMA model instances.
+	if err := cli.Raxml([]string{
+		"-s", base + ".phy", "-q", base + ".part",
+		"-m", "GTRGAMMA", "-f", "a", "-N", "8", "-T", "2",
+		"-w", dir, "-n", "partdemo",
+	}, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. The per-gene models were optimized independently: show them.
+	best, err := os.ReadFile(filepath.Join(dir, "RAxML_bestTree.partdemo"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbest tree:\n%s", best)
+}

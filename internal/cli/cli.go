@@ -36,6 +36,7 @@ func Raxml(args []string, stdout io.Writer) error {
 	fs.SetOutput(stdout)
 	var (
 		alignFile  = fs.String("s", "", "alignment file (PHYLIP or FASTA)")
+		partFile   = fs.String("q", "", "partition file (RAxML -q syntax: one gene per line, each with its own model instance)")
 		runName    = fs.String("n", "run", "run name used in output file names")
 		model      = fs.String("m", "GTRCAT", "model: GTRCAT or GTRGAMMA")
 		bootstraps = fs.Int("N", 100, "bootstraps (-f a/b) or searches (-f d)")
@@ -73,12 +74,40 @@ func Raxml(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	pat, err := msa.Compress(a)
-	if err != nil {
-		return err
+	var pat *msa.Patterns
+	if *partFile != "" {
+		pf, err := os.Open(*partFile)
+		if err != nil {
+			return err
+		}
+		defs, err := msa.ParsePartitionFile(pf)
+		pf.Close()
+		if err != nil {
+			return err
+		}
+		pat, err = msa.CompressPartitioned(a, defs)
+		if err != nil {
+			return err
+		}
+	} else {
+		pat, err = msa.Compress(a)
+		if err != nil {
+			return err
+		}
 	}
 	fmt.Fprintf(stdout, "Alignment: %d taxa, %d characters, %d distinct patterns\n",
 		pat.NumTaxa(), pat.NumChars(), pat.NumPatterns())
+	if pat.NumParts() > 1 {
+		fmt.Fprintf(stdout, "Partitions (%d, per-partition %s models, linked branch lengths):\n",
+			pat.NumParts(), *model)
+		for _, pr := range pat.PartRanges() {
+			w := 0
+			for k := pr.Lo; k < pr.Hi; k++ {
+				w += pat.Weights[k]
+			}
+			fmt.Fprintf(stdout, "  %-12s %d sites, %d patterns\n", pr.Name, w, pr.Len())
+		}
+	}
 
 	opts := core.Options{
 		Bootstraps:     *bootstraps,
@@ -303,10 +332,11 @@ func Mkdata(args []string, stdout io.Writer) error {
 		outDir = fs.String("out", ".", "output directory")
 		setIdx = fs.Int("set", -1, "Table-3 data set index 0-4 (-1 = all)")
 		taxa   = fs.Int("taxa", 0, "custom: taxa (overrides -set)")
-		chars  = fs.Int("chars", 0, "custom: characters")
+		chars  = fs.Int("chars", 0, "custom: characters (per gene with -genes)")
 		seed   = fs.Int64("seed", 1, "custom: generator seed")
 		scale  = fs.Float64("scale", 0.5, "custom: tree length scale")
 		alpha  = fs.Float64("alpha", 0.8, "custom: rate heterogeneity shape")
+		genes  = fs.Int("genes", 1, "custom: genes to concatenate; writes a RAxML -q partition file next to the alignment")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -316,6 +346,10 @@ func Mkdata(args []string, stdout io.Writer) error {
 	}
 	if *taxa > 0 {
 		cfg := seqgen.Config{Taxa: *taxa, Chars: *chars, Seed: *seed, TreeScale: *scale, Alpha: *alpha}
+		if *genes > 1 {
+			base := fmt.Sprintf("multigene_%dx%dx%d", *taxa, *genes, *chars)
+			return writeMultiGene(cfg, *genes, filepath.Join(*outDir, base), stdout)
+		}
 		name := fmt.Sprintf("custom_%dx%d.phy", *taxa, *chars)
 		return writeDataSet(cfg, filepath.Join(*outDir, name), 0, stdout)
 	}
@@ -355,6 +389,71 @@ func writeDataSet(cfg seqgen.Config, path string, paperPatterns int, stdout io.W
 		fmt.Fprintf(stdout, "%s: %d taxa, %d chars, %d patterns\n",
 			path, a.NumTaxa(), a.NumChars(), pat.NumPatterns())
 	}
+	return nil
+}
+
+// writeMultiGene synthesizes a multi-gene alignment: `genes` genes of
+// cfg.Chars columns each, evolved on ONE shared true topology (same
+// seed, so tree.Random draws the same tree) but under per-gene
+// conditions — rate heterogeneity (alpha) and overall rate (tree
+// scale) vary deterministically across genes, so a partitioned
+// analysis has real per-partition signal to recover. Writes
+// <base>.phy and the matching RAxML -q partition file <base>.part.
+func writeMultiGene(cfg seqgen.Config, genes int, base string, stdout io.Writer) error {
+	var all *msa.Alignment
+	var defs []msa.PartitionDef
+	lo := 0
+	for g := 0; g < genes; g++ {
+		gc := cfg
+		// Spread gene conditions over a deterministic range: alpha in
+		// [0.5, 1.5]x and overall rate in [0.6, 1.4]x of the base.
+		f := 0.0
+		if genes > 1 {
+			f = float64(g) / float64(genes-1)
+		}
+		gc.Alpha = cfg.Alpha * (0.5 + f)
+		gc.TreeScale = cfg.TreeScale * (0.6 + 0.8*f)
+		a, _, err := seqgen.Generate(gc)
+		if err != nil {
+			return err
+		}
+		if all == nil {
+			all = a
+		} else {
+			for i := range all.Seqs {
+				all.Seqs[i] = append(all.Seqs[i], a.Seqs[i]...)
+			}
+		}
+		defs = append(defs, msa.PartitionDef{
+			ModelName: "DNA",
+			Name:      fmt.Sprintf("gene%d", g),
+			Ranges:    []msa.SiteRange{{Lo: lo, Hi: lo + gc.Chars, Stride: 1}},
+		})
+		lo += gc.Chars
+	}
+	pat, err := msa.CompressPartitioned(all, defs)
+	if err != nil {
+		return err
+	}
+	phy := base + ".phy"
+	part := base + ".part"
+	f, err := os.Create(phy)
+	if err != nil {
+		return err
+	}
+	if err := msa.WritePHYLIP(f, all); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.WriteFile(part, []byte(msa.FormatPartitionFile(defs)), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%s: %d taxa, %d genes x %d chars, %d patterns\n",
+		phy, all.NumTaxa(), genes, cfg.Chars, pat.NumPatterns())
+	fmt.Fprintf(stdout, "%s: partition file (-q)\n", part)
 	return nil
 }
 

@@ -296,3 +296,67 @@ func TestPaperbenchQuick(t *testing.T) {
 		t.Error("table5.csv not written")
 	}
 }
+
+func TestMkdataMultiGeneAndRaxmlPartitioned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full analysis skipped in -short mode")
+	}
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := Mkdata([]string{
+		"-out", dir, "-taxa", "8", "-chars", "120", "-genes", "3", "-seed", "11",
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Join(dir, "multigene_8x3x120")
+	for _, suffix := range []string{".phy", ".part"} {
+		if _, err := os.Stat(base + suffix); err != nil {
+			t.Fatalf("mkdata did not write %s: %v", base+suffix, err)
+		}
+	}
+	// The emitted partition file must be machine-parseable and cover
+	// the alignment exactly.
+	pf, err := os.Open(base + ".part")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defs, err := msa.ParsePartitionFile(pf)
+	pf.Close()
+	if err != nil {
+		t.Fatalf("emitted partition file unparseable: %v", err)
+	}
+	if len(defs) != 3 {
+		t.Fatalf("partition file has %d genes, want 3", len(defs))
+	}
+
+	// End-to-end -q analysis: evaluate a quick multi-search on the
+	// partitioned data with per-gene models.
+	out.Reset()
+	err = Raxml([]string{
+		"-s", base + ".phy", "-q", base + ".part",
+		"-n", "part1", "-f", "d", "-N", "2", "-T", "2", "-w", dir,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Partitions (3") {
+		t.Errorf("partition summary missing from output:\n%s", out.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "RAxML_bestTree.part1")); err != nil {
+		t.Fatalf("best tree not written: %v", err)
+	}
+}
+
+func TestRaxmlPartitionFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	align := writeTestAlignment(t, dir)
+	// A partition file that does not cover the alignment must fail.
+	part := filepath.Join(dir, "bad.part")
+	if err := os.WriteFile(part, []byte("DNA, g0 = 1-100\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := Raxml([]string{"-s", align, "-q", part, "-n", "bad", "-w", dir}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "not covered") {
+		t.Fatalf("gap-ridden partition file accepted: %v", err)
+	}
+}

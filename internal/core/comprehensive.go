@@ -6,13 +6,10 @@ import (
 	"time"
 
 	"raxml/internal/fabric"
-	"raxml/internal/gtr"
-	"raxml/internal/likelihood"
 	"raxml/internal/msa"
 	"raxml/internal/rapidbs"
 	"raxml/internal/rng"
 	"raxml/internal/search"
-	"raxml/internal/threads"
 	"raxml/internal/tree"
 )
 
@@ -254,26 +251,11 @@ func runRank(pat *msa.Patterns, opts Options, sched Schedule, rank int, c *fabri
 	// worker crew, the CLV arena and the traversal-descriptor buffer
 	// are all reused across every bootstrap replicate and search stage
 	// (the persistent-crew structure of the paper's Pthreads layer).
-	pool := threads.NewPool(opts.Workers, pat.NumPatterns())
+	pool := newPool(pat, opts.Workers)
 	defer pool.Close()
-
-	model := gtr.Default()
-	var rates *gtr.RateCategories
-	if opts.Model == GTRGAMMA {
-		g, err := gtr.NewGamma(opts.Alpha, 4)
-		if err != nil {
-			return nil, nil, err
-		}
-		rates = g
-	} else {
-		rates = gtr.NewUniform(pat.NumPatterns())
-	}
-	eng, err := likelihood.New(pat, model, rates, likelihood.Config{Pool: pool})
+	eng, err := newEngine(pat, opts, pool)
 	if err != nil {
 		return nil, nil, err
-	}
-	if opts.EmpiricalFreqs {
-		eng.EstimateEmpiricalFreqs()
 	}
 
 	rep := &RankReport{Rank: rank, Sched: sched}

@@ -6,7 +6,6 @@ import (
 
 	"raxml/internal/likelihood"
 	"raxml/internal/msa"
-	"raxml/internal/threads"
 	"raxml/internal/tree"
 )
 
@@ -37,7 +36,7 @@ func EvaluateTree(pat *msa.Patterns, t *tree.Tree, opts Options) (*EvaluationRes
 		return nil, fmt.Errorf("core: tree has %d taxa, alignment has %d", t.NumTaxa(), pat.NumTaxa())
 	}
 	start := time.Now()
-	pool := threads.NewPool(opts.Workers, pat.NumPatterns())
+	pool := newPool(pat, opts.Workers)
 	defer pool.Close()
 	eng, err := newEngine(pat, opts, pool)
 	if err != nil {

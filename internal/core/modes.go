@@ -69,7 +69,7 @@ func RunMultiSearch(pat *msa.Patterns, searches int, opts Options) (*MultiSearch
 	err := fabric.Run(opts.Ranks, func(c *fabric.Comm) error {
 		rank := c.Rank()
 		parsRNG := rng.ForRank(opts.SeedParsimony, rank)
-		pool := threads.NewPool(opts.Workers, pat.NumPatterns())
+		pool := newPool(pat, opts.Workers)
 		defer pool.Close()
 		eng, err := newEngine(pat, opts, pool)
 		if err != nil {
@@ -153,7 +153,7 @@ func RunBootstraps(pat *msa.Patterns, opts Options) (*BootstrapResult, error) {
 		rank := c.Rank()
 		parsRNG := rng.ForRank(opts.SeedParsimony, rank)
 		bsRNG := rng.ForRank(opts.SeedBootstrap, rank)
-		pool := threads.NewPool(opts.Workers, pat.NumPatterns())
+		pool := newPool(pat, opts.Workers)
 		defer pool.Close()
 		eng, err := newEngine(pat, opts, pool)
 		if err != nil {
@@ -195,20 +195,38 @@ func RunBootstraps(pat *msa.Patterns, opts Options) (*BootstrapResult, error) {
 	return res, nil
 }
 
-// newEngine builds a per-rank likelihood engine per the options.
-func newEngine(pat *msa.Patterns, opts Options, pool *threads.Pool) (*likelihood.Engine, error) {
-	model := gtr.Default()
-	var rates *gtr.RateCategories
-	if opts.Model == GTRGAMMA {
-		g, err := gtr.NewGamma(opts.Alpha, 4)
-		if err != nil {
-			return nil, err
-		}
-		rates = g
-	} else {
-		rates = gtr.NewUniform(pat.NumPatterns())
+// newPool builds a per-rank worker pool for the pattern set: stripes
+// balance pattern weight for multi-gene data (one job posting covers
+// the concatenated (partition, pattern-stripe) units), the plain even
+// split otherwise. The likelihood engine snaps the stripe boundaries
+// to its tile segments itself (likelihood.build aligns the supplied
+// pool against the segment starts it lays out), so no alignment
+// happens here.
+func newPool(pat *msa.Patterns, workers int) *threads.Pool {
+	if pat.NumParts() > 1 {
+		return threads.NewPoolWeighted(workers, pat.Weights)
 	}
-	eng, err := likelihood.New(pat, model, rates, likelihood.Config{Pool: pool})
+	return threads.NewPool(workers, pat.NumPatterns())
+}
+
+// newEngine builds a per-rank likelihood engine per the options: one
+// model instance (frequencies, exchangeabilities, Γ shape or CAT
+// assignment) per alignment partition, all optimized independently by
+// the search stages, under linked branch lengths.
+func newEngine(pat *msa.Patterns, opts Options, pool *threads.Pool) (*likelihood.Engine, error) {
+	set := gtr.NewPartitionSet(pat.NumParts())
+	for i, pr := range pat.PartRanges() {
+		if opts.Model == GTRGAMMA {
+			g, err := gtr.NewGamma(opts.Alpha, 4)
+			if err != nil {
+				return nil, err
+			}
+			set.Rates[i] = g
+		} else {
+			set.Rates[i] = gtr.NewUniform(pr.Len())
+		}
+	}
+	eng, err := likelihood.NewPartitioned(pat, set, likelihood.Config{Pool: pool})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,110 @@
+package gtr
+
+import "fmt"
+
+// PartitionSet bundles one substitution-model instance and one
+// rate-heterogeneity treatment per alignment partition — the
+// per-partition model state of a multi-gene (-q) analysis. Every
+// partition owns independent base frequencies, GTR exchangeabilities,
+// Γ shape (through its category rates) and CAT assignments; only the
+// *kind* of rate treatment is shared, because the likelihood engine
+// lays CLVs out with one category width for the whole arena (RAxML
+// makes the same choice: -m picks CAT or GAMMA for all partitions).
+type PartitionSet struct {
+	// Models holds one GTR model per partition.
+	Models []*Model
+	// Rates holds one rate treatment per partition. All entries must be
+	// CAT, or all GAMMA with the same category count (see Validate).
+	Rates []*RateCategories
+}
+
+// NewPartitionSet returns a set of n independent default models with
+// nil rate treatments; callers fill Rates per partition.
+func NewPartitionSet(n int) *PartitionSet {
+	s := &PartitionSet{
+		Models: make([]*Model, n),
+		Rates:  make([]*RateCategories, n),
+	}
+	for i := range s.Models {
+		s.Models[i] = Default()
+	}
+	return s
+}
+
+// NumPartitions returns the partition count.
+func (s *PartitionSet) NumPartitions() int { return len(s.Models) }
+
+// IsCAT reports whether the set uses per-pattern rate categories.
+// Valid only after Validate has accepted the set.
+func (s *PartitionSet) IsCAT() bool { return s.Rates[0].IsCAT() }
+
+// ClvCats returns the uniform CLV category width per pattern: 1 for
+// CAT treatments, the shared category count for GAMMA.
+func (s *PartitionSet) ClvCats() int {
+	if s.IsCAT() {
+		return 1
+	}
+	return s.Rates[0].NumCats()
+}
+
+// Validate checks the set against per-partition pattern counts: every
+// partition has a model and a treatment, the treatment kind is
+// homogeneous (all CAT or all GAMMA with one category count — the CLV
+// width must be uniform across the segmented arena), and each CAT
+// assignment covers exactly its partition's patterns (local indexing).
+func (s *PartitionSet) Validate(partSizes []int) error {
+	n := len(s.Models)
+	if n == 0 {
+		return fmt.Errorf("gtr: partition set is empty")
+	}
+	if len(s.Rates) != n {
+		return fmt.Errorf("gtr: %d models but %d rate treatments", n, len(s.Rates))
+	}
+	if len(partSizes) != n {
+		return fmt.Errorf("gtr: partition set has %d partitions, data has %d", n, len(partSizes))
+	}
+	for i := 0; i < n; i++ {
+		if s.Models[i] == nil {
+			return fmt.Errorf("gtr: partition %d has no model", i)
+		}
+		if s.Rates[i] == nil {
+			return fmt.Errorf("gtr: partition %d has no rate treatment", i)
+		}
+	}
+	cat := s.Rates[0].IsCAT()
+	for i := 0; i < n; i++ {
+		rc := s.Rates[i]
+		if rc.IsCAT() != cat {
+			return fmt.Errorf("gtr: partition %d mixes rate treatments (CAT vs GAMMA); the treatment kind must be uniform", i)
+		}
+		if cat {
+			if len(rc.PatternCategory) != partSizes[i] {
+				return fmt.Errorf("gtr: partition %d CAT assignment covers %d patterns, want %d",
+					i, len(rc.PatternCategory), partSizes[i])
+			}
+		} else if rc.NumCats() != s.Rates[0].NumCats() {
+			return fmt.Errorf("gtr: partition %d has %d GAMMA categories, partition 0 has %d; the CLV width must be uniform",
+				i, rc.NumCats(), s.Rates[0].NumCats())
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy (independent models and treatments).
+func (s *PartitionSet) Clone() *PartitionSet {
+	c := &PartitionSet{
+		Models: make([]*Model, len(s.Models)),
+		Rates:  make([]*RateCategories, len(s.Rates)),
+	}
+	for i, m := range s.Models {
+		if m != nil {
+			c.Models[i] = m.Clone()
+		}
+	}
+	for i, r := range s.Rates {
+		if r != nil {
+			c.Rates[i] = r.Clone()
+		}
+	}
+	return c
+}

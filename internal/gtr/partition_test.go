@@ -1,0 +1,77 @@
+package gtr
+
+import "testing"
+
+func TestPartitionSetValidate(t *testing.T) {
+	mkGamma := func(alpha float64) *RateCategories {
+		rc, err := NewGamma(alpha, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rc
+	}
+
+	s := NewPartitionSet(2)
+	s.Rates[0] = mkGamma(0.7)
+	s.Rates[1] = mkGamma(1.4)
+	if err := s.Validate([]int{10, 20}); err != nil {
+		t.Fatalf("homogeneous GAMMA set rejected: %v", err)
+	}
+
+	// Mixed treatment kinds must be rejected.
+	s.Rates[1] = NewUniform(20)
+	if err := s.Validate([]int{10, 20}); err == nil {
+		t.Fatal("mixed CAT/GAMMA set accepted")
+	}
+
+	// CAT with matching local sizes is fine; a mismatch is not.
+	s.Rates[0] = NewUniform(10)
+	if err := s.Validate([]int{10, 20}); err != nil {
+		t.Fatalf("homogeneous CAT set rejected: %v", err)
+	}
+	if err := s.Validate([]int{10, 21}); err == nil {
+		t.Fatal("CAT assignment size mismatch accepted")
+	}
+
+	// GAMMA category counts must agree across partitions.
+	s.Rates[0] = mkGamma(0.7)
+	g5, err := GammaCategories(1.0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := make([]float64, 5)
+	for i := range probs {
+		probs[i] = 0.2
+	}
+	s.Rates[1] = &RateCategories{Rates: g5, Probs: probs}
+	if err := s.Validate([]int{10, 20}); err == nil {
+		t.Fatal("GAMMA category-count mismatch accepted")
+	}
+
+	// Wrong partition count.
+	s.Rates[1] = mkGamma(1.1)
+	if err := s.Validate([]int{10}); err == nil {
+		t.Fatal("partition count mismatch accepted")
+	}
+}
+
+func TestPartitionSetCloneIndependent(t *testing.T) {
+	s := NewPartitionSet(2)
+	s.Rates[0] = NewUniform(4)
+	s.Rates[1] = NewUniform(6)
+	c := s.Clone()
+	c.Models[0].Rates[0] = 3.3
+	if err := c.Models[0].SetRates(c.Models[0].Rates); err != nil {
+		t.Fatal(err)
+	}
+	c.Rates[1].Rates[0] = 2.5
+	if s.Models[0].Rates[0] == 3.3 {
+		t.Fatal("clone shares model state")
+	}
+	if s.Rates[1].Rates[0] == 2.5 {
+		t.Fatal("clone shares rate state")
+	}
+	if s.IsCAT() != true || s.ClvCats() != 1 {
+		t.Fatalf("IsCAT/ClvCats wrong for CAT set: %v %d", s.IsCAT(), s.ClvCats())
+	}
+}

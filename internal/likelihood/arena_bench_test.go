@@ -93,6 +93,96 @@ func BenchmarkNewviewArena(b *testing.B) {
 	}
 }
 
+// bench1288Alignment is the uncompressed form of the 1288-pattern
+// workload, for partitioned compression.
+func bench1288Alignment(b *testing.B) *msa.Alignment {
+	b.Helper()
+	r := rng.New(1288)
+	letters := []byte("ACGT")
+	a := &msa.Alignment{}
+	nm := names(50)
+	for i := 0; i < 50; i++ {
+		a.Names = append(a.Names, nm[i])
+		row := make([]msa.State, 1288)
+		for j := range row {
+			row[j] = msa.EncodeChar(letters[r.Intn(4)])
+		}
+		a.Seqs = append(a.Seqs, row)
+	}
+	return a
+}
+
+// BenchmarkNewviewPartitioned measures the partitioned newview hot path
+// — the same full-tree descriptor walk as BenchmarkNewviewArena, over
+// the same 1288 patterns, but split into 4 partitions with independent
+// GTRCAT model instances. "balanced" gives every gene an equal share;
+// "skewed" concentrates most of the axis in one gene with three narrow
+// ones — the imbalance shape that defeats naive per-partition striping
+// and that the weighted, partition-aligned stripes must absorb. Gated
+// by benchdiff: the partition machinery (chunked kernels, per-partition
+// matrix blocks, segmented tiles) must stay within noise of the
+// single-partition walk.
+func BenchmarkNewviewPartitioned(b *testing.B) {
+	a := bench1288Alignment(b)
+	shapes := []struct {
+		name string
+		cuts []int // column split points
+	}{
+		{"balanced", []int{322, 644, 966}},
+		{"skewed", []int{40, 80, 120}}, // 3 narrow genes + one 1168-column gene
+	}
+	for _, shape := range shapes {
+		var defs []msa.PartitionDef
+		lo := 0
+		for gi, cut := range append(shape.cuts, 1288) {
+			defs = append(defs, msa.PartitionDef{
+				ModelName: "DNA",
+				Name:      "gene" + string(rune('0'+gi)),
+				Ranges:    []msa.SiteRange{{Lo: lo, Hi: cut, Stride: 1}},
+			})
+			lo = cut
+		}
+		pat, err := msa.CompressPartitioned(a, defs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr := tree.Random(pat.Names, rng.New(3))
+		for _, workers := range []int{1, 4} {
+			b.Run(shape.name+"/workers="+string(rune('0'+workers)), func(b *testing.B) {
+				pool := threads.NewPoolPartitioned(workers, pat.Weights, pat.PartStarts(), 16)
+				defer pool.Close()
+				set := &gtr.PartitionSet{}
+				r := rng.New(5)
+				for _, pr := range pat.PartRanges() {
+					perSite := make([]float64, pr.Len())
+					for i := range perSite {
+						perSite[i] = 0.25 + 2*r.Float64()
+					}
+					set.Models = append(set.Models, gtr.Default())
+					set.Rates = append(set.Rates, gtr.ClusterCAT(perSite, 25))
+				}
+				e, err := NewPartitioned(pat, set, Config{Pool: pool})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := e.AttachTree(tr); err != nil {
+					b.Fatal(err)
+				}
+				a := 0
+				nb := tr.Nodes[0].Neighbors[0]
+				slotA := e.slotOf(a, nb)
+				slotB := e.slotOf(nb, a)
+				_ = e.LogLikelihood() // warm allocation paths
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e.InvalidateAll()
+					e.refreshViews([2]int{a, slotA}, [2]int{nb, slotB})
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkEvaluateArena measures the evaluate (virtual-root reduction)
 // kernel alone over fresh CLVs — the other per-pattern loop the arena
 // layout streams.

@@ -13,6 +13,18 @@
 // scalability in the number of patterns drives the paper's "optimal
 // thread count grows with patterns" result.
 //
+// Partitions. A multi-gene alignment assigns every site to a partition
+// (RAxML's -q files; msa.CompressPartitioned) and every partition owns
+// an independent model instance — base frequencies, exchangeabilities,
+// Γ shape or CAT assignment (gtr.PartitionSet). The engine generalizes
+// the whole stack from one implicit partition to N explicit ones: the
+// pattern axis is the partition-major concatenation of the per-gene
+// pattern sets, CLV tiles are segmented per partition, traversal
+// descriptors carry per-(entry, partition) transition matrices, and the
+// total log-likelihood is the sum of per-partition components under
+// linked (shared) branch lengths. The single-gene engine is simply the
+// one-partition special case running the same code.
+//
 // Directed CLVs. An unrooted tree has no fixed root; the CLV at a node
 // depends on the viewing direction. The engine stores one CLV per
 // directed edge (node, neighbor-slot): clv(u, i) is the conditional
@@ -22,27 +34,27 @@
 // directions that can observe the changed edge.
 //
 // Flat CLV arena. All directed CLVs live in ONE contiguous []float64
-// owned by the engine, carved into fixed-size tiles of
-// nPatterns·nCat·4 float64, padded to whole 64-byte cache lines
-// (pattern-major within a tile:
-// tile + pattern·nCat·4 + cat·4 + state). Directed edges are bound to
-// tiles lazily on first use through a free list, so SPR-heavy searches
-// and bootstrap replicates reuse tiles instead of growing the heap, a
-// worker's pattern stripe of any CLV is one contiguous, streamable
-// block, and the newview inner loops index flat offsets the compiler
-// can bounds-check-eliminate. See docs/memory-layout.md for the layout
-// sketch and offset formula.
+// owned by the engine, carved into fixed-size tiles. A tile is the
+// concatenation of per-partition segments, each pattern-major
+// (segment + local_pattern·nCat·4 + cat·4 + state) and padded to whole
+// 64-byte cache lines, so a worker's stripe of any partition's CLV is
+// one contiguous, streamable block and stripe boundaries snapped
+// relative to partition starts never share a line. Directed edges are
+// bound to tiles lazily on first use through a free list, so SPR-heavy
+// searches and bootstrap replicates reuse tiles instead of growing the
+// heap. See docs/memory-layout.md for the layout sketch and offset
+// formulas.
 //
 // Traversal descriptors. Lazy CLV maintenance is split from execution,
 // mirroring RAxML's traversalInfo machinery (see traversal.go): the
 // master plans a traversal — the ordered list of stale directed CLVs
 // with child references and branch lengths — precomputes every entry's
-// transition matrices, and posts the whole plan to the pool as ONE job
-// code (threads.JobEvaluate, JobMakenewz, ...). Workers walk the full
-// descriptor over their private pattern ranges, so a full-tree
-// relikelihood costs one barrier crossing instead of one per node, and
-// posting allocates nothing. The serial path is the same code run
-// inline by a 1-worker pool.
+// per-partition transition matrices, and posts the whole plan to the
+// pool as ONE job code (threads.JobEvaluate, JobMakenewz, ...). Workers
+// walk the full descriptor over their private pattern ranges, so a
+// full-tree relikelihood — partitioned or not — costs one barrier
+// crossing, and posting allocates nothing. The serial path is the same
+// code run inline by a 1-worker pool.
 package likelihood
 
 import (
@@ -66,33 +78,66 @@ const (
 // noTile marks a directed edge with no arena tile bound yet.
 const noTile = int32(-1)
 
-// Engine evaluates and optimizes the likelihood of trees over one
-// pattern set. An Engine is bound to at most one tree at a time
-// (AttachTree) and is not safe for concurrent use by multiple
-// goroutines; coarse-grained parallelism uses one Engine per rank.
-type Engine struct {
-	pat   *msa.Patterns
+// stripeQuantum is the pattern quantum worker stripes are snapped to:
+// 16 patterns is a whole number of 64-byte cache lines for every tiled
+// buffer (2 CAT patterns/line, 1+ GAMMA patterns/line, 16 int32 scale
+// counters/line), and partition segments are padded to the same lines,
+// so snapping relative to partition starts keeps workers off shared
+// lines in both arenas.
+const stripeQuantum = 16
+
+// partState is one partition's slice of the engine: its span on the
+// concatenated pattern axis, its model instance, and the offsets of its
+// segment within every CLV tile and matrix scratch buffer.
+type partState struct {
+	name   string
+	lo, hi int // global pattern span [lo, hi)
+
+	// fOff is the float64 offset of the partition's CLV segment within
+	// a tile; sOff the int32 offset of its scale segment. Both segment
+	// strides are padded to whole 64-byte cache lines.
+	fOff, sOff int
+
 	model *gtr.Model
 	rates *gtr.RateCategories
+
+	// pOff is the partition's offset into every per-category matrix
+	// buffer (prefix sum of NumCats over preceding partitions; see
+	// ensureP). A partition's matrices for category c live at pOff+c.
+	pOff int
+}
+
+// Engine evaluates and optimizes the likelihood of trees over one
+// (possibly partitioned) pattern set. An Engine is bound to at most one
+// tree at a time (AttachTree) and is not safe for concurrent use by
+// multiple goroutines; coarse-grained parallelism uses one Engine per
+// rank.
+type Engine struct {
+	pat   *msa.Patterns
+	parts []partState
 	pool  *threads.Pool
 
 	tree    *tree.Tree
 	weights []int
 
 	nPatterns int
-	nCat      int // CLV categories per pattern: 1 for CAT, k for GAMMA
+	nCat      int  // CLV categories per pattern: 1 for CAT, k for GAMMA
+	isCAT     bool // uniform across partitions (gtr.PartitionSet.Validate)
+	totalCats int  // Σ per-partition matrix category counts (ensureP)
 
 	// The flat CLV arena. arena holds nTiles tiles of tileFloats
 	// float64 each; scaleArena holds the matching rescaling counters,
-	// tileScale int32 per tile. Both strides are padded up to full
-	// 64-byte cache lines (8 float64 / 16 int32) so every tile starts
-	// on its own line and AlignRanges stripe snapping keeps workers off
-	// each other's lines. tileOf[node*3+slot] maps a directed edge to
-	// its tile (noTile until first needed); freeTiles recycles tiles
-	// released by AttachTree. The float64 offset of directed CLV
-	// (node, slot) at pattern k, category c, state s is
+	// tileScale int32 per tile. A tile is the concatenation of
+	// per-partition segments, every segment stride padded up to full
+	// 64-byte cache lines (8 float64 / 16 int32) so each segment starts
+	// on its own line and partition-relative stripe snapping keeps
+	// workers off each other's lines. tileOf[node*3+slot] maps a
+	// directed edge to its tile (noTile until first needed); freeTiles
+	// recycles tiles released by AttachTree. The float64 offset of
+	// directed CLV (node, slot) at global pattern k (in partition p),
+	// category c, state s is
 	//
-	//	tileOf[node*3+slot]*tileFloats + (k*nCat + c)*4 + s
+	//	tileOf[node*3+slot]*tileFloats + p.fOff + (k-p.lo)*nCat*4 + c*4 + s
 	arena      []float64
 	scaleArena []int32
 	tileOf     []int32
@@ -106,17 +151,18 @@ type Engine struct {
 
 	// tipFlat packs every taxon's (undirected) tip CLV into one flat
 	// block: tipFlat[taxon*nPatterns*4 + pattern*4 + state], shared
-	// across categories.
+	// across categories and partitions (tip states are model-free).
 	tipFlat []float64
 	// tipCodeMask[taxon] has bit c set iff ambiguity code c occurs in
 	// the taxon's pattern row — the tip lookup tables are only filled
 	// for codes that can be indexed.
 	tipCodeMask []uint16
 
-	// scratch transition matrices, one per category (master-computed,
-	// read-only inside parallel sections). pLeft/pRight serve the
-	// insertion-scan kernel; pEval/pD1/pD2 the evaluate and makenewz
-	// kernels. Per-entry newview matrices live in the traversal arena.
+	// scratch transition matrices, indexed [part.pOff + category]
+	// (master-computed, read-only inside parallel sections). pLeft and
+	// pRight serve the insertion-scan kernel; pEval/pD1/pD2 the
+	// evaluate and makenewz kernels. Per-entry newview matrices live in
+	// the traversal arena.
 	pLeft, pRight []([4][4]float64)
 	pEval         [][4][4]float64
 	pD1, pD2      [][4][4]float64
@@ -151,49 +197,99 @@ type Config struct {
 	Pool *threads.Pool
 }
 
-// New creates an engine over the pattern set with the given model and
-// rate treatment. The engine takes ownership of none of its arguments;
-// model and rates may be mutated through the engine's optimizers.
+// New creates a single-partition engine over the pattern set with the
+// given model and rate treatment — the pre-partition constructor, kept
+// as the one-gene special case: the whole pattern axis forms one
+// partition regardless of pat.Parts. The engine takes ownership of none
+// of its arguments; model and rates may be mutated through the engine's
+// optimizers.
 func New(pat *msa.Patterns, model *gtr.Model, rates *gtr.RateCategories, cfg Config) (*Engine, error) {
+	set := &gtr.PartitionSet{
+		Models: []*gtr.Model{model},
+		Rates:  []*gtr.RateCategories{rates},
+	}
+	span := []msa.PartRange{{Name: "all", Lo: 0, Hi: pat.NumPatterns()}}
+	return build(pat, span, set, cfg)
+}
+
+// NewPartitioned creates an engine over a partitioned pattern set
+// (msa.CompressPartitioned) with one model instance per partition. The
+// set must pass gtr.(*PartitionSet).Validate against the partition
+// sizes: one treatment kind for all partitions, CAT assignments indexed
+// locally (partition-relative).
+func NewPartitioned(pat *msa.Patterns, set *gtr.PartitionSet, cfg Config) (*Engine, error) {
+	spans := pat.PartRanges()
+	sizes := make([]int, len(spans))
+	for i, r := range spans {
+		sizes[i] = r.Len()
+	}
+	if err := set.Validate(sizes); err != nil {
+		return nil, fmt.Errorf("likelihood: %v", err)
+	}
+	return build(pat, spans, set, cfg)
+}
+
+// build is the shared constructor: lay out the per-partition tile
+// segments, bind the pool, and size the scratch buffers.
+func build(pat *msa.Patterns, spans []msa.PartRange, set *gtr.PartitionSet, cfg Config) (*Engine, error) {
 	if pat.NumTaxa() < 4 {
 		return nil, fmt.Errorf("likelihood: %d taxa, need >= 4", pat.NumTaxa())
 	}
-	if rates.IsCAT() && len(rates.PatternCategory) != pat.NumPatterns() {
-		return nil, fmt.Errorf("likelihood: CAT assignment covers %d patterns, want %d",
-			len(rates.PatternCategory), pat.NumPatterns())
+	if len(spans) != set.NumPartitions() {
+		return nil, fmt.Errorf("likelihood: %d partition spans for %d model instances",
+			len(spans), set.NumPartitions())
 	}
 	e := &Engine{
 		pat:       pat,
-		model:     model,
-		rates:     rates,
 		nPatterns: pat.NumPatterns(),
+		isCAT:     set.IsCAT(),
+		nCat:      set.ClvCats(),
+	}
+	lo := 0
+	for i, r := range spans {
+		if r.Lo != lo || r.Hi < r.Lo {
+			return nil, fmt.Errorf("likelihood: partition %q spans [%d, %d), want start %d (partition-major tiling)",
+				r.Name, r.Lo, r.Hi, lo)
+		}
+		lo = r.Hi
+		rc := set.Rates[i]
+		if rc.IsCAT() && len(rc.PatternCategory) != r.Len() {
+			return nil, fmt.Errorf("likelihood: CAT assignment covers %d patterns, want %d",
+				len(rc.PatternCategory), r.Len())
+		}
+		e.parts = append(e.parts, partState{
+			name: r.Name, lo: r.Lo, hi: r.Hi,
+			fOff: e.tileFloats, sOff: e.tileScale,
+			model: set.Models[i], rates: rc,
+		})
+		e.tileFloats += padTo(r.Len()*e.nCat*4, 8)
+		e.tileScale += padTo(r.Len(), 16)
+	}
+	if lo != e.nPatterns {
+		return nil, fmt.Errorf("likelihood: partitions cover %d patterns, set has %d", lo, e.nPatterns)
 	}
 	if cfg.Pool != nil {
 		e.pool = cfg.Pool
 	} else {
 		e.pool = threads.NewPool(1, e.nPatterns)
 	}
-	if rates.IsCAT() {
-		e.nCat = 1
-	} else {
-		e.nCat = rates.NumCats()
+	// Snap worker stripe boundaries — relative to the starts of the
+	// segments laid out above (NOT pat.PartStarts(): New() spans a
+	// partitioned Patterns with ONE segment, and only segment starts
+	// are line-aligned in the tile layout) — so no two workers write
+	// the same 64-byte cache line of any tile segment. The binding
+	// constraint is the scale counters (16 int32 per line); 16 patterns
+	// is also a multiple of every CLV line quantum, and the padded
+	// per-segment strides keep segment starts line-aligned, so the
+	// quantum covers both arenas in every segment.
+	starts := make([]int, len(e.parts))
+	for i := range e.parts {
+		starts[i] = e.parts[i].lo
 	}
-	e.tileFloats = padTo(e.nPatterns*e.nCat*4, 8)
-	e.tileScale = padTo(e.nPatterns, 16)
-	// Snap worker stripe boundaries so no two workers write the same
-	// 64-byte cache line of any tile. The binding constraint is the
-	// scale counters (16 int32 per line); 16 patterns is also a
-	// multiple of every CLV line quantum (2 patterns/line for CAT,
-	// 1 for GAMMA), and the padded tile strides keep tile starts
-	// line-aligned, so quantum 16 covers both arenas.
-	e.pool.AlignRanges(16)
+	e.pool.AlignRangesAt(stripeQuantum, starts)
 	e.weights = append([]int(nil), pat.Weights...)
 	e.buildTipVectors()
-	e.pLeft = make([][4][4]float64, rates.NumCats())
-	e.pRight = make([][4][4]float64, rates.NumCats())
-	e.pEval = make([][4][4]float64, rates.NumCats())
-	e.pD1 = make([][4][4]float64, rates.NumCats())
-	e.pD2 = make([][4][4]float64, rates.NumCats())
+	e.ensureP()
 	return e, nil
 }
 
@@ -223,11 +319,27 @@ func (e *Engine) tipVecOf(taxon int) []float64 {
 // Pool returns the engine's worker pool.
 func (e *Engine) Pool() *threads.Pool { return e.pool }
 
-// Model returns the engine's substitution model.
-func (e *Engine) Model() *gtr.Model { return e.model }
+// Model returns partition 0's substitution model — the engine's only
+// model for single-partition data.
+func (e *Engine) Model() *gtr.Model { return e.parts[0].model }
 
-// Rates returns the engine's rate treatment.
-func (e *Engine) Rates() *gtr.RateCategories { return e.rates }
+// Rates returns partition 0's rate treatment.
+func (e *Engine) Rates() *gtr.RateCategories { return e.parts[0].rates }
+
+// NumPartitions returns the number of alignment partitions.
+func (e *Engine) NumPartitions() int { return len(e.parts) }
+
+// PartitionModel returns partition i's substitution model.
+func (e *Engine) PartitionModel(i int) *gtr.Model { return e.parts[i].model }
+
+// PartitionRates returns partition i's rate treatment.
+func (e *Engine) PartitionRates(i int) *gtr.RateCategories { return e.parts[i].rates }
+
+// PartitionRange returns partition i's span on the pattern axis.
+func (e *Engine) PartitionRange(i int) msa.PartRange {
+	p := &e.parts[i]
+	return msa.PartRange{Name: p.name, Lo: p.lo, Hi: p.hi}
+}
 
 // Patterns returns the engine's pattern set.
 func (e *Engine) Patterns() *msa.Patterns { return e.pat }
@@ -254,21 +366,38 @@ func (e *Engine) MemoryBytes() int64 {
 }
 
 // EstimateMemoryBytes predicts the fully populated CLV-arena footprint
-// of an engine over an alignment with the given dimensions, exactly:
-// only the taxa−2 internal nodes of an unrooted tree carry directed
-// CLVs (3 each; tips use the shared flat tip vectors), every tile holds
-// 4·nCat float64 per pattern plus an int32 scaling counter per pattern
-// (both strides padded to whole 64-byte cache lines), and each taxon
-// owns a flat 4-wide tip vector. GTRCAT uses nCat = 1 per pattern;
-// GTRGAMMA nCat = 4 — the 4x memory ratio is why RAxML (and this
-// reproduction) default large analyses to CAT.
+// of a single-partition engine over an alignment with the given
+// dimensions; see EstimateMemoryBytesPartitioned for the general form.
+// GTRCAT uses nCat = 1 per pattern; GTRGAMMA nCat = 4 — the 4x memory
+// ratio is why RAxML (and this reproduction) default large analyses to
+// CAT.
 func EstimateMemoryBytes(taxa, patterns, nCat int) int64 {
-	if taxa < 2 || patterns < 1 || nCat < 1 {
+	return EstimateMemoryBytesPartitioned(taxa, []int{patterns}, nCat)
+}
+
+// EstimateMemoryBytesPartitioned predicts the fully populated CLV-arena
+// footprint of an engine over a partitioned alignment, exactly: only
+// the taxa−2 internal nodes of an unrooted tree carry directed CLVs
+// (3 tiles each; tips use the shared flat tip vectors), every tile
+// holds one segment per partition of 4·nCat float64 per pattern plus an
+// int32 scaling counter per pattern (every segment stride padded to
+// whole 64-byte cache lines), and each taxon owns a flat 4-wide tip
+// vector over the concatenated pattern axis.
+func EstimateMemoryBytesPartitioned(taxa int, partPatterns []int, nCat int) int64 {
+	if taxa < 2 || nCat < 1 || len(partPatterns) == 0 {
 		return 0
 	}
+	patterns := 0
+	perTile, perScale := int64(0), int64(0)
+	for _, np := range partPatterns {
+		if np < 1 {
+			return 0
+		}
+		patterns += np
+		perTile += int64(padTo(np*nCat*4, 8)) * 8
+		perScale += int64(padTo(np, 16)) * 4
+	}
 	tiles := int64(taxa-2) * 3
-	perTile := int64(padTo(patterns*nCat*4, 8)) * 8
-	perScale := int64(padTo(patterns, 16)) * 4
 	tips := int64(taxa) * int64(patterns) * 4 * 8
 	return tiles*(perTile+perScale) + tips
 }
@@ -373,8 +502,9 @@ func (e *Engine) scaleOffset(node, slot int) int {
 	return int(e.tileOf[node*3+slot]) * e.tileScale
 }
 
-// padTo rounds n up to the next multiple of q — tile strides are padded
-// to whole 64-byte cache lines so tiles never share a line.
+// padTo rounds n up to the next multiple of q — tile and segment
+// strides are padded to whole 64-byte cache lines so segments never
+// share a line.
 func padTo(n, q int) int {
 	return (n + q - 1) / q * q
 }
@@ -426,35 +556,59 @@ func (e *Engine) invalidateSide(from, acrossTo int) {
 	}
 }
 
-// ensureP grows the per-category transition-matrix scratch buffers to
-// the current category count (CAT optimization can change it).
+// ensureP recomputes the per-partition matrix-scratch offsets (pOff:
+// the prefix sums of the per-partition category counts, which CAT
+// re-clustering can change) and sizes the per-category transition-
+// matrix scratch buffers to the new total.
 func (e *Engine) ensureP() {
-	n := e.rates.NumCats()
-	for len(e.pLeft) < n {
-		e.pLeft = append(e.pLeft, [4][4]float64{})
-		e.pRight = append(e.pRight, [4][4]float64{})
-		e.pEval = append(e.pEval, [4][4]float64{})
-		e.pD1 = append(e.pD1, [4][4]float64{})
-		e.pD2 = append(e.pD2, [4][4]float64{})
+	total := 0
+	for i := range e.parts {
+		e.parts[i].pOff = total
+		total += e.parts[i].rates.NumCats()
 	}
+	e.totalCats = total
+	if cap(e.pEval) < total {
+		e.pLeft = make([][4][4]float64, total)
+		e.pRight = make([][4][4]float64, total)
+		e.pEval = make([][4][4]float64, total)
+		e.pD1 = make([][4][4]float64, total)
+		e.pD2 = make([][4][4]float64, total)
+		return
+	}
+	e.pLeft = e.pLeft[:total]
+	e.pRight = e.pRight[:total]
+	e.pEval = e.pEval[:total]
+	e.pD1 = e.pD1[:total]
+	e.pD2 = e.pD2[:total]
 }
 
-// fillP computes transition matrices for every rate category of branch
-// length t into the given scratch buffer (pLeft, pRight or pEval).
+// fillP computes transition matrices for every partition and rate
+// category at branch length t into the given scratch buffer (pLeft,
+// pRight or pEval), at the partitions' pOff offsets. Branch lengths are
+// linked across partitions; the matrices still differ because every
+// partition has its own model and category rates.
 func (e *Engine) fillP(t float64, dst [][4][4]float64) {
-	for c := 0; c < e.rates.NumCats(); c++ {
-		e.model.P(t, e.rates.Rates[c], &dst[c])
+	for i := range e.parts {
+		ps := &e.parts[i]
+		for c := 0; c < ps.rates.NumCats(); c++ {
+			ps.model.P(t, ps.rates.Rates[c], &dst[ps.pOff+c])
+		}
 	}
 }
 
-// pIndex maps (pattern, clv-category) to the category index of the
-// precomputed P matrices: the pattern's own category for CAT, the CLV
-// category for GAMMA.
-func (e *Engine) pIndex(pattern, cat int) int {
-	if e.rates.IsCAT() {
-		return e.rates.PatternCategory[pattern]
+// chunkOf intersects a worker's pattern range with partition pi's span;
+// ok is false when they are disjoint. Kernels iterate partitions with
+// this to process one homogeneous (single-model) chunk at a time.
+func (e *Engine) chunkOf(pi int, r threads.Range) (ps *partState, lo, hi int, ok bool) {
+	ps = &e.parts[pi]
+	lo, hi = r.Lo, r.Hi
+	if lo < ps.lo {
+		lo = ps.lo
 	}
-	return cat
+	if hi > ps.hi {
+		hi = ps.hi
+	}
+	return ps, lo, hi, lo < hi
 }
 
 // LogLikelihood computes the log-likelihood of the attached tree,
@@ -474,7 +628,8 @@ func (e *Engine) LogLikelihood() float64 {
 // builds one traversal descriptor covering every stale CLV on both
 // sides, then posts a single JobEvaluate that walks the descriptor and
 // reduces the log-likelihood — exactly one pool dispatch (one barrier
-// crossing) regardless of how much of the tree went stale.
+// crossing) regardless of how much of the tree went stale and of how
+// many partitions the alignment has.
 func (e *Engine) EvaluateEdge(a, b int) float64 {
 	e.ensureArena()
 	slotA := e.slotOf(a, b)
@@ -491,6 +646,29 @@ func (e *Engine) EvaluateEdge(a, b int) float64 {
 	e.evalCount++
 	e.dispatch(threads.JobEvaluate)
 	return e.pool.SumSlots(0)
+}
+
+// PartitionLogLikelihoods returns the per-partition log-likelihood
+// components of the attached tree (their sum is LogLikelihood). The
+// per-pattern site log-likelihoods are produced by one SiteLL job, so
+// the whole call costs a single pool dispatch even when CLVs are stale.
+func (e *Engine) PartitionLogLikelihoods(dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(e.parts))
+	}
+	if len(dst) != len(e.parts) {
+		panic(fmt.Sprintf("likelihood: destination has %d entries, want %d partitions", len(dst), len(e.parts)))
+	}
+	site := e.SiteLogLikelihoods(nil)
+	for i := range e.parts {
+		ps := &e.parts[i]
+		sum := 0.0
+		for k := ps.lo; k < ps.hi; k++ {
+			sum += float64(e.weights[k]) * site[k]
+		}
+		dst[i] = sum
+	}
+	return dst
 }
 
 // slotOf returns the neighbor slot of `of` pointing at `at`.

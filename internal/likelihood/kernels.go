@@ -15,23 +15,37 @@ import (
 // ranges. Reduction kernels return partials that land in the worker's
 // preallocated slot.
 //
+// Partition chunking. The pattern axis is the partition-major
+// concatenation of the per-gene pattern sets, and every partition has
+// its own model, rate treatment and padded tile segment. A worker's
+// range is therefore processed one *chunk* — the intersection of the
+// range with one partition's span — at a time: within a chunk the
+// model, the matrix block (part.pOff) and the segment offsets
+// (part.fOff/part.sOff) are all fixed, so the specialized inner loops
+// are exactly the single-partition loops running on local (segment-
+// relative) pattern indices. A single-partition engine takes this path
+// with one chunk per range and zero extra per-pattern work.
+//
 // The newview kernels are written against the flat CLV arena: each
 // worker materializes its contiguous pattern stripe of the destination
-// and child tiles once per entry (a three-index subslice of the arena,
-// so the compiler can drop bounds checks inside the loop), and the
-// child-kind combinations (tip x tip, tip x inner, inner x inner) and
-// the two rate treatments are specialized so the inner loop carries no
-// per-pattern branches beyond the weight skip. Tip children cost four
-// lookup-table loads instead of a 4x4 matrix-vector product.
+// and child tile segments once per (entry, chunk) (a three-index
+// subslice of the arena, so the compiler can drop bounds checks inside
+// the loop), and the child-kind combinations (tip x tip, tip x inner,
+// inner x inner) and the two rate treatments are specialized so the
+// inner loop carries no per-pattern branches beyond the weight skip.
+// Tip children cost four lookup-table loads instead of a 4x4
+// matrix-vector product.
 
 // childView describes one input of an evaluate-side kernel: either a
-// tip (flat 4-wide vector, no scaling) or an internal directed CLV. The
-// slices are pattern stripes of the engine's flat arenas, materialized
-// by the master after all tiles are bound.
+// tip (flat 4-wide vector over global patterns, no scaling) or an
+// internal directed CLV (whole tile plus its scale counters; chunk
+// kernels add the partition's segment offsets). The slices alias the
+// engine's flat arenas, materialized by the master after all tiles are
+// bound.
 type childView struct {
 	tip    bool
-	vec    []float64 // tip vector (tip) or arena tile (internal)
-	scale  []int32   // nil for tips
+	vec    []float64 // tip vector (tip) or whole arena tile (internal)
+	scale  []int32   // whole scale tile; nil for tips
 	stride int       // 4 for tips, nCat*4 for internal CLVs
 }
 
@@ -44,44 +58,57 @@ func (e *Engine) viewOf(node, slot int) childView {
 	so := e.scaleOffset(node, slot)
 	return childView{
 		vec:    e.arena[off : off+e.tileFloats : off+e.tileFloats],
-		scale:  e.scaleArena[so : so+e.nPatterns : so+e.nPatterns],
+		scale:  e.scaleArena[so : so+e.tileScale : so+e.tileScale],
 		stride: e.nCat * 4,
 	}
 }
 
 // newviewRange combines the CLVs of one traversal entry's two children
 // across their branches into the entry's directed CLV, over one worker's
-// pattern stripe. The entry's offsets, lookup tables and transition
-// matrices were resolved by the master in prepareTraversal; children at
-// pattern k are already fresh because descriptor order puts them first.
+// pattern stripe, one partition chunk at a time. The entry's offsets,
+// lookup tables and per-partition transition matrices were resolved by
+// the master in prepareTraversal; children at pattern k are already
+// fresh because descriptor order puts them first.
 func (e *Engine) newviewRange(ent *travEntry, r threads.Range) {
 	if r.Hi <= r.Lo {
 		return
 	}
-	if e.rates.IsCAT() {
-		e.newviewRangeCAT(ent, r)
-	} else {
-		e.newviewRangeGamma(ent, r)
+	for pi := range e.parts {
+		ps, lo, hi, ok := e.chunkOf(pi, r)
+		if !ok {
+			continue
+		}
+		if e.isCAT {
+			e.newviewChunkCAT(ent, ps, lo, hi)
+		} else {
+			e.newviewChunkGamma(ent, ps, lo, hi)
+		}
 	}
 }
 
-// newviewRangeCAT is the nCat == 1 (per-pattern rate category) newview:
-// one 4-wide block per pattern, transition matrices selected by the
-// pattern's category.
-func (e *Engine) newviewRangeCAT(ent *travEntry, r threads.Range) {
-	lo, hi := r.Lo, r.Hi
-	dst := e.arena[ent.dstOff+lo*4 : ent.dstOff+hi*4 : ent.dstOff+hi*4]
-	dsc := e.scaleArena[ent.dstScaleOff+lo : ent.dstScaleOff+hi : ent.dstScaleOff+hi]
+// newviewChunkCAT is the nCat == 1 (per-pattern rate category) newview
+// over one partition chunk [lo, hi) (global pattern indices): one
+// 4-wide block per pattern, transition matrices selected by the
+// pattern's category within the partition's matrix block.
+func (e *Engine) newviewChunkCAT(ent *travEntry, ps *partState, lo, hi int) {
+	l0, l1 := lo-ps.lo, hi-ps.lo // segment-local pattern window
+	dBase := ent.dstOff + ps.fOff
+	dst := e.arena[dBase+l0*4 : dBase+l1*4 : dBase+l1*4]
+	sBase := ent.dstScaleOff + ps.sOff
+	dsc := e.scaleArena[sBase+l0 : sBase+l1 : sBase+l1]
 	w := e.weights[lo:hi]
-	pcat := e.rates.PatternCategory[lo:hi]
-	npc := e.rates.NumCats()
+	pcat := ps.rates.PatternCategory[l0:l1]
+	npc := ps.rates.NumCats()
+	pL := ent.pL[ps.pOff : ps.pOff+npc]
+	pR := ent.pR[ps.pOff : ps.pOff+npc]
 	left, right := ent.left, ent.right
 
 	switch {
 	case left.tip && right.tip:
 		codesL := e.pat.Data[left.taxon][lo:hi]
 		codesR := e.pat.Data[right.taxon][lo:hi]
-		lutL, lutR := ent.lutL, ent.lutR
+		lutL := ent.lutL[64*ps.pOff : 64*(ps.pOff+npc)]
+		lutR := ent.lutR[64*ps.pOff : 64*(ps.pOff+npc)]
 		for k := 0; k < len(w); k++ {
 			if w[k] == 0 {
 				continue
@@ -114,14 +141,17 @@ func (e *Engine) newviewRangeCAT(ent *travEntry, r threads.Range) {
 		// child through its matrices. v = tip * inner commutes, so the
 		// swap is exact.
 		tip, inner := left, right
-		lut, pm := ent.lutL, ent.pR
+		lut, pm := ent.lutL, pR
 		if right.tip {
 			tip, inner = right, left
-			lut, pm = ent.lutR, ent.pL
+			lut, pm = ent.lutR, pL
 		}
+		lut = lut[64*ps.pOff : 64*(ps.pOff+npc)]
 		codes := e.pat.Data[tip.taxon][lo:hi]
-		iv := e.arena[inner.off+lo*4 : inner.off+hi*4 : inner.off+hi*4]
-		isc := e.scaleArena[inner.scaleOff+lo : inner.scaleOff+hi : inner.scaleOff+hi]
+		iBase := inner.off + ps.fOff
+		iv := e.arena[iBase+l0*4 : iBase+l1*4 : iBase+l1*4]
+		isBase := inner.scaleOff + ps.sOff
+		isc := e.scaleArena[isBase+l0 : isBase+l1 : isBase+l1]
 		for k := 0; k < len(w); k++ {
 			if w[k] == 0 {
 				continue
@@ -151,11 +181,14 @@ func (e *Engine) newviewRangeCAT(ent *travEntry, r threads.Range) {
 		}
 
 	default: // inner x inner
-		lv := e.arena[left.off+lo*4 : left.off+hi*4 : left.off+hi*4]
-		rv := e.arena[right.off+lo*4 : right.off+hi*4 : right.off+hi*4]
-		lsc := e.scaleArena[left.scaleOff+lo : left.scaleOff+hi : left.scaleOff+hi]
-		rsc := e.scaleArena[right.scaleOff+lo : right.scaleOff+hi : right.scaleOff+hi]
-		pL, pR := ent.pL, ent.pR
+		lBase := left.off + ps.fOff
+		rBase := right.off + ps.fOff
+		lv := e.arena[lBase+l0*4 : lBase+l1*4 : lBase+l1*4]
+		rv := e.arena[rBase+l0*4 : rBase+l1*4 : rBase+l1*4]
+		lsBase := left.scaleOff + ps.sOff
+		rsBase := right.scaleOff + ps.sOff
+		lsc := e.scaleArena[lsBase+l0 : lsBase+l1 : lsBase+l1]
+		rsc := e.scaleArena[rsBase+l0 : rsBase+l1 : rsBase+l1]
 		for k := 0; k < len(w); k++ {
 			if w[k] == 0 {
 				continue
@@ -166,15 +199,15 @@ func (e *Engine) newviewRangeCAT(ent *travEntry, r threads.Range) {
 			o := k * 4
 			l := lv[o : o+4 : o+4]
 			rr := rv[o : o+4 : o+4]
-			l0, l1, l2, l3 := l[0], l[1], l[2], l[3]
+			l0v, l1v, l2v, l3v := l[0], l[1], l[2], l[3]
 			r0, r1, r2, r3 := rr[0], rr[1], rr[2], rr[3]
-			v0 := (pl[0][0]*l0 + pl[0][1]*l1 + pl[0][2]*l2 + pl[0][3]*l3) *
+			v0 := (pl[0][0]*l0v + pl[0][1]*l1v + pl[0][2]*l2v + pl[0][3]*l3v) *
 				(pr[0][0]*r0 + pr[0][1]*r1 + pr[0][2]*r2 + pr[0][3]*r3)
-			v1 := (pl[1][0]*l0 + pl[1][1]*l1 + pl[1][2]*l2 + pl[1][3]*l3) *
+			v1 := (pl[1][0]*l0v + pl[1][1]*l1v + pl[1][2]*l2v + pl[1][3]*l3v) *
 				(pr[1][0]*r0 + pr[1][1]*r1 + pr[1][2]*r2 + pr[1][3]*r3)
-			v2 := (pl[2][0]*l0 + pl[2][1]*l1 + pl[2][2]*l2 + pl[2][3]*l3) *
+			v2 := (pl[2][0]*l0v + pl[2][1]*l1v + pl[2][2]*l2v + pl[2][3]*l3v) *
 				(pr[2][0]*r0 + pr[2][1]*r1 + pr[2][2]*r2 + pr[2][3]*r3)
-			v3 := (pl[3][0]*l0 + pl[3][1]*l1 + pl[3][2]*l2 + pl[3][3]*l3) *
+			v3 := (pl[3][0]*l0v + pl[3][1]*l1v + pl[3][2]*l2v + pl[3][3]*l3v) *
 				(pr[3][0]*r0 + pr[3][1]*r1 + pr[3][2]*r2 + pr[3][3]*r3)
 			sc := lsc[k] + rsc[k]
 			if v0 < scaleThreshold && v1 < scaleThreshold && v2 < scaleThreshold && v3 < scaleThreshold {
@@ -191,23 +224,29 @@ func (e *Engine) newviewRangeCAT(ent *travEntry, r threads.Range) {
 	}
 }
 
-// newviewRangeGamma is the multi-category (GAMMA) newview: nCat 4-wide
-// blocks per pattern, category c using transition matrices pL[c]/pR[c];
-// rescaling considers the maximum across all categories of a pattern.
-func (e *Engine) newviewRangeGamma(ent *travEntry, r threads.Range) {
-	lo, hi := r.Lo, r.Hi
+// newviewChunkGamma is the multi-category (GAMMA) newview over one
+// partition chunk: nCat 4-wide blocks per pattern, category c using the
+// partition's transition matrices pL[c]/pR[c]; rescaling considers the
+// maximum across all categories of a pattern.
+func (e *Engine) newviewChunkGamma(ent *travEntry, ps *partState, lo, hi int) {
 	nCat := e.nCat
 	st := nCat * 4
-	dst := e.arena[ent.dstOff+lo*st : ent.dstOff+hi*st : ent.dstOff+hi*st]
-	dsc := e.scaleArena[ent.dstScaleOff+lo : ent.dstScaleOff+hi : ent.dstScaleOff+hi]
+	l0, l1 := lo-ps.lo, hi-ps.lo
+	dBase := ent.dstOff + ps.fOff
+	dst := e.arena[dBase+l0*st : dBase+l1*st : dBase+l1*st]
+	sBase := ent.dstScaleOff + ps.sOff
+	dsc := e.scaleArena[sBase+l0 : sBase+l1 : sBase+l1]
 	w := e.weights[lo:hi]
+	pL := ent.pL[ps.pOff : ps.pOff+nCat]
+	pR := ent.pR[ps.pOff : ps.pOff+nCat]
 	left, right := ent.left, ent.right
 
 	switch {
 	case left.tip && right.tip:
 		codesL := e.pat.Data[left.taxon][lo:hi]
 		codesR := e.pat.Data[right.taxon][lo:hi]
-		lutL, lutR := ent.lutL, ent.lutR
+		lutL := ent.lutL[64*ps.pOff : 64*(ps.pOff+nCat)]
+		lutR := ent.lutR[64*ps.pOff : 64*(ps.pOff+nCat)]
 		for k := 0; k < len(w); k++ {
 			if w[k] == 0 {
 				continue
@@ -241,14 +280,17 @@ func (e *Engine) newviewRangeGamma(ent *travEntry, r threads.Range) {
 
 	case left.tip != right.tip:
 		tip, inner := left, right
-		lut, pm := ent.lutL, ent.pR
+		lut, pm := ent.lutL, pR
 		if right.tip {
 			tip, inner = right, left
-			lut, pm = ent.lutR, ent.pL
+			lut, pm = ent.lutR, pL
 		}
+		lut = lut[64*ps.pOff : 64*(ps.pOff+nCat)]
 		codes := e.pat.Data[tip.taxon][lo:hi]
-		iv := e.arena[inner.off+lo*st : inner.off+hi*st : inner.off+hi*st]
-		isc := e.scaleArena[inner.scaleOff+lo : inner.scaleOff+hi : inner.scaleOff+hi]
+		iBase := inner.off + ps.fOff
+		iv := e.arena[iBase+l0*st : iBase+l1*st : iBase+l1*st]
+		isBase := inner.scaleOff + ps.sOff
+		isc := e.scaleArena[isBase+l0 : isBase+l1 : isBase+l1]
 		for k := 0; k < len(w); k++ {
 			if w[k] == 0 {
 				continue
@@ -282,11 +324,14 @@ func (e *Engine) newviewRangeGamma(ent *travEntry, r threads.Range) {
 		}
 
 	default: // inner x inner
-		lv := e.arena[left.off+lo*st : left.off+hi*st : left.off+hi*st]
-		rv := e.arena[right.off+lo*st : right.off+hi*st : right.off+hi*st]
-		lsc := e.scaleArena[left.scaleOff+lo : left.scaleOff+hi : left.scaleOff+hi]
-		rsc := e.scaleArena[right.scaleOff+lo : right.scaleOff+hi : right.scaleOff+hi]
-		pL, pR := ent.pL, ent.pR
+		lBase := left.off + ps.fOff
+		rBase := right.off + ps.fOff
+		lv := e.arena[lBase+l0*st : lBase+l1*st : lBase+l1*st]
+		rv := e.arena[rBase+l0*st : rBase+l1*st : rBase+l1*st]
+		lsBase := left.scaleOff + ps.sOff
+		rsBase := right.scaleOff + ps.sOff
+		lsc := e.scaleArena[lsBase+l0 : lsBase+l1 : lsBase+l1]
+		rsc := e.scaleArena[rsBase+l0 : rsBase+l1 : rsBase+l1]
 		for k := 0; k < len(w); k++ {
 			if w[k] == 0 {
 				continue
@@ -297,17 +342,17 @@ func (e *Engine) newviewRangeGamma(ent *travEntry, r threads.Range) {
 				ob := o + c*4
 				l := lv[ob : ob+4 : ob+4]
 				rr := rv[ob : ob+4 : ob+4]
-				l0, l1, l2, l3 := l[0], l[1], l[2], l[3]
+				l0v, l1v, l2v, l3v := l[0], l[1], l[2], l[3]
 				r0, r1, r2, r3 := rr[0], rr[1], rr[2], rr[3]
 				pl := &pL[c]
 				pr := &pR[c]
-				v0 := (pl[0][0]*l0 + pl[0][1]*l1 + pl[0][2]*l2 + pl[0][3]*l3) *
+				v0 := (pl[0][0]*l0v + pl[0][1]*l1v + pl[0][2]*l2v + pl[0][3]*l3v) *
 					(pr[0][0]*r0 + pr[0][1]*r1 + pr[0][2]*r2 + pr[0][3]*r3)
-				v1 := (pl[1][0]*l0 + pl[1][1]*l1 + pl[1][2]*l2 + pl[1][3]*l3) *
+				v1 := (pl[1][0]*l0v + pl[1][1]*l1v + pl[1][2]*l2v + pl[1][3]*l3v) *
 					(pr[1][0]*r0 + pr[1][1]*r1 + pr[1][2]*r2 + pr[1][3]*r3)
-				v2 := (pl[2][0]*l0 + pl[2][1]*l1 + pl[2][2]*l2 + pl[2][3]*l3) *
+				v2 := (pl[2][0]*l0v + pl[2][1]*l1v + pl[2][2]*l2v + pl[2][3]*l3v) *
 					(pr[2][0]*r0 + pr[2][1]*r1 + pr[2][2]*r2 + pr[2][3]*r3)
-				v3 := (pl[3][0]*l0 + pl[3][1]*l1 + pl[3][2]*l2 + pl[3][3]*l3) *
+				v3 := (pl[3][0]*l0v + pl[3][1]*l1v + pl[3][2]*l2v + pl[3][3]*l3v) *
 					(pr[3][0]*r0 + pr[3][1]*r1 + pr[3][2]*r2 + pr[3][3]*r3)
 				small = small && v0 < scaleThreshold && v1 < scaleThreshold &&
 					v2 < scaleThreshold && v3 < scaleThreshold
@@ -326,8 +371,8 @@ func (e *Engine) newviewRangeGamma(ent *travEntry, r threads.Range) {
 	}
 }
 
-// boolIdx returns a when cond is true, else b: selects the tip (flat)
-// versus internal (per-category) CLV offset.
+// boolIdx returns a when cond is true, else b: selects the tip (flat,
+// global-pattern) versus internal (segmented, per-category) CLV offset.
 func boolIdx(cond bool, a, b int) int {
 	if cond {
 		return a
@@ -337,26 +382,47 @@ func boolIdx(cond bool, a, b int) int {
 
 // evaluateRange computes one worker's weighted log-likelihood partial
 // across the edge whose endpoint views the master stored in jobVA and
-// jobVB, using the transition matrices already in pEval.
+// jobVB, using the per-partition transition matrices already in pEval.
+// The total is the sum of per-partition components — linked branch
+// lengths, independent models.
 func (e *Engine) evaluateRange(r threads.Range) float64 {
+	sum := 0.0
+	for pi := range e.parts {
+		ps, lo, hi, ok := e.chunkOf(pi, r)
+		if ok {
+			sum += e.evaluateChunk(ps, lo, hi)
+		}
+	}
+	return sum
+}
+
+func (e *Engine) evaluateChunk(ps *partState, lo, hi int) float64 {
 	va := e.jobVA
 	vb := e.jobVB
 	nCat := e.nCat
-	freqs := e.model.Freqs
-	isCAT := e.rates.IsCAT()
+	freqs := ps.model.Freqs
+	pEval := e.pEval[ps.pOff:]
+	var pcat []int
+	if e.isCAT {
+		pcat = ps.rates.PatternCategory
+	}
 
 	sum := 0.0
-	for k := r.Lo; k < r.Hi; k++ {
+	for k := lo; k < hi; k++ {
 		wk := e.weights[k]
 		if wk == 0 {
 			continue
 		}
+		lk := k - ps.lo
 		var site float64
 		for cat := 0; cat < nCat; cat++ {
-			pc := e.pIndex(k, cat)
-			p := &e.pEval[pc]
-			aBase := k*va.stride + boolIdx(va.tip, 0, cat*4)
-			bBase := k*vb.stride + boolIdx(vb.tip, 0, cat*4)
+			pc := cat
+			if pcat != nil {
+				pc = pcat[lk]
+			}
+			p := &pEval[pc]
+			aBase := boolIdx(va.tip, k*4, ps.fOff+lk*va.stride+cat*4)
+			bBase := boolIdx(vb.tip, k*4, ps.fOff+lk*vb.stride+cat*4)
 			catL := 0.0
 			for s := 0; s < 4; s++ {
 				as := va.vec[aBase+s]
@@ -367,18 +433,18 @@ func (e *Engine) evaluateRange(r threads.Range) float64 {
 					p[s][2]*vb.vec[bBase+2] + p[s][3]*vb.vec[bBase+3]
 				catL += freqs[s] * as * dot
 			}
-			if isCAT {
+			if e.isCAT {
 				site = catL
 			} else {
-				site += e.rates.Probs[cat] * catL
+				site += ps.rates.Probs[cat] * catL
 			}
 		}
 		logSite := math.Log(math.Max(site, math.SmallestNonzeroFloat64))
 		if va.scale != nil {
-			logSite -= float64(va.scale[k]) * logScaleFactor
+			logSite -= float64(va.scale[ps.sOff+lk]) * logScaleFactor
 		}
 		if vb.scale != nil {
-			logSite -= float64(vb.scale[k]) * logScaleFactor
+			logSite -= float64(vb.scale[ps.sOff+lk]) * logScaleFactor
 		}
 		sum += float64(wk) * logSite
 	}
@@ -389,23 +455,40 @@ func (e *Engine) evaluateRange(r threads.Range) float64 {
 // likelihoods at the edge views in jobVA/jobVB. Zero-weight patterns
 // get 0.
 func (e *Engine) siteLLRange(r threads.Range) {
+	for pi := range e.parts {
+		ps, lo, hi, ok := e.chunkOf(pi, r)
+		if ok {
+			e.siteLLChunk(ps, lo, hi)
+		}
+	}
+}
+
+func (e *Engine) siteLLChunk(ps *partState, lo, hi int) {
 	va := e.jobVA
 	vb := e.jobVB
 	dst := e.jobDst
 	nCat := e.nCat
-	freqs := e.model.Freqs
-	isCAT := e.rates.IsCAT()
-	for k := r.Lo; k < r.Hi; k++ {
+	freqs := ps.model.Freqs
+	pEval := e.pEval[ps.pOff:]
+	var pcat []int
+	if e.isCAT {
+		pcat = ps.rates.PatternCategory
+	}
+	for k := lo; k < hi; k++ {
 		if e.weights[k] == 0 {
 			dst[k] = 0
 			continue
 		}
+		lk := k - ps.lo
 		var site float64
 		for cat := 0; cat < nCat; cat++ {
-			pc := e.pIndex(k, cat)
-			p := &e.pEval[pc]
-			aBase := k*va.stride + boolIdx(va.tip, 0, cat*4)
-			bBase := k*vb.stride + boolIdx(vb.tip, 0, cat*4)
+			pc := cat
+			if pcat != nil {
+				pc = pcat[lk]
+			}
+			p := &pEval[pc]
+			aBase := boolIdx(va.tip, k*4, ps.fOff+lk*va.stride+cat*4)
+			bBase := boolIdx(vb.tip, k*4, ps.fOff+lk*vb.stride+cat*4)
 			catL := 0.0
 			for s := 0; s < 4; s++ {
 				as := va.vec[aBase+s]
@@ -416,18 +499,18 @@ func (e *Engine) siteLLRange(r threads.Range) {
 					p[s][2]*vb.vec[bBase+2] + p[s][3]*vb.vec[bBase+3]
 				catL += freqs[s] * as * dot
 			}
-			if isCAT {
+			if e.isCAT {
 				site = catL
 			} else {
-				site += e.rates.Probs[cat] * catL
+				site += ps.rates.Probs[cat] * catL
 			}
 		}
 		logSite := math.Log(math.Max(site, math.SmallestNonzeroFloat64))
 		if va.scale != nil {
-			logSite -= float64(va.scale[k]) * logScaleFactor
+			logSite -= float64(va.scale[ps.sOff+lk]) * logScaleFactor
 		}
 		if vb.scale != nil {
-			logSite -= float64(vb.scale[k]) * logScaleFactor
+			logSite -= float64(vb.scale[ps.sOff+lk]) * logScaleFactor
 		}
 		dst[k] = logSite
 	}
@@ -464,28 +547,53 @@ func (e *Engine) SiteLogLikelihoods(dst []float64) []float64 {
 // derivativesRange computes one worker's partials of d(lnL)/dt and
 // d²(lnL)/dt² across the edge views in jobVA/jobVB — the quantities
 // RAxML's makenewz feeds its Newton–Raphson iteration. The derivative
-// matrices pEval/pD1/pD2 were filled by the master.
+// matrices pEval/pD1/pD2 were filled by the master for every partition;
+// the branch length is shared, so per-partition derivative partials
+// simply add.
 func (e *Engine) derivativesRange(r threads.Range) (d1, d2 float64) {
+	var s1, s2 float64
+	for pi := range e.parts {
+		ps, lo, hi, ok := e.chunkOf(pi, r)
+		if ok {
+			c1, c2 := e.derivativesChunk(ps, lo, hi)
+			s1 += c1
+			s2 += c2
+		}
+	}
+	return s1, s2
+}
+
+func (e *Engine) derivativesChunk(ps *partState, lo, hi int) (d1, d2 float64) {
 	va := e.jobVA
 	vb := e.jobVB
 	nCat := e.nCat
-	freqs := e.model.Freqs
-	isCAT := e.rates.IsCAT()
+	freqs := ps.model.Freqs
+	pEval := e.pEval[ps.pOff:]
+	pD1 := e.pD1[ps.pOff:]
+	pD2 := e.pD2[ps.pOff:]
+	var pcat []int
+	if e.isCAT {
+		pcat = ps.rates.PatternCategory
+	}
 
 	var s1, s2 float64
-	for k := r.Lo; k < r.Hi; k++ {
+	for k := lo; k < hi; k++ {
 		wk := e.weights[k]
 		if wk == 0 {
 			continue
 		}
+		lk := k - ps.lo
 		var siteL, siteD1, siteD2 float64
 		for cat := 0; cat < nCat; cat++ {
-			pc := e.pIndex(k, cat)
-			p := &e.pEval[pc]
-			pd1 := &e.pD1[pc]
-			pd2 := &e.pD2[pc]
-			aBase := k*va.stride + boolIdx(va.tip, 0, cat*4)
-			bBase := k*vb.stride + boolIdx(vb.tip, 0, cat*4)
+			pc := cat
+			if pcat != nil {
+				pc = pcat[lk]
+			}
+			p := &pEval[pc]
+			pd1 := &pD1[pc]
+			pd2 := &pD2[pc]
+			aBase := boolIdx(va.tip, k*4, ps.fOff+lk*va.stride+cat*4)
+			bBase := boolIdx(vb.tip, k*4, ps.fOff+lk*vb.stride+cat*4)
 			var catL, catD1, catD2 float64
 			for s := 0; s < 4; s++ {
 				as := va.vec[aBase+s]
@@ -501,10 +609,10 @@ func (e *Engine) derivativesRange(r threads.Range) (d1, d2 float64) {
 				catD1 += fa * (pd1[s][0]*b0 + pd1[s][1]*b1 + pd1[s][2]*b2 + pd1[s][3]*b3)
 				catD2 += fa * (pd2[s][0]*b0 + pd2[s][1]*b1 + pd2[s][2]*b2 + pd2[s][3]*b3)
 			}
-			if isCAT {
+			if e.isCAT {
 				siteL, siteD1, siteD2 = catL, catD1, catD2
 			} else {
-				pr := e.rates.Probs[cat]
+				pr := ps.rates.Probs[cat]
 				siteL += pr * catL
 				siteD1 += pr * catD1
 				siteD2 += pr * catD2
@@ -526,8 +634,11 @@ func (e *Engine) derivativesRange(r threads.Range) (d1, d2 float64) {
 // each Newton iteration then costs exactly one barrier crossing.
 func (e *Engine) branchDerivatives(a, slotA, b, slotB int, t float64) (d1, d2 float64) {
 	e.ensureP()
-	for c := 0; c < e.rates.NumCats(); c++ {
-		e.model.PDeriv(t, e.rates.Rates[c], &e.pEval[c], &e.pD1[c], &e.pD2[c])
+	for i := range e.parts {
+		ps := &e.parts[i]
+		for c := 0; c < ps.rates.NumCats(); c++ {
+			ps.model.PDeriv(t, ps.rates.Rates[c], &e.pEval[ps.pOff+c], &e.pD1[ps.pOff+c], &e.pD2[ps.pOff+c])
+		}
 	}
 	e.jobVA = e.viewOf(a, slotA)
 	e.jobVB = e.viewOf(b, slotB)

@@ -11,6 +11,10 @@ import (
 // branch-length optimization (RAxML's makenewz), golden-section model
 // parameter optimization (GTR exchangeabilities and the Γ shape), and
 // per-site rate optimization with category clustering (the CAT model).
+// On partitioned alignments branch lengths stay linked (one length per
+// edge, shared by all partitions — RAxML's default -q behaviour) while
+// every model parameter is optimized per partition: each gene gets its
+// own exchangeabilities, base frequencies, Γ shape and CAT categories.
 
 const (
 	// newtonTol terminates branch-length iteration.
@@ -23,7 +27,9 @@ const (
 // on d(lnL)/dt with a bisection-style fallback when the second
 // derivative is not usable. Returns the optimized length. The endpoint
 // views are refreshed once with a single batched traversal job; each
-// Newton iteration then costs one JobMakenewz dispatch.
+// Newton iteration then costs one JobMakenewz dispatch. Under linked
+// branch lengths the per-partition derivative partials simply add, so
+// the partitioned iteration is the same loop.
 func (e *Engine) OptimizeBranch(a, b int) float64 {
 	e.ensureArena()
 	slotA := e.slotOf(a, b)
@@ -127,8 +133,11 @@ type ModelOptConfig struct {
 // OptimizeModel optimizes the substitution-model parameters against the
 // attached tree by coordinate-wise golden-section search in log space,
 // re-optimizing nothing else; callers interleave it with branch-length
-// sweeps exactly as RAxML's full model optimization does. Returns the
-// final log-likelihood.
+// sweeps exactly as RAxML's full model optimization does. On a
+// partitioned alignment every partition's parameters are optimized in
+// turn — partitions are independent given the tree, so coordinate
+// descent over (partition, parameter) pairs converges exactly like the
+// single-partition loop. Returns the final log-likelihood.
 func (e *Engine) OptimizeModel(cfg ModelOptConfig) float64 {
 	rounds := cfg.Rounds
 	if rounds <= 0 {
@@ -140,43 +149,46 @@ func (e *Engine) OptimizeModel(cfg ModelOptConfig) float64 {
 	}
 	cur := e.LogLikelihood()
 	for round := 0; round < rounds; round++ {
-		if cfg.Rates {
-			// GT (index 5) is the reference rate fixed at 1.
-			for ri := 0; ri < 5; ri++ {
-				rates := e.model.Rates
-				orig := rates[ri]
-				best := goldenSection(math.Log(0.02), math.Log(50), tol, func(lr float64) float64 {
-					rates[ri] = math.Exp(lr)
-					if err := e.model.SetRates(rates); err != nil {
+		for pi := range e.parts {
+			ps := &e.parts[pi]
+			if cfg.Rates {
+				// GT (index 5) is the reference rate fixed at 1.
+				for ri := 0; ri < 5; ri++ {
+					rates := ps.model.Rates
+					orig := rates[ri]
+					best := goldenSection(math.Log(0.02), math.Log(50), tol, func(lr float64) float64 {
+						rates[ri] = math.Exp(lr)
+						if err := ps.model.SetRates(rates); err != nil {
+							return math.Inf(-1)
+						}
+						e.InvalidateAll()
+						return e.LogLikelihood()
+					})
+					rates[ri] = math.Exp(best)
+					if err := ps.model.SetRates(rates); err != nil {
+						rates[ri] = orig
+						_ = ps.model.SetRates(rates)
+					}
+					e.InvalidateAll()
+				}
+			}
+			if cfg.Alpha && !e.isCAT {
+				k := ps.rates.NumCats()
+				best := goldenSection(math.Log(0.05), math.Log(50), tol, func(la float64) float64 {
+					rs, err := gtr.GammaCategories(math.Exp(la), k)
+					if err != nil {
 						return math.Inf(-1)
 					}
+					copy(ps.rates.Rates, rs)
 					e.InvalidateAll()
 					return e.LogLikelihood()
 				})
-				rates[ri] = math.Exp(best)
-				if err := e.model.SetRates(rates); err != nil {
-					rates[ri] = orig
-					_ = e.model.SetRates(rates)
+				rs, err := gtr.GammaCategories(math.Exp(best), k)
+				if err == nil {
+					copy(ps.rates.Rates, rs)
 				}
 				e.InvalidateAll()
 			}
-		}
-		if cfg.Alpha && !e.rates.IsCAT() {
-			k := e.rates.NumCats()
-			best := goldenSection(math.Log(0.05), math.Log(50), tol, func(la float64) float64 {
-				rs, err := gtr.GammaCategories(math.Exp(la), k)
-				if err != nil {
-					return math.Inf(-1)
-				}
-				copy(e.rates.Rates, rs)
-				e.InvalidateAll()
-				return e.LogLikelihood()
-			})
-			rs, err := gtr.GammaCategories(math.Exp(best), k)
-			if err == nil {
-				copy(e.rates.Rates, rs)
-			}
-			e.InvalidateAll()
 		}
 		next := e.LogLikelihood()
 		if next-cur < 0.01 {
@@ -190,14 +202,17 @@ func (e *Engine) OptimizeModel(cfg ModelOptConfig) float64 {
 // OptimizePerSiteRates implements the GTRCAT rate-category estimation:
 // every pattern's rate is chosen from a log-spaced candidate grid by
 // maximizing its own site likelihood under the current tree, the chosen
-// rates are clustered into at most maxCats categories, normalized to
-// mean rate 1 under the active weights, and the engine switches to the
-// resulting assignment. Returns the final log-likelihood.
+// rates are clustered into at most maxCats categories *per partition*,
+// normalized to mean rate 1 under the partition's active weights, and
+// the engine switches to the resulting assignments. Returns the final
+// log-likelihood.
 //
 // This mirrors RAxML's optimizeRateCategories: a handful of full-tree
-// site-likelihood sweeps (one per candidate rate), then clustering.
+// site-likelihood sweeps (one per candidate rate, covering every
+// partition simultaneously — partitions are independent given the
+// tree), then per-partition clustering.
 func (e *Engine) OptimizePerSiteRates(maxCats, gridSize int) float64 {
-	if !e.rates.IsCAT() {
+	if !e.isCAT {
 		return e.LogLikelihood()
 	}
 	if gridSize < 2 {
@@ -211,18 +226,28 @@ func (e *Engine) OptimizePerSiteRates(maxCats, gridSize int) float64 {
 	}
 
 	// Evaluate per-pattern log-likelihood under each uniform candidate
-	// rate by temporarily switching every pattern to that rate.
-	saved := e.rates.Clone()
+	// rate by temporarily switching every partition to that rate. The
+	// rate-treatment pointers stay stable (external holders keep seeing
+	// the engine's treatments); only their contents are swapped.
+	saved := make([]*gtr.RateCategories, len(e.parts))
+	uniformAssign := make([][]int, len(e.parts))
+	for i := range e.parts {
+		saved[i] = e.parts[i].rates.Clone()
+		uniformAssign[i] = make([]int, e.parts[i].hi-e.parts[i].lo)
+	}
 	bestRate := make([]float64, e.nPatterns)
 	bestLL := make([]float64, e.nPatterns)
 	for i := range bestLL {
 		bestLL[i] = math.Inf(-1)
 	}
 	scratch := make([]float64, e.nPatterns)
-	uniformAssign := make([]int, e.nPatterns)
 	for _, rate := range grid {
-		e.rates.Rates = []float64{rate}
-		e.rates.PatternCategory = uniformAssign
+		for i := range e.parts {
+			*e.parts[i].rates = gtr.RateCategories{
+				Rates:           []float64{rate},
+				PatternCategory: uniformAssign[i],
+			}
+		}
 		e.InvalidateAll()
 		e.SiteLogLikelihoods(scratch)
 		for k := 0; k < e.nPatterns; k++ {
@@ -241,48 +266,63 @@ func (e *Engine) OptimizePerSiteRates(maxCats, gridSize int) float64 {
 			bestRate[k] = 1
 		}
 	}
-	clustered := gtr.ClusterCAT(bestRate, maxCats)
-	clustered.Normalize(e.weights)
-	*e.rates = *clustered
+	// Cluster per partition over its own local rate estimates.
+	clustered := make([]*gtr.RateCategories, len(e.parts))
+	for i := range e.parts {
+		ps := &e.parts[i]
+		c := gtr.ClusterCAT(bestRate[ps.lo:ps.hi], maxCats)
+		c.Normalize(e.weights[ps.lo:ps.hi])
+		clustered[i] = c
+		*ps.rates = *c
+	}
 	e.InvalidateAll()
 	ll := e.LogLikelihood()
 
-	// Guard: if the clustered assignment is somehow worse than the saved
-	// treatment (possible on degenerate data), roll back.
-	e2 := ll
-	*e.rates = *saved
+	// Guard: if the clustered assignments are somehow worse than the
+	// saved treatments (possible on degenerate data), roll back — all
+	// partitions together, keeping the engine in one consistent state.
+	for i := range e.parts {
+		*e.parts[i].rates = *saved[i]
+	}
 	e.InvalidateAll()
 	llSaved := e.LogLikelihood()
-	if e2 >= llSaved {
-		*e.rates = *clustered
+	if ll >= llSaved {
+		for i := range e.parts {
+			*e.parts[i].rates = *clustered[i]
+		}
 		e.InvalidateAll()
-		return e2
+		return ll
 	}
 	return llSaved
 }
 
-// EstimateEmpiricalFreqs sets the model's base frequencies from the
-// weighted pattern data (counting unambiguous states only) and
-// invalidates caches. Returns the frequencies installed.
+// EstimateEmpiricalFreqs sets every partition's base frequencies from
+// that partition's weighted pattern data (counting unambiguous states
+// only) and invalidates caches — each gene gets its own composition, as
+// RAxML does for -q analyses. Returns partition 0's frequencies (the
+// only partition of unpartitioned data).
 func (e *Engine) EstimateEmpiricalFreqs() [4]float64 {
-	var counts [4]float64
-	for taxon := 0; taxon < e.pat.NumTaxa(); taxon++ {
-		for k := 0; k < e.nPatterns; k++ {
-			s := e.pat.Data[taxon][k]
-			if s.IsAmbiguous() {
-				continue
-			}
-			w := float64(e.weights[k])
-			for st := 0; st < 4; st++ {
-				if s&(1<<uint(st)) != 0 {
-					counts[st] += w
+	for pi := range e.parts {
+		ps := &e.parts[pi]
+		var counts [4]float64
+		for taxon := 0; taxon < e.pat.NumTaxa(); taxon++ {
+			for k := ps.lo; k < ps.hi; k++ {
+				s := e.pat.Data[taxon][k]
+				if s.IsAmbiguous() {
+					continue
+				}
+				w := float64(e.weights[k])
+				for st := 0; st < 4; st++ {
+					if s&(1<<uint(st)) != 0 {
+						counts[st] += w
+					}
 				}
 			}
 		}
+		freqs := gtr.EmpiricalFreqs(counts)
+		if err := ps.model.SetFreqs(freqs); err == nil {
+			e.InvalidateAll()
+		}
 	}
-	freqs := gtr.EmpiricalFreqs(counts)
-	if err := e.model.SetFreqs(freqs); err == nil {
-		e.InvalidateAll()
-	}
-	return freqs
+	return e.parts[0].model.Freqs
 }

@@ -51,56 +51,77 @@ func (e *Engine) EvaluateInsertion(subRoot, attach, x, y int) float64 {
 
 // insertScanRange computes one worker's partial of the three-way CLV
 // join at a candidate insertion point, over the views jobVX/jobVY/jobVS
-// with transition matrices pLeft (toward x), pRight (toward y) and
-// pEval (toward the subtree).
+// with per-partition transition matrices pLeft (toward x), pRight
+// (toward y) and pEval (toward the subtree).
 func (e *Engine) insertScanRange(r threads.Range) float64 {
+	sum := 0.0
+	for pi := range e.parts {
+		ps, lo, hi, ok := e.chunkOf(pi, r)
+		if ok {
+			sum += e.insertScanChunk(ps, lo, hi)
+		}
+	}
+	return sum
+}
+
+func (e *Engine) insertScanChunk(ps *partState, lo, hi int) float64 {
 	vx := e.jobVX
 	vy := e.jobVY
 	vs := e.jobVS
 	nCat := e.nCat
-	freqs := e.model.Freqs
-	isCAT := e.rates.IsCAT()
+	freqs := ps.model.Freqs
+	pLeft := e.pLeft[ps.pOff:]
+	pRight := e.pRight[ps.pOff:]
+	pEval := e.pEval[ps.pOff:]
+	var pcat []int
+	if e.isCAT {
+		pcat = ps.rates.PatternCategory
+	}
 
 	sum := 0.0
-	for k := r.Lo; k < r.Hi; k++ {
+	for k := lo; k < hi; k++ {
 		wk := e.weights[k]
 		if wk == 0 {
 			continue
 		}
+		lk := k - ps.lo
 		var site float64
 		for cat := 0; cat < nCat; cat++ {
-			pc := e.pIndex(k, cat)
-			px := &e.pLeft[pc]
-			py := &e.pRight[pc]
-			ps := &e.pEval[pc]
-			xB := k*vx.stride + boolIdx(vx.tip, 0, cat*4)
-			yB := k*vy.stride + boolIdx(vy.tip, 0, cat*4)
-			sB := k*vs.stride + boolIdx(vs.tip, 0, cat*4)
+			pc := cat
+			if pcat != nil {
+				pc = pcat[lk]
+			}
+			px := &pLeft[pc]
+			py := &pRight[pc]
+			pss := &pEval[pc]
+			xB := boolIdx(vx.tip, k*4, ps.fOff+lk*vx.stride+cat*4)
+			yB := boolIdx(vy.tip, k*4, ps.fOff+lk*vy.stride+cat*4)
+			sB := boolIdx(vs.tip, k*4, ps.fOff+lk*vs.stride+cat*4)
 			catL := 0.0
 			for s := 0; s < 4; s++ {
 				ax := px[s][0]*vx.vec[xB] + px[s][1]*vx.vec[xB+1] +
 					px[s][2]*vx.vec[xB+2] + px[s][3]*vx.vec[xB+3]
 				ay := py[s][0]*vy.vec[yB] + py[s][1]*vy.vec[yB+1] +
 					py[s][2]*vy.vec[yB+2] + py[s][3]*vy.vec[yB+3]
-				ac := ps[s][0]*vs.vec[sB] + ps[s][1]*vs.vec[sB+1] +
-					ps[s][2]*vs.vec[sB+2] + ps[s][3]*vs.vec[sB+3]
+				ac := pss[s][0]*vs.vec[sB] + pss[s][1]*vs.vec[sB+1] +
+					pss[s][2]*vs.vec[sB+2] + pss[s][3]*vs.vec[sB+3]
 				catL += freqs[s] * ax * ay * ac
 			}
-			if isCAT {
+			if e.isCAT {
 				site = catL
 			} else {
-				site += e.rates.Probs[cat] * catL
+				site += ps.rates.Probs[cat] * catL
 			}
 		}
 		logSite := math.Log(math.Max(site, math.SmallestNonzeroFloat64))
 		if vx.scale != nil {
-			logSite -= float64(vx.scale[k]) * logScaleFactor
+			logSite -= float64(vx.scale[ps.sOff+lk]) * logScaleFactor
 		}
 		if vy.scale != nil {
-			logSite -= float64(vy.scale[k]) * logScaleFactor
+			logSite -= float64(vy.scale[ps.sOff+lk]) * logScaleFactor
 		}
 		if vs.scale != nil {
-			logSite -= float64(vs.scale[k]) * logScaleFactor
+			logSite -= float64(vs.scale[ps.sOff+lk]) * logScaleFactor
 		}
 		sum += float64(wk) * logSite
 	}

@@ -12,21 +12,30 @@ import (
 // *execution*: it walks the tree once to collect the ordered list of
 // stale directed CLVs (children before parents) together with their
 // child references and branch lengths, precomputes every entry's
-// transition matrices into a reusable arena, and then posts the whole
-// descriptor to the worker pool as ONE job. Each worker walks the full
-// descriptor over its private pattern range; because pattern k of a
-// parent CLV depends only on pattern k of its children, no intra-walk
-// barrier is needed. A full-tree relikelihood therefore costs exactly
-// one barrier crossing instead of O(nodes) crossings — the
-// synchronization amortization the paper's Pthreads layer relies on.
+// transition matrices — one set per (entry, partition, category), since
+// a multi-gene alignment evolves every partition under its own model —
+// and then posts the whole descriptor to the worker pool as ONE job.
+// Each worker walks the full descriptor over its private pattern range;
+// because pattern k of a parent CLV depends only on pattern k of its
+// children, no intra-walk barrier is needed. A full-tree relikelihood
+// therefore costs exactly one barrier crossing instead of O(nodes)
+// crossings — partitioned or not — the synchronization amortization the
+// paper's Pthreads layer relies on.
 //
 // Entries are resolved to *flat arena offsets*, not slice headers: a
 // worker materializes its own pattern stripe of the destination and
-// child tiles at execution time. Tip children are additionally resolved
-// to per-entry lookup tables (RAxML's tipVector/umpX tables): the
-// P-matrix row sums for all 16 ambiguity codes are precomputed by the
-// master, so the kernel replaces a 4x4 matrix-vector product per
-// pattern with four loads.
+// child tile segments at execution time. Tip children are additionally
+// resolved to per-(entry, partition) lookup tables (RAxML's
+// tipVector/umpX tables): the P-matrix row sums for all 16 ambiguity
+// codes are precomputed by the master, so the kernel replaces a 4x4
+// matrix-vector product per pattern with four loads.
+//
+// The matrix fill is the descriptor engine's only serial master-side
+// O(entries) work, and partitioning multiplies it by the partition
+// count; for long descriptors it is forked over transient goroutines
+// bounded by the pool's worker count (threads.Pool.ForkJoin). That path
+// deliberately does NOT post a pool job: the one-barrier-per-traversal
+// accounting stays exact.
 //
 // The descriptor buffer, its transition-matrix arena, the tip-lookup
 // arena, and the pool's reduction slots are all reused across jobs, so
@@ -63,13 +72,21 @@ type travEntry struct {
 	left, right travChild
 	dstOff      int // float64 offset of the destination tile
 	dstScaleOff int // int32 offset of the destination scale counters
-	// pL, pR are this entry's transition matrices (one per rate
-	// category), subslices of the engine's arena.
+	// pL, pR are this entry's transition matrices, indexed
+	// [partition.pOff + category] (subslices of the engine's arena):
+	// branch lengths are linked, but every partition's model produces
+	// its own matrices.
 	pL, pR [][4][4]float64
-	// lutL, lutR are the tip lookup tables (16 codes x NumCats x 4
-	// states, subslices of e.travLUT); nil for internal children.
+	// lutL, lutR are the tip lookup tables, one 16-code block per
+	// partition at [64*partition.pOff] (subslices of e.travLUT); nil
+	// for internal children.
 	lutL, lutR []float64
 }
+
+// pFillParallelEntries is the descriptor length from which the
+// master-side matrix fill is forked over goroutines; shorter
+// descriptors stay serial (the fork overhead would dominate).
+const pFillParallelEntries = 32
 
 // beginTraversal resets the descriptor buffer for a new plan. The
 // backing array is retained: one engine reuses one descriptor buffer
@@ -136,7 +153,8 @@ func (e *Engine) childOf(node, slot int) travChild {
 // states in increasing order, exactly like the matrix-vector product
 // over a 0/1 tip CLV it replaces, so results are bit-identical. Plain
 // unambiguous codes (the overwhelming majority) are straight P-column
-// copies.
+// copies. For partitioned engines this is called once per partition
+// with that partition's matrix and LUT blocks.
 func fillTipLUT(lut []float64, pm [][4][4]float64, mask uint16) {
 	nc := len(pm)
 	for c := 0; c < nc; c++ {
@@ -171,25 +189,32 @@ func fillTipLUT(lut []float64, pm [][4][4]float64, mask uint16) {
 	}
 }
 
-// prepareTraversal resolves the queued descriptor for execution: it
-// binds destination tiles in the CLV arena, resolves child offsets
-// (earlier entries' destinations become later entries' inputs), fills
-// each entry's transition matrices into the shared matrix arena, and
-// builds tip lookup tables. All serial master work — workers only ever
+// prepareTraversal resolves the queued descriptor for execution in two
+// passes. The first, serial, pass binds destination tiles in the CLV
+// arena, resolves child offsets (earlier entries' destinations become
+// later entries' inputs) and carves each entry's matrix and lookup
+// slices out of the shared arenas — work that mutates engine state and
+// must stay on the master. The second pass fills every entry's
+// per-partition transition matrices and tip lookup tables; entries are
+// independent there, so long descriptors fork the fill across
+// goroutines bounded by the pool's worker count (no pool job is posted
+// — see the package comment on dispatch accounting). Workers only ever
 // read the result.
 func (e *Engine) prepareTraversal() {
 	n := len(e.trav)
 	if n == 0 {
 		return
 	}
-	nc := e.rates.NumCats()
+	e.ensureP()
+	nc := e.totalCats
 	need := 2 * nc * n
 	if cap(e.travP) < need {
 		e.travP = make([][4][4]float64, need)
 	}
 	e.travP = e.travP[:need]
 
-	// Size the tip-lookup arena: one 16 x nc x 4 table per tip child.
+	// Size the tip-lookup arena: one 16 x nc x 4 table (all partitions'
+	// blocks) per tip child.
 	lutSize := 16 * nc * 4
 	tips := 0
 	for i := range e.trav {
@@ -216,23 +241,47 @@ func (e *Engine) prepareTraversal() {
 		ent.pL = e.travP[off : off+nc]
 		ent.pR = e.travP[off+nc : off+2*nc]
 		off += 2 * nc
-		for c := 0; c < nc; c++ {
-			e.model.P(ent.pub.Len1, e.rates.Rates[c], &ent.pL[c])
-			e.model.P(ent.pub.Len2, e.rates.Rates[c], &ent.pR[c])
-		}
 		ent.lutL, ent.lutR = nil, nil
 		if ent.left.tip {
 			ent.lutL = e.travLUT[lutOff : lutOff+lutSize]
-			fillTipLUT(ent.lutL, ent.pL, e.tipCodeMask[ent.left.taxon])
 			lutOff += lutSize
 		}
 		if ent.right.tip {
 			ent.lutR = e.travLUT[lutOff : lutOff+lutSize]
-			fillTipLUT(ent.lutR, ent.pR, e.tipCodeMask[ent.right.taxon])
 			lutOff += lutSize
 		}
 	}
+	if n >= pFillParallelEntries && e.pool.Workers() > 1 {
+		e.pool.ForkJoin(n, 8, e.fillTravMatrices)
+	} else {
+		e.fillTravMatrices(0, n)
+	}
 	e.newviewCount += int64(n)
+}
+
+// fillTravMatrices computes the per-partition transition matrices and
+// tip lookup tables of descriptor entries [i0, i1). Entries are
+// mutually independent and every write lands in slices carved for this
+// entry by prepareTraversal, so disjoint index ranges may run
+// concurrently; the models' eigensystems are read-only here.
+func (e *Engine) fillTravMatrices(i0, i1 int) {
+	for i := i0; i < i1; i++ {
+		ent := &e.trav[i]
+		for pi := range e.parts {
+			ps := &e.parts[pi]
+			npc := ps.rates.NumCats()
+			for c := 0; c < npc; c++ {
+				ps.model.P(ent.pub.Len1, ps.rates.Rates[c], &ent.pL[ps.pOff+c])
+				ps.model.P(ent.pub.Len2, ps.rates.Rates[c], &ent.pR[ps.pOff+c])
+			}
+			if ent.lutL != nil {
+				fillTipLUT(ent.lutL[64*ps.pOff:64*(ps.pOff+npc)], ent.pL[ps.pOff:ps.pOff+npc], e.tipCodeMask[ent.left.taxon])
+			}
+			if ent.lutR != nil {
+				fillTipLUT(ent.lutR[64*ps.pOff:64*(ps.pOff+npc)], ent.pR[ps.pOff:ps.pOff+npc], e.tipCodeMask[ent.right.taxon])
+			}
+		}
+	}
 }
 
 // dispatch posts the prepared descriptor (and the follow-on kernel

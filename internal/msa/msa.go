@@ -172,6 +172,13 @@ type Patterns struct {
 	// bootstrap resampling needs it to convert column draws into pattern
 	// weights.
 	ColumnPattern []int
+	// Parts holds the partition spans on the pattern axis for multi-gene
+	// alignments (CompressPartitioned lays patterns out partition-major).
+	// Empty for unpartitioned data; see PartRanges for the uniform view.
+	Parts []PartRange
+	// SitePartition maps each original column to its partition index;
+	// nil for unpartitioned data.
+	SitePartition []int
 	// numChars caches the original column count.
 	numChars int
 }
@@ -264,12 +271,30 @@ func (p *Patterns) Expand() *Alignment {
 //
 // This mirrors RAxML exactly: a replicate never copies sequence data, it
 // only re-weights patterns, so a bootstrap search runs on the same memory
-// as the original search.
+// as the original search. On partitioned data the draw is stratified per
+// partition — each gene is resampled among its own columns — so every
+// partition keeps its original column count (and non-zero weight mass),
+// as RAxML does for -q analyses.
 func (p *Patterns) Resample(r *rng.RNG) []int {
 	w := make([]int, p.NumPatterns())
-	for i := 0; i < p.numChars; i++ {
-		col := r.Intn(p.numChars)
-		w[p.ColumnPattern[col]]++
+	if p.SitePartition == nil {
+		for i := 0; i < p.numChars; i++ {
+			col := r.Intn(p.numChars)
+			w[p.ColumnPattern[col]]++
+		}
+		return w
+	}
+	// Stratified draw: group the columns of each partition, then sample
+	// with replacement inside each group.
+	partCols := make([][]int, p.NumParts())
+	for j, pi := range p.SitePartition {
+		partCols[pi] = append(partCols[pi], j)
+	}
+	for _, cols := range partCols {
+		for range cols {
+			col := cols[r.Intn(len(cols))]
+			w[p.ColumnPattern[col]]++
+		}
 	}
 	return w
 }

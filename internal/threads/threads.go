@@ -163,6 +163,19 @@ func NewPoolWeighted(workers int, weights []int) *Pool {
 	return newPool(w, SplitWeighted(weights, w))
 }
 
+// NewPoolPartitioned creates a pool for a partitioned (multi-gene)
+// pattern axis: ranges balance total pattern weight (as NewPoolWeighted)
+// and stripe boundaries are immediately snapped to quantum multiples
+// relative to the partition starts (as AlignRangesAt), so one job
+// posting covers the concatenated (partition, pattern-stripe) units
+// with weighted, cache-aligned stripes that never split a cache line
+// inside any partition's tile segment.
+func NewPoolPartitioned(workers int, weights []int, starts []int, quantum int) *Pool {
+	p := NewPoolWeighted(workers, weights)
+	p.AlignRangesAt(quantum, starts)
+	return p
+}
+
 func clampWorkers(workers, n int) int {
 	if workers < 1 {
 		workers = 1
@@ -315,41 +328,77 @@ func (p *Pool) awaitCrew() {
 // of quantum patterns. Engines whose buffers tile the pattern axis call
 // this once so that no two workers ever write the same cache line of a
 // tile (e.g. a GTRCAT CLV packs two 32-byte patterns per 64-byte line:
-// quantum 2 keeps stripe edges off shared lines). Boundaries move by at
-// most quantum/2 patterns, so stripes stay balanced (weighted splits
-// shift at most quantum/2 patterns of weight per edge) and non-empty —
-// when any stripe is under 2·quantum patterns that guarantee fails, so
-// the call is a no-op: such workloads are latency-bound, not
-// bandwidth-bound, and an empty stripe would cost more than a shared
+// quantum 2 keeps stripe edges off shared lines). Equivalent to
+// AlignRangesAt with a single segment covering the whole axis.
+func (p *Pool) AlignRanges(quantum int) {
+	p.AlignRangesAt(quantum, nil)
+}
+
+// AlignRangesAt snaps the pool's stripe boundaries to quantum-pattern
+// multiples *relative to segment starts* — the partition-aware form of
+// AlignRanges. `starts` lists the pattern-axis offsets where aligned
+// segments begin (a partitioned CLV arena pads each partition's segment
+// to whole cache lines, so alignment is only meaningful relative to the
+// containing partition's start); nil or empty means one segment at 0.
+// A boundary snaps to the nearest segment-relative quantum multiple,
+// clamped to the containing segment's end — landing exactly on a
+// partition boundary is always line-safe because segments are padded.
+//
+// Each boundary moves by at most quantum/2 patterns, so weighted splits
+// (NewPoolWeighted) shift at most quantum/2 patterns of weight per
+// edge. Snapping is per-boundary: a boundary whose move would empty an
+// adjacent stripe keeps its exact (weighted) position while the other
+// boundaries still snap — degenerate stripes (a very narrow partition,
+// a weight spike) therefore never disappear and never disable snapping
+// elsewhere. When the *average* stripe is under 2·quantum patterns the
+// whole call is a no-op: such workloads are latency-bound, not
+// bandwidth-bound, and rebalancing them would cost more than a shared
 // line. Must not be called concurrently with a posted job; the next
 // Post publishes the new stripes to the crew.
-func (p *Pool) AlignRanges(quantum int) {
+func (p *Pool) AlignRangesAt(quantum int, starts []int) {
 	if quantum <= 1 || p.workers == 1 {
 		return
 	}
 	p.postMu.Lock()
 	defer p.postMu.Unlock()
-	for _, r := range p.ranges {
-		if r.Len() < 2*quantum {
-			return
-		}
-	}
 	n := p.ranges[p.workers-1].Hi
-	lo := p.ranges[0].Lo
-	for i := 0; i < p.workers; i++ {
-		hi := p.ranges[i].Hi
-		if i < p.workers-1 {
-			hi = (hi + quantum/2) / quantum * quantum
-			if hi < lo {
-				hi = lo
-			}
-			if hi > n {
-				hi = n
-			}
-		}
-		p.ranges[i] = Range{lo, hi}
-		lo = hi
+	if n-p.ranges[0].Lo < 2*quantum*p.workers {
+		return
 	}
+	if len(starts) == 0 {
+		starts = []int{0}
+	}
+	lo := p.ranges[0].Lo
+	for i := 0; i < p.workers-1; i++ {
+		b := p.ranges[i].Hi
+		cand := snapToSegment(b, quantum, starts, n)
+		if cand <= lo || cand >= p.ranges[i+1].Hi {
+			cand = b // snapping would empty a stripe: keep the exact split
+		}
+		p.ranges[i] = Range{lo, cand}
+		lo = cand
+	}
+	p.ranges[p.workers-1] = Range{lo, n}
+}
+
+// snapToSegment rounds boundary b to the nearest multiple of quantum
+// relative to the start of the segment containing b, clamped to the
+// segment's end (the next start, or n).
+func snapToSegment(b, quantum int, starts []int, n int) int {
+	s, e := 0, n
+	for _, st := range starts {
+		if st <= b && st >= s {
+			s = st
+		}
+		if st > b && st < e {
+			e = st
+		}
+	}
+	cand := s + (b-s+quantum/2)/quantum*quantum
+	if cand > e {
+		cand = e
+	}
+	return cand
 }
 
 // Workers returns the number of workers in the pool.
@@ -427,6 +476,40 @@ func (p *Pool) ReduceSum2(fn func(worker int, r Range) (float64, float64)) (floa
 		p.slots[w].v[0], p.slots[w].v[1] = fn(w, r)
 	})
 	return p.SumSlots2(0, 1)
+}
+
+// ForkJoin runs fn over [0, n) split into contiguous chunks of at least
+// `grain` items, on transient goroutines bounded by the pool's worker
+// count, and returns when all chunks finished. This is a *master-side*
+// utility for serial-bottleneck precomputation (the per-entry P-matrix
+// fill of long traversal descriptors): it does NOT post a job code, so
+// it neither wakes the parked crew nor counts as a pool dispatch — the
+// one-barrier-per-traversal invariant of the descriptor engine is
+// preserved. fn must confine writes to its [lo, hi) chunk. Small inputs
+// (n < 2·grain) and single-worker pools run inline on the caller.
+func (p *Pool) ForkJoin(n, grain int, fn func(lo, hi int)) {
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := p.workers
+	if chunks > n/grain {
+		chunks = n / grain
+	}
+	if chunks <= 1 {
+		fn(0, n)
+		return
+	}
+	ranges := SplitEven(n, chunks)
+	var wg sync.WaitGroup
+	for _, r := range ranges[1:] {
+		wg.Add(1)
+		go func(r Range) {
+			defer wg.Done()
+			fn(r.Lo, r.Hi)
+		}(r)
+	}
+	fn(ranges[0].Lo, ranges[0].Hi)
+	wg.Wait()
 }
 
 // Close shuts the worker goroutines down. The pool must not be used

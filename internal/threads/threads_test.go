@@ -337,10 +337,13 @@ func TestAlignRangesSmallWorkloadNoOp(t *testing.T) {
 	}
 }
 
-func TestAlignRangesNarrowWeightedStripeNoOp(t *testing.T) {
-	// A weighted split can produce a stripe narrower than the quantum
-	// even when the total span is large; snapping would empty it, so the
-	// call must be a no-op whenever any stripe is under 2*quantum.
+func TestAlignRangesNarrowWeightedStripeStaysNonEmpty(t *testing.T) {
+	// Regression test for the NewPoolWeighted + AlignRanges interaction:
+	// a weighted split can produce a stripe narrower than the quantum
+	// even when the total span is large. Snapping must be per-boundary —
+	// a move that would empty a stripe is skipped while every other
+	// boundary still snaps — instead of the old global no-op that
+	// disabled cache alignment for the whole pool.
 	weights := make([]int, 1288)
 	for i := range weights {
 		weights[i] = 1
@@ -360,11 +363,191 @@ func TestAlignRangesNarrowWeightedStripeNoOp(t *testing.T) {
 	if !narrow {
 		t.Skip("weighted split produced no narrow stripe; probe needs retuning")
 	}
-	want := append([]Range(nil), p.Ranges()...)
 	p.AlignRanges(16)
+	assertRangesCover(t, p.Ranges(), 1288)
+	snapped := 0
 	for i, r := range p.Ranges() {
-		if r != want[i] {
-			t.Fatalf("worker %d: stripe changed %v -> %v despite narrow stripe", i, want[i], r)
+		if r.Len() == 0 {
+			t.Fatalf("worker %d: stripe emptied by snapping: %v", i, r)
 		}
+		if i < p.Workers()-1 && r.Hi%16 == 0 {
+			snapped++
+		}
+	}
+	if snapped == 0 {
+		t.Fatalf("no boundary snapped despite a wide axis: %v", p.Ranges())
+	}
+}
+
+// assertRangesCover checks the stripe-partition invariants: contiguous,
+// monotone, covering [0, n).
+func assertRangesCover(t *testing.T, rs []Range, n int) {
+	t.Helper()
+	lo := 0
+	for i, r := range rs {
+		if r.Lo != lo || r.Hi < r.Lo {
+			t.Fatalf("range %d = %v breaks the contiguous cover at %d", i, r, lo)
+		}
+		lo = r.Hi
+	}
+	if lo != n {
+		t.Fatalf("ranges cover %d patterns, want %d", lo, n)
+	}
+}
+
+func TestAlignRangesAtSnapsRelativeToPartitionStarts(t *testing.T) {
+	// Partition starts at an offset that is NOT a multiple of the
+	// quantum: boundaries inside that partition must snap relative to
+	// the partition start, not to the global origin.
+	const n, workers, quantum = 1000, 4, 16
+	starts := []int{0, 237, 700}
+	p := NewPool(workers, n)
+	defer p.Close()
+	p.AlignRangesAt(quantum, starts)
+	assertRangesCover(t, p.Ranges(), n)
+	for i, r := range p.Ranges() {
+		if i == workers-1 {
+			continue
+		}
+		b := r.Hi
+		// The boundary is either a partition start itself or a
+		// quantum multiple relative to its containing partition.
+		s := 0
+		for _, st := range starts {
+			if st <= b && st > s {
+				s = st
+			}
+		}
+		if b != s && (b-s)%quantum != 0 {
+			t.Fatalf("worker %d: boundary %d is neither partition-aligned nor %d-aligned within its partition (start %d)",
+				i, b, quantum, s)
+		}
+	}
+}
+
+func TestAlignRangesAtDegenerateNarrowPartition(t *testing.T) {
+	// A partition far narrower than the quantum: boundaries that land
+	// inside it can only snap to its edges; stripes must stay non-empty
+	// and the cover intact.
+	const n, workers, quantum = 512, 4, 16
+	starts := []int{0, 253, 256} // 3-pattern partition in the middle
+	weights := make([]int, n)
+	for i := range weights {
+		weights[i] = 1
+	}
+	// Force a worker boundary into the narrow partition.
+	weights[254] = 600
+	p := NewPoolWeighted(workers, weights)
+	defer p.Close()
+	before := append([]Range(nil), p.Ranges()...)
+	p.AlignRangesAt(quantum, starts)
+	assertRangesCover(t, p.Ranges(), n)
+	for i, r := range p.Ranges() {
+		if before[i].Len() > 0 && r.Len() == 0 {
+			t.Fatalf("worker %d: snapping emptied stripe %v -> %v", i, before[i], r)
+		}
+	}
+}
+
+func TestAlignRangesAtProperty(t *testing.T) {
+	prop := func(seed int64, wRaw, qRaw uint8) bool {
+		workers := int(wRaw)%6 + 2
+		quantum := []int{2, 4, 8, 16}[int(qRaw)%4]
+		n := 64*workers + int(uint64(seed)%257)
+		weights := make([]int, n)
+		s := seed
+		for i := range weights {
+			s = s*6364136223846793005 + 1442695040888963407
+			weights[i] = int(uint64(s)>>59) % 9
+		}
+		var starts []int
+		for off := 0; off < n; {
+			starts = append(starts, off)
+			s = s*6364136223846793005 + 1442695040888963407
+			off += 1 + int(uint64(s)>>56)%97
+		}
+		p := NewPoolWeighted(workers, weights)
+		defer p.Close()
+		before := append([]Range(nil), p.Ranges()...)
+		p.AlignRangesAt(quantum, starts)
+		lo := 0
+		for i, r := range p.Ranges() {
+			if r.Lo != lo || r.Hi < r.Lo {
+				return false
+			}
+			// Non-empty stripes stay non-empty.
+			if before[i].Len() > 0 && r.Len() == 0 {
+				return false
+			}
+			// Boundaries move by at most quantum/2.
+			if i < workers-1 {
+				d := r.Hi - before[i].Hi
+				if d < -quantum/2 || d > quantum/2 {
+					return false
+				}
+			}
+			lo = r.Hi
+		}
+		return lo == n
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewPoolPartitionedWeightedAligned(t *testing.T) {
+	n := 1288
+	weights := make([]int, n)
+	for i := range weights {
+		weights[i] = 1 + i%3
+	}
+	starts := []int{0, 500, 900}
+	p := NewPoolPartitioned(4, weights, starts, 16)
+	defer p.Close()
+	assertRangesCover(t, p.Ranges(), n)
+	mass := func(r Range) int {
+		m := 0
+		for i := r.Lo; i < r.Hi; i++ {
+			m += weights[i]
+		}
+		return m
+	}
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	for i, r := range p.Ranges() {
+		if m := mass(r); m < total/8 || m > total/2 {
+			t.Fatalf("worker %d mass %d of %d: weighted split lost balance", i, m, total)
+		}
+	}
+}
+
+func TestForkJoinCoversAllChunks(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := NewPool(workers, 256)
+		visited := make([]int32, 1000)
+		p.ForkJoin(len(visited), 8, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&visited[i], 1)
+			}
+		})
+		for i, v := range visited {
+			if v != 1 {
+				t.Fatalf("workers=%d: item %d visited %d times", workers, i, v)
+			}
+		}
+		if d := p.Dispatches(); d != 0 {
+			t.Fatalf("workers=%d: ForkJoin counted %d pool dispatches, want 0", workers, d)
+		}
+		p.Close()
+	}
+	// Tiny input runs inline.
+	p := NewPool(4, 256)
+	defer p.Close()
+	sum := 0
+	p.ForkJoin(3, 8, func(lo, hi int) { sum += hi - lo })
+	if sum != 3 {
+		t.Fatalf("inline ForkJoin covered %d of 3 items", sum)
 	}
 }

@@ -30,6 +30,7 @@
 package raxml
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 
@@ -90,6 +91,36 @@ func LoadAlignment(path string) (*Patterns, error) {
 		return nil, fmt.Errorf("raxml: %v", err)
 	}
 	return ParseAlignment(data)
+}
+
+// ParsePartitionedAlignment reads alignment data together with a RAxML
+// -q partition file: every gene is compressed to its own pattern block
+// and analyzed under its own model instance (per-partition frequencies,
+// exchangeabilities, Γ shape or CAT categories; branch lengths linked).
+func ParsePartitionedAlignment(alignData, partitionData []byte) (*Patterns, error) {
+	a, err := msa.Sniff(alignData)
+	if err != nil {
+		return nil, err
+	}
+	defs, err := msa.ParsePartitionFile(bytes.NewReader(partitionData))
+	if err != nil {
+		return nil, err
+	}
+	return msa.CompressPartitioned(a, defs)
+}
+
+// LoadPartitionedAlignment reads and compresses an alignment file with
+// its -q partition file.
+func LoadPartitionedAlignment(alignPath, partitionPath string) (*Patterns, error) {
+	alignData, err := os.ReadFile(alignPath)
+	if err != nil {
+		return nil, fmt.Errorf("raxml: %v", err)
+	}
+	partData, err := os.ReadFile(partitionPath)
+	if err != nil {
+		return nil, fmt.Errorf("raxml: %v", err)
+	}
+	return ParsePartitionedAlignment(alignData, partData)
 }
 
 // Comprehensive runs the paper's -f a pipeline: rapid bootstraps, fast
