@@ -13,6 +13,7 @@ import (
 
 	"raxml/internal/consensus"
 	"raxml/internal/core"
+	"raxml/internal/fabric"
 	"raxml/internal/figures"
 	"raxml/internal/msa"
 	"raxml/internal/seqgen"
@@ -43,14 +44,26 @@ func Raxml(args []string, stdout io.Writer) error {
 		seedP      = fs.Int64("p", 12345, "parsimony / starting tree random seed")
 		seedX      = fs.Int64("x", 12345, "rapid bootstrap random seed")
 		analysis   = fs.String("f", "a", "analysis: a (comprehensive), d (multi-search), b (bootstraps+consensus), e (evaluate -t), s (support: -t + -z)")
-		ranks      = fs.Int("R", 1, "coarse-grained processes (MPI ranks)")
-		workers    = fs.Int("T", 1, "fine-grained workers per rank (Pthreads)")
+		ranks      = fs.Int("R", 1, "ranks: coarse-grained processes, or the fine-grain grid's rank count with -fine")
+		workers    = fs.Int("T", 1, "fine-grained workers (threads) per rank")
 		outDir     = fs.String("w", ".", "output directory")
 		userTree   = fs.String("t", "", "user tree file (Newick; -f e and -f s)")
 		treesFile  = fs.String("z", "", "multi-tree file (one Newick per line; -f s)")
+
+		fine     = fs.Bool("fine", false, "distribute the FINE grain over -R ranks: one likelihood striped over R x T workers (-f e and -f d)")
+		fineNet  = fs.String("fine-transport", "chan", "fine-grain fabric: chan (in-process ranks) or tcp (spawned worker processes)")
+		fgWorker = fs.Bool("fine-worker", false, "internal: run as a spawned fine-grain worker process")
+		fgConn   = fs.String("fine-connect", "", "internal: master address a fine-grain worker dials")
+		fgRank   = fs.Int("fine-rank", 0, "internal: this fine-grain worker's rank")
+		fgRanks  = fs.Int("fine-ranks", 0, "internal: fine-grain world size")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *fgWorker {
+		// Spawned worker mode: everything arrives over the wire; the
+		// usual input-file flags are neither needed nor read.
+		return RaxmlWorker(*fgConn, *fgRank, *fgRanks, os.Stderr)
 	}
 	if *alignFile == "" {
 		fs.Usage()
@@ -119,6 +132,20 @@ func Raxml(args []string, stdout io.Writer) error {
 		EmpiricalFreqs: true,
 	}
 
+	if *fine {
+		switch *analysis {
+		case "e":
+			return withFineTransport(*fineNet, opts.Ranks, stdout, func(tr fabric.Transport) error {
+				return runEvaluateFine(pat, opts, tr, *userTree, *runName, *outDir, stdout)
+			})
+		case "d":
+			return withFineTransport(*fineNet, opts.Ranks, stdout, func(tr fabric.Transport) error {
+				return runMultiSearchFine(pat, opts, tr, *bootstraps, *runName, *outDir, stdout)
+			})
+		default:
+			return fmt.Errorf("-fine supports -f e and -f d (got -f %q); the other analyses use the coarse grain", *analysis)
+		}
+	}
 	switch *analysis {
 	case "a":
 		return runComprehensive(pat, opts, *alignFile, *runName, *outDir, stdout)
@@ -136,6 +163,24 @@ func Raxml(args []string, stdout io.Writer) error {
 }
 
 func runEvaluate(pat *msa.Patterns, opts core.Options, userTree, runName, outDir string, stdout io.Writer) error {
+	return runEvaluateWith(pat, userTree, runName, outDir, stdout, func(t *tree.Tree) (*core.EvaluationResult, error) {
+		return core.EvaluateTree(pat, t, opts)
+	})
+}
+
+// runEvaluateFine is -f e over the distributed fine grain: the same
+// inputs and outputs, with the one evaluation striped over R x T
+// workers instead of T threads.
+func runEvaluateFine(pat *msa.Patterns, opts core.Options, tr fabric.Transport, userTree, runName, outDir string, stdout io.Writer) error {
+	fmt.Fprintf(stdout, "Fine-grained evaluation: %d ranks x %d workers serve one likelihood\n",
+		opts.Ranks, opts.Workers)
+	return runEvaluateWith(pat, userTree, runName, outDir, stdout, func(t *tree.Tree) (*core.EvaluationResult, error) {
+		return core.EvaluateTreeFine(pat, t, opts, tr)
+	})
+}
+
+func runEvaluateWith(pat *msa.Patterns, userTree, runName, outDir string, stdout io.Writer,
+	eval func(t *tree.Tree) (*core.EvaluationResult, error)) error {
 	if userTree == "" {
 		return fmt.Errorf("-f e requires -t <tree file>")
 	}
@@ -147,7 +192,7 @@ func runEvaluate(pat *msa.Patterns, opts core.Options, userTree, runName, outDir
 	if err != nil {
 		return err
 	}
-	res, err := core.EvaluateTree(pat, t, opts)
+	res, err := eval(t)
 	if err != nil {
 		return err
 	}
@@ -267,6 +312,22 @@ func runMultiSearch(pat *msa.Patterns, opts core.Options, searches int, runName,
 	if err != nil {
 		return err
 	}
+	return writeMultiSearch(res, runName, outDir, stdout)
+}
+
+// runMultiSearchFine is -f d over the distributed fine grain: the
+// searches run sequentially, each one on the full R x T grid.
+func runMultiSearchFine(pat *msa.Patterns, opts core.Options, tr fabric.Transport, searches int, runName, outDir string, stdout io.Writer) error {
+	fmt.Fprintf(stdout, "Fine-grained ML searches: %d sequential searches, each over %d ranks x %d workers\n",
+		searches, opts.Ranks, opts.Workers)
+	res, err := core.RunFineSearches(pat, searches, opts, tr)
+	if err != nil {
+		return err
+	}
+	return writeMultiSearch(res, runName, outDir, stdout)
+}
+
+func writeMultiSearch(res *core.MultiSearchResult, runName, outDir string, stdout io.Writer) error {
 	core.SortOutcomes(res.All)
 	bestPath := filepath.Join(outDir, "RAxML_bestTree."+runName)
 	if err := os.WriteFile(bestPath, []byte(res.Best.Newick+"\n"), 0o644); err != nil {

@@ -1,0 +1,62 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRaxmlFineEndToEnd drives the -fine flag through the cli: a
+// distributed -f d search over the in-proc channel transport, then a
+// distributed -f e evaluation of its result — the full hybrid wiring
+// minus process spawning (the TCP spawn path is exercised by the CI
+// e2e job against the built binary).
+func TestRaxmlFineEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	phy := writeTestAlignment(t, dir)
+
+	var out bytes.Buffer
+	err := Raxml([]string{
+		"-s", phy, "-n", "fined", "-w", dir,
+		"-f", "d", "-N", "1", "-fine", "-R", "2", "-T", "2",
+		"-m", "GTRCAT", "-p", "5",
+	}, &out)
+	if err != nil {
+		t.Fatalf("fine -f d: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "Fine-grained ML searches") {
+		t.Fatalf("missing fine-grain banner:\n%s", out.String())
+	}
+	best := filepath.Join(dir, "RAxML_bestTree.fined")
+	if _, err := os.Stat(best); err != nil {
+		t.Fatalf("best tree not written: %v", err)
+	}
+
+	out.Reset()
+	err = Raxml([]string{
+		"-s", phy, "-n", "finee", "-w", dir,
+		"-f", "e", "-t", best, "-fine", "-R", "2", "-T", "1",
+		"-m", "GTRGAMMA",
+	}, &out)
+	if err != nil {
+		t.Fatalf("fine -f e: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "Final log-likelihood:") {
+		t.Fatalf("missing evaluation output:\n%s", out.String())
+	}
+
+	// Unsupported analysis modes refuse -fine loudly.
+	out.Reset()
+	if err := Raxml([]string{"-s", phy, "-f", "a", "-fine", "-w", dir}, &out); err == nil {
+		t.Fatal("-fine -f a did not error")
+	}
+	// Unknown transports are rejected.
+	out.Reset()
+	if err := Raxml([]string{
+		"-s", phy, "-f", "e", "-t", best, "-fine", "-fine-transport", "smoke", "-w", dir,
+	}, &out); err == nil {
+		t.Fatal("unknown -fine-transport did not error")
+	}
+}

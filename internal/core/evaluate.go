@@ -35,13 +35,20 @@ func EvaluateTree(pat *msa.Patterns, t *tree.Tree, opts Options) (*EvaluationRes
 	if t.NumTaxa() != pat.NumTaxa() {
 		return nil, fmt.Errorf("core: tree has %d taxa, alignment has %d", t.NumTaxa(), pat.NumTaxa())
 	}
-	start := time.Now()
 	pool := newPool(pat, opts.Workers)
 	defer pool.Close()
 	eng, err := newEngine(pat, opts, pool)
 	if err != nil {
 		return nil, err
 	}
+	return evaluateOn(eng, t)
+}
+
+// evaluateOn runs the -f e optimization recipe on an already built
+// engine — the same code path serves the single-process pool and the
+// distributed finegrain pool (EvaluateTreeFine).
+func evaluateOn(eng *likelihood.Engine, t *tree.Tree) (*EvaluationResult, error) {
+	start := time.Now()
 	work := t.Clone()
 	if err := eng.AttachTree(work); err != nil {
 		return nil, err

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"raxml/internal/msa"
+	"raxml/internal/seqgen"
+	"raxml/internal/tree"
+)
+
+// TestEvaluateTreeFineMatchesSingleProcess runs the -f e recipe over a
+// 2-rank x 2-thread distributed engine and over the plain in-process
+// engine: the same deterministic optimization program on the same
+// data, so the endpoints agree to optimizer precision.
+func TestEvaluateTreeFineMatchesSingleProcess(t *testing.T) {
+	a, truth, err := seqgen.Generate(seqgen.Config{Taxa: 10, Chars: 800, Seed: 5, TreeScale: 0.5, Alpha: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat, err := msa.Compress(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Workers: 2, Ranks: 2, Model: GTRCAT, EmpiricalFreqs: true}
+
+	ref, err := EvaluateTree(pat, truth, Options{Workers: 1, Model: GTRCAT, EmpiricalFreqs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EvaluateTreeFine(pat, truth, opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(res.LogLikelihood - ref.LogLikelihood); d > 1e-4*math.Abs(ref.LogLikelihood) {
+		t.Fatalf("fine %.9f vs single-process %.9f (diff %g)", res.LogLikelihood, ref.LogLikelihood, d)
+	}
+	if res.Tree.NumTaxa() != pat.NumTaxa() {
+		t.Fatalf("result tree has %d taxa", res.Tree.NumTaxa())
+	}
+}
+
+// TestRunFineSearchesDistributed runs a full ML search over the
+// distributed grid — SPR scans, branch and model optimization all
+// crossing the wire — and checks the result is a sane tree.
+func TestRunFineSearchesDistributed(t *testing.T) {
+	a, truth, err := seqgen.Generate(seqgen.Config{Taxa: 10, Chars: 1000, Seed: 9, TreeScale: 0.4, Alpha: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat, err := msa.Compress(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Workers: 2, Ranks: 2, Model: GTRCAT, EmpiricalFreqs: true, SeedParsimony: 7}
+	res, err := RunFineSearches(pat, 1, opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.All) != 1 {
+		t.Fatalf("%d outcomes, want 1", len(res.All))
+	}
+	if res.Best.LogLikelihood >= 0 || math.IsInf(res.Best.LogLikelihood, 0) || math.IsNaN(res.Best.LogLikelihood) {
+		t.Fatalf("implausible best lnL %v", res.Best.LogLikelihood)
+	}
+	d, err := tree.RobinsonFoulds(res.BestTree, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max := tree.MaxRFDistance(10); d > max/2 {
+		t.Fatalf("distributed search ended RF=%d from truth (max %d)", d, max)
+	}
+}

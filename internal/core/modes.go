@@ -209,11 +209,12 @@ func newPool(pat *msa.Patterns, workers int) *threads.Pool {
 	return threads.NewPool(workers, pat.NumPatterns())
 }
 
-// newEngine builds a per-rank likelihood engine per the options: one
-// model instance (frequencies, exchangeabilities, Γ shape or CAT
-// assignment) per alignment partition, all optimized independently by
-// the search stages, under linked branch lengths.
-func newEngine(pat *msa.Patterns, opts Options, pool *threads.Pool) (*likelihood.Engine, error) {
+// buildPartitionSet assembles the per-partition model instances the
+// options imply: one GTR model plus rate treatment per partition,
+// optimized independently by the search stages, under linked branch
+// lengths. The distributed (finegrain) wiring needs the set before the
+// engine exists — worker ranks are initialized with its shape.
+func buildPartitionSet(pat *msa.Patterns, opts Options) (*gtr.PartitionSet, error) {
 	set := gtr.NewPartitionSet(pat.NumParts())
 	for i, pr := range pat.PartRanges() {
 		if opts.Model == GTRGAMMA {
@@ -225,6 +226,15 @@ func newEngine(pat *msa.Patterns, opts Options, pool *threads.Pool) (*likelihood
 		} else {
 			set.Rates[i] = gtr.NewUniform(pr.Len())
 		}
+	}
+	return set, nil
+}
+
+// newEngine builds a per-rank likelihood engine per the options.
+func newEngine(pat *msa.Patterns, opts Options, pool *threads.Pool) (*likelihood.Engine, error) {
+	set, err := buildPartitionSet(pat, opts)
+	if err != nil {
+		return nil, err
 	}
 	eng, err := likelihood.NewPartitioned(pat, set, likelihood.Config{Pool: pool})
 	if err != nil {

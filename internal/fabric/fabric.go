@@ -39,6 +39,7 @@ type World struct {
 	size    int
 	bar     *barrier
 	slots   []any
+	fslots  [][]float64      // typed slots for float-vector collectives
 	mail    [][]chan message // mail[from][to]
 	aborted chan struct{}
 	once    sync.Once
@@ -78,6 +79,7 @@ func Run(size int, body func(c *Comm) error) error {
 		size:    size,
 		bar:     newBarrier(size),
 		slots:   make([]any, size),
+		fslots:  make([][]float64, size),
 		aborted: make(chan struct{}),
 	}
 	w.mail = make([][]chan message, size)
@@ -122,9 +124,16 @@ func (c *Comm) Barrier() error {
 
 // Send delivers a payload to rank `to`. It blocks only if the channel
 // buffer is full, and unblocks with ErrAborted if the world fails.
+// After the world has aborted, Send fails deterministically instead of
+// quietly enqueueing into a world nobody will drain.
 func (c *Comm) Send(to int, v any) error {
 	if to < 0 || to >= c.world.size {
 		return fmt.Errorf("fabric: Send to invalid rank %d", to)
+	}
+	select {
+	case <-c.world.aborted:
+		return ErrAborted
+	default:
 	}
 	select {
 	case c.world.mail[c.rank][to] <- message{payload: v}:
@@ -136,9 +145,24 @@ func (c *Comm) Send(to int, v any) error {
 
 // Recv receives the next payload sent by rank `from` (FIFO per sender
 // pair), blocking until one arrives.
+//
+// Abort semantics are delivery-first: a message that was fully sent
+// before the world aborted is still delivered — only once the pair's
+// queue is drained does Recv return ErrAborted. Without the drain-first
+// check the select below races its two arms, so a receiver could
+// nondeterministically lose a message its peer completed sending just
+// before failing elsewhere — the "remote rank aborts mid-message"
+// hazard. (A sender that aborts *between* the frames of a multi-part
+// message still deterministically strands the receiver on ErrAborted
+// at the missing frame, never on a stale queue entry.)
 func (c *Comm) Recv(from int) (any, error) {
 	if from < 0 || from >= c.world.size {
 		return nil, fmt.Errorf("fabric: Recv from invalid rank %d", from)
+	}
+	select {
+	case m := <-c.world.mail[from][c.rank]:
+		return m.payload, nil
+	default:
 	}
 	select {
 	case m := <-c.world.mail[from][c.rank]:
@@ -159,6 +183,70 @@ func (c *Comm) exchange(contribute any, read func(slots []any)) error {
 	}
 	read(w.slots)
 	return w.bar.wait()
+}
+
+// exchangeFloats is the typed-slot variant of exchange for float-vector
+// collectives: payloads travel through a dedicated [][]float64 slot
+// array, so the hot reduction path never boxes values into `any` (no
+// per-call interface allocation, no type assertions on read-out).
+func (c *Comm) exchangeFloats(contribute []float64, read func(slots [][]float64)) error {
+	w := c.world
+	w.fslots[c.rank] = contribute
+	if err := w.bar.wait(); err != nil {
+		return err
+	}
+	read(w.fslots)
+	return w.bar.wait()
+}
+
+// AllreduceSumFloats sums the ranks' src vectors elementwise — in rank
+// order, so the result is deterministic — into dst at every rank. All
+// ranks must pass equal-length vectors; dst and src may alias. (The
+// distributed likelihood reductions of internal/finegrain run over
+// Transport byte frames, not Comm; this is the coarse-grain vector
+// collective — e.g. reducing per-rank statistic vectors.)
+func (c *Comm) AllreduceSumFloats(dst, src []float64) error {
+	n := len(src)
+	if len(dst) != n {
+		return fmt.Errorf("fabric: AllreduceSumFloats dst has %d entries, src %d", len(dst), n)
+	}
+	// Sum into private scratch and install only after the exit barrier:
+	// dst may alias src, and src stays rank-visible through the slots
+	// until every rank has left the collective — writing dst earlier
+	// would corrupt slower ranks' reads.
+	tmp := make([]float64, n)
+	err := c.exchangeFloats(src, func(slots [][]float64) {
+		for _, s := range slots {
+			if len(s) != n {
+				panic(fmt.Sprintf("fabric: AllreduceSumFloats rank vectors disagree: %d vs %d entries", len(s), n))
+			}
+			for i, v := range s {
+				tmp[i] += v
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	copy(dst, tmp)
+	return nil
+}
+
+// BcastFloats distributes root's vector to every rank's dst (equal
+// lengths everywhere) without boxing; root's dst is left unchanged.
+func (c *Comm) BcastFloats(root int, dst []float64) error {
+	if root < 0 || root >= c.Size() {
+		return fmt.Errorf("fabric: BcastFloats from invalid root %d", root)
+	}
+	return c.exchangeFloats(dst, func(slots [][]float64) {
+		if c.rank == root {
+			return
+		}
+		if len(slots[root]) != len(dst) {
+			panic(fmt.Sprintf("fabric: BcastFloats root vector has %d entries, dst %d", len(slots[root]), len(dst)))
+		}
+		copy(dst, slots[root])
+	})
 }
 
 // Bcast distributes root's value to all ranks: the MPI_Bcast that ships
@@ -190,50 +278,45 @@ func Gather[T any](c *Comm, v T) ([]T, error) {
 	return out, err
 }
 
+// allreduceLoc runs a scalar loc-reduction over the typed float slots:
+// every rank contributes one value, all ranks learn the winning value
+// and the lowest rank holding it. No `any` boxing on the way.
+func (c *Comm) allreduceLoc(v float64, better func(x, best float64) bool) (float64, int, error) {
+	contribute := [1]float64{v}
+	best, loc := 0.0, -1
+	err := c.exchangeFloats(contribute[:], func(slots [][]float64) {
+		for i, s := range slots {
+			if loc < 0 || better(s[0], best) {
+				best, loc = s[0], i
+			}
+		}
+	})
+	if err != nil {
+		return 0, -1, err
+	}
+	return best, loc, nil
+}
+
 // AllreduceMinLoc returns the minimum value across ranks and the lowest
 // rank holding it — MPI_MINLOC, used to select the best (lowest negative
 // log-likelihood) thorough search deterministically.
 func (c *Comm) AllreduceMinLoc(v float64) (float64, int, error) {
-	vals, err := Gather(c, v)
-	if err != nil {
-		return 0, -1, err
-	}
-	best, loc := vals[0], 0
-	for i, x := range vals {
-		if x < best {
-			best, loc = x, i
-		}
-	}
-	return best, loc, nil
+	return c.allreduceLoc(v, func(x, best float64) bool { return x < best })
 }
 
 // AllreduceMaxLoc is AllreduceMinLoc for maxima (highest log-likelihood).
 func (c *Comm) AllreduceMaxLoc(v float64) (float64, int, error) {
-	vals, err := Gather(c, v)
-	if err != nil {
-		return 0, -1, err
-	}
-	best, loc := vals[0], 0
-	for i, x := range vals {
-		if x > best {
-			best, loc = x, i
-		}
-	}
-	return best, loc, nil
+	return c.allreduceLoc(v, func(x, best float64) bool { return x > best })
 }
 
 // AllreduceSum returns the sum of v across ranks (deterministic rank
-// order).
+// order), over the typed float slots.
 func (c *Comm) AllreduceSum(v float64) (float64, error) {
-	vals, err := Gather(c, v)
-	if err != nil {
+	dst := [1]float64{v}
+	if err := c.AllreduceSumFloats(dst[:], dst[:]); err != nil {
 		return 0, err
 	}
-	s := 0.0
-	for _, x := range vals {
-		s += x
-	}
-	return s, nil
+	return dst[0], nil
 }
 
 // AllreduceSumInt returns the integer sum of v across ranks.

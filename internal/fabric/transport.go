@@ -1,0 +1,433 @@
+package fabric
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// This file defines the pluggable byte-message fabric beneath the
+// fine-grained distributed worker pool (internal/finegrain): a star of
+// one master (rank 0) and size-1 workers exchanging framed, tagged
+// byte messages. Two implementations ship:
+//
+//   - ChanTransport: the in-proc channel world. Ranks are goroutines of
+//     one process; frames travel over buffered channels. This is the
+//     transport behind fabric.Run-hosted hybrid runs and all unit tests.
+//
+//   - TCPTransport: real OS processes. The master listens, each worker
+//     process dials in and identifies its rank with a hello frame;
+//     frames are length-prefixed binary ([tag:1][len:4 LE][payload]).
+//     This is the transport behind `raxml -fine -fine-transport tcp`,
+//     where workers are spawned `raxml` processes in worker mode.
+//
+// The interface is deliberately tiny — point-to-point Send/Recv plus
+// counters — because the finegrain protocol needs exactly two
+// collective shapes, built here as helpers over any Transport:
+// Broadcast (master -> all workers, one descriptor per dispatch) and
+// Collect (one partial per worker, combined in rank order). The
+// counters make the paper's "one broadcast + one reduction per
+// dispatch" claim a testable quantity rather than a comment.
+
+// ErrTransportClosed is returned from transport calls after Close, or
+// when the peer's connection is gone.
+var ErrTransportClosed = errors.New("fabric: transport closed")
+
+// Transport moves tagged byte frames between the ranks of one worker
+// group. Rank 0 is the master; implementations must deliver frames
+// reliably and in order per (sender, receiver) pair. A Transport
+// endpoint is owned by one rank; Send and Recv may be called from one
+// goroutine at a time per peer.
+type Transport interface {
+	// Rank returns this endpoint's rank in [0, Size).
+	Rank() int
+	// Size returns the number of ranks (master + workers).
+	Size() int
+	// Send delivers one tagged frame to rank `to`.
+	Send(to int, tag byte, payload []byte) error
+	// Recv blocks for the next frame from rank `from`.
+	Recv(from int) (tag byte, payload []byte, err error)
+	// Close tears the endpoint down; blocked and future calls fail.
+	Close() error
+	// Stats returns the endpoint's message counters.
+	Stats() *TransportStats
+}
+
+// TransportStats counts an endpoint's traffic. Messages/Bytes count
+// point-to-point frames; Broadcasts and Reductions count *collective
+// operations* (one Broadcast covers all workers, one Collect covers
+// all partials), incremented by the helpers below. The distributed
+// relikelihood invariant — exactly one descriptor broadcast plus one
+// reduction per pool dispatch — is asserted against these counters.
+type TransportStats struct {
+	MessagesSent atomic.Int64
+	MessagesRecv atomic.Int64
+	BytesSent    atomic.Int64
+	BytesRecv    atomic.Int64
+	Broadcasts   atomic.Int64
+	Reductions   atomic.Int64
+}
+
+// Broadcast sends one frame from this endpoint (the master) to every
+// other rank, counting a single broadcast operation.
+func Broadcast(t Transport, tag byte, payload []byte) error {
+	for r := 0; r < t.Size(); r++ {
+		if r == t.Rank() {
+			continue
+		}
+		if err := t.Send(r, tag, payload); err != nil {
+			return err
+		}
+	}
+	t.Stats().Broadcasts.Add(1)
+	return nil
+}
+
+// Collect receives one frame from every other rank, in rank order, and
+// returns the payloads indexed by rank (this endpoint's own entry is
+// nil). Frames carrying errTag are surfaced as errors. Counts a single
+// reduction operation.
+func Collect(t Transport, wantTag, errTag byte) ([][]byte, error) {
+	out := make([][]byte, t.Size())
+	for r := 0; r < t.Size(); r++ {
+		if r == t.Rank() {
+			continue
+		}
+		tag, payload, err := t.Recv(r)
+		if err != nil {
+			return nil, err
+		}
+		switch tag {
+		case wantTag:
+			out[r] = payload
+		case errTag:
+			return nil, fmt.Errorf("fabric: rank %d: %s", r, payload)
+		default:
+			return nil, fmt.Errorf("fabric: rank %d sent tag %d, want %d", r, tag, wantTag)
+		}
+	}
+	t.Stats().Reductions.Add(1)
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// In-proc channel transport
+// ---------------------------------------------------------------------
+
+type chanFrame struct {
+	tag     byte
+	payload []byte
+}
+
+// ChanTransport is the in-proc Transport: one endpoint per rank, frames
+// over per-pair buffered channels shared by the group.
+type ChanTransport struct {
+	rank   int
+	size   int
+	mail   [][]chan chanFrame // mail[from][to]
+	closed chan struct{}
+	once   *sync.Once
+	stats  TransportStats
+}
+
+// NewChanTransports creates one connected in-proc endpoint per rank.
+// Closing any endpoint closes the whole group (a dead rank must not
+// leave peers blocked, mirroring World.abort).
+func NewChanTransports(size int) []*ChanTransport {
+	if size < 1 {
+		panic(fmt.Sprintf("fabric: transport group size %d < 1", size))
+	}
+	mail := make([][]chan chanFrame, size)
+	for i := range mail {
+		mail[i] = make([]chan chanFrame, size)
+		for j := range mail[i] {
+			mail[i][j] = make(chan chanFrame, 64)
+		}
+	}
+	closed := make(chan struct{})
+	once := new(sync.Once)
+	out := make([]*ChanTransport, size)
+	for r := range out {
+		out[r] = &ChanTransport{rank: r, size: size, mail: mail, closed: closed, once: once}
+	}
+	return out
+}
+
+// Rank returns this endpoint's rank.
+func (c *ChanTransport) Rank() int { return c.rank }
+
+// Size returns the group size.
+func (c *ChanTransport) Size() int { return c.size }
+
+// Stats returns this endpoint's counters.
+func (c *ChanTransport) Stats() *TransportStats { return &c.stats }
+
+// Send delivers one frame to rank `to`.
+func (c *ChanTransport) Send(to int, tag byte, payload []byte) error {
+	if to < 0 || to >= c.size || to == c.rank {
+		return fmt.Errorf("fabric: Send to invalid rank %d", to)
+	}
+	select {
+	case <-c.closed:
+		return ErrTransportClosed
+	default:
+	}
+	// Copy the payload: a real wire serializes, so senders may reuse
+	// their encode buffers the moment Send returns. The in-proc
+	// transport must not silently weaken that contract.
+	var p []byte
+	if len(payload) > 0 {
+		p = append(p, payload...)
+	}
+	select {
+	case c.mail[c.rank][to] <- chanFrame{tag: tag, payload: p}:
+		c.stats.MessagesSent.Add(1)
+		c.stats.BytesSent.Add(int64(len(payload)))
+		return nil
+	case <-c.closed:
+		return ErrTransportClosed
+	}
+}
+
+// Recv blocks for the next frame from rank `from`, delivery-first on
+// close (same drain-first rule as Comm.Recv on abort).
+func (c *ChanTransport) Recv(from int) (byte, []byte, error) {
+	if from < 0 || from >= c.size || from == c.rank {
+		return 0, nil, fmt.Errorf("fabric: Recv from invalid rank %d", from)
+	}
+	select {
+	case f := <-c.mail[from][c.rank]:
+		c.stats.MessagesRecv.Add(1)
+		c.stats.BytesRecv.Add(int64(len(f.payload)))
+		return f.tag, f.payload, nil
+	default:
+	}
+	select {
+	case f := <-c.mail[from][c.rank]:
+		c.stats.MessagesRecv.Add(1)
+		c.stats.BytesRecv.Add(int64(len(f.payload)))
+		return f.tag, f.payload, nil
+	case <-c.closed:
+		return 0, nil, ErrTransportClosed
+	}
+}
+
+// Close tears down the whole group.
+func (c *ChanTransport) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// TCP transport
+// ---------------------------------------------------------------------
+
+// tcpHello is the tag of the rank-identification frame a worker sends
+// right after dialing.
+const tcpHello byte = 0xFF
+
+// TCPTransport is the cross-process Transport: length-prefixed tagged
+// frames over one TCP connection per (master, worker) pair. The master
+// endpoint holds size-1 accepted connections; a worker endpoint holds
+// its single connection to the master. Workers can only exchange frames
+// with rank 0 — the star topology is all the finegrain protocol needs.
+type TCPTransport struct {
+	rank  int
+	size  int
+	conns []*tcpConn // indexed by peer rank; nil where no link exists
+	ln    net.Listener
+	stats TransportStats
+}
+
+type tcpConn struct {
+	c    net.Conn
+	rmu  sync.Mutex
+	wmu  sync.Mutex
+	rbuf [5]byte
+	wbuf [5]byte
+}
+
+// ListenTCP creates the master endpoint: it listens on addr (use
+// "127.0.0.1:0" for an ephemeral port, retrievable via Addr) and
+// Accept waits for the size-1 workers to dial in and identify.
+func ListenTCP(addr string, size int) (*TCPTransport, error) {
+	if size < 2 {
+		return nil, fmt.Errorf("fabric: TCP transport needs >= 2 ranks, got %d", size)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &TCPTransport{rank: 0, size: size, conns: make([]*tcpConn, size), ln: ln}, nil
+}
+
+// Addr returns the master's listen address (for spawning workers).
+func (t *TCPTransport) Addr() string {
+	if t.ln == nil {
+		return ""
+	}
+	return t.ln.Addr().String()
+}
+
+// Accept blocks until every worker rank has connected and identified
+// itself with a hello frame. Master-side only.
+func (t *TCPTransport) Accept() error {
+	if t.ln == nil {
+		return fmt.Errorf("fabric: Accept on a worker endpoint")
+	}
+	for n := 0; n < t.size-1; n++ {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return err
+		}
+		tc := &tcpConn{c: c}
+		tag, payload, err := tc.read()
+		if err != nil {
+			c.Close()
+			return fmt.Errorf("fabric: worker hello: %w", err)
+		}
+		if tag != tcpHello || len(payload) != 4 {
+			c.Close()
+			return fmt.Errorf("fabric: bad worker hello (tag %d, %d bytes)", tag, len(payload))
+		}
+		rank := int(binary.LittleEndian.Uint32(payload))
+		if rank < 1 || rank >= t.size || t.conns[rank] != nil {
+			c.Close()
+			return fmt.Errorf("fabric: worker hello claims invalid or duplicate rank %d", rank)
+		}
+		t.conns[rank] = tc
+	}
+	return nil
+}
+
+// DialTCP creates worker endpoint `rank`, connecting to the master at
+// addr and identifying itself.
+func DialTCP(addr string, rank, size int) (*TCPTransport, error) {
+	if rank < 1 || rank >= size {
+		return nil, fmt.Errorf("fabric: worker rank %d outside [1, %d)", rank, size)
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	t := &TCPTransport{rank: rank, size: size, conns: make([]*tcpConn, size)}
+	t.conns[0] = &tcpConn{c: c}
+	var hello [4]byte
+	binary.LittleEndian.PutUint32(hello[:], uint32(rank))
+	if err := t.conns[0].write(tcpHello, hello[:]); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+// Rank returns this endpoint's rank.
+func (t *TCPTransport) Rank() int { return t.rank }
+
+// Size returns the group size.
+func (t *TCPTransport) Size() int { return t.size }
+
+// Stats returns this endpoint's counters.
+func (t *TCPTransport) Stats() *TransportStats { return &t.stats }
+
+func (t *TCPTransport) conn(peer int) (*tcpConn, error) {
+	if peer < 0 || peer >= t.size || peer == t.rank {
+		return nil, fmt.Errorf("fabric: invalid peer rank %d", peer)
+	}
+	c := t.conns[peer]
+	if c == nil {
+		return nil, fmt.Errorf("fabric: no link to rank %d (workers only talk to the master)", peer)
+	}
+	return c, nil
+}
+
+// Send delivers one frame to rank `to`.
+func (t *TCPTransport) Send(to int, tag byte, payload []byte) error {
+	c, err := t.conn(to)
+	if err != nil {
+		return err
+	}
+	if err := c.write(tag, payload); err != nil {
+		return err
+	}
+	t.stats.MessagesSent.Add(1)
+	t.stats.BytesSent.Add(int64(len(payload)))
+	return nil
+}
+
+// Recv blocks for the next frame from rank `from`.
+func (t *TCPTransport) Recv(from int) (byte, []byte, error) {
+	c, err := t.conn(from)
+	if err != nil {
+		return 0, nil, err
+	}
+	tag, payload, err := c.read()
+	if err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+			return 0, nil, ErrTransportClosed
+		}
+		return 0, nil, err
+	}
+	t.stats.MessagesRecv.Add(1)
+	t.stats.BytesRecv.Add(int64(len(payload)))
+	return tag, payload, nil
+}
+
+// Close shuts every connection (and the master's listener) down.
+func (t *TCPTransport) Close() error {
+	var first error
+	if t.ln != nil {
+		first = t.ln.Close()
+	}
+	for _, c := range t.conns {
+		if c == nil {
+			continue
+		}
+		if err := c.c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// maxFrameBytes bounds one frame; a length prefix beyond it means a
+// corrupt or hostile stream, not a real message.
+const maxFrameBytes = 1 << 30
+
+func (c *tcpConn) write(tag byte, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.wbuf[0] = tag
+	binary.LittleEndian.PutUint32(c.wbuf[1:], uint32(len(payload)))
+	if _, err := c.c.Write(c.wbuf[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := c.c.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *tcpConn) read() (byte, []byte, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	if _, err := io.ReadFull(c.c, c.rbuf[:]); err != nil {
+		return 0, nil, err
+	}
+	tag := c.rbuf[0]
+	n := binary.LittleEndian.Uint32(c.rbuf[1:])
+	if n > maxFrameBytes {
+		return 0, nil, fmt.Errorf("fabric: frame length %d exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(c.c, payload); err != nil {
+		return 0, nil, err
+	}
+	return tag, payload, nil
+}

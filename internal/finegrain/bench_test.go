@@ -1,0 +1,45 @@
+package finegrain
+
+import (
+	"fmt"
+	"testing"
+
+	"raxml/internal/likelihood"
+	"raxml/internal/rng"
+	"raxml/internal/tree"
+)
+
+// BenchmarkFinegrainDispatch measures the cost of one distributed pool
+// dispatch — encode + broadcast + local stripe evaluate + rank-ordered
+// partial collection — with warm CLVs (empty descriptor), i.e. the pure
+// round-trip overhead a makenewz-style iteration pays per barrier
+// crossing. ranks=1 is the degenerate grid (no remote ranks: encode +
+// local execution only), so the ranks=2 delta is the wire's share.
+// Gated by scripts/benchdiff.go against BENCH_BASELINE.json.
+func BenchmarkFinegrainDispatch(b *testing.B) {
+	pat := makeData(b, 12, 2000, 2, 42)
+	topo := tree.Random(pat.Names, rng.New(3))
+	a0 := 0
+	b0 := -1 // resolved after attach
+
+	for _, ranks := range []int{1, 2} {
+		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
+			err := Run(ranks, 1, pat, makeSet(b, pat, true), func(eng *likelihood.Engine, pool *Pool) error {
+				if err := eng.AttachTree(topo.Clone()); err != nil {
+					return err
+				}
+				b0 = eng.Tree().Nodes[a0].Neighbors[0]
+				eng.LogLikelihood() // warm: tiles bound, CLVs valid, model shipped
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng.EvaluateEdge(a0, b0)
+				}
+				b.StopTimer()
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

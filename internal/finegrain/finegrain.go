@@ -1,0 +1,343 @@
+// Package finegrain is the distributed fine-grained worker pool: the
+// reproduction of RAxML's _FINE_GRAIN_MPI path (genericParallelization.c),
+// where the workers of the likelihood job engine live on *remote
+// processes*, not just threads.
+//
+// The in-process hybrid (threads.Pool) stripes the pattern axis over a
+// thread crew sharing one CLV arena. This package adds one more level
+// to that same structure: the axis is first striped over R fabric
+// ranks, each rank owns its stripe outright — the stripe's pattern
+// data, tip vectors and a CLV arena covering only the stripe — and
+// each rank subdivides its stripe over its own t-thread crew. The
+// resulting R×t grid is the paper's MPI×Pthreads topology with the
+// rank stripes made explicit.
+//
+// Pool implements likelihood.Dispatcher on the master rank, so
+// likelihood.Engine — and everything above it: search, optimizers,
+// core — runs unchanged on top of distributed workers. One Post is:
+//
+//	encode job (descriptor window + views + branch lengths
+//	            [+ model-sync block when the model epoch moved])
+//	-> ONE broadcast over the fabric transport
+//	-> master executes its own stripe (one local barrier crossing)
+//	-> ONE rank-ordered collection of reduction partials
+//
+// so a partitioned full-tree relikelihood costs exactly one descriptor
+// broadcast plus one reduction — the invariant the transport counters
+// assert in tests. Reductions combine rank partials in rank order
+// after the local worker-order sums, keeping results deterministic for
+// a fixed R×t grid.
+//
+// The transport is pluggable (fabric.Transport): in-proc channels for
+// fabric.Run-hosted hybrids and tests, TCP for real worker processes
+// spawned via `raxml` worker mode. See docs/hybrid-topology.md for the
+// wire protocol.
+package finegrain
+
+import (
+	"fmt"
+
+	"raxml/internal/fabric"
+	"raxml/internal/gtr"
+	"raxml/internal/likelihood"
+	"raxml/internal/msa"
+	"raxml/internal/threads"
+)
+
+// Frame tags of the finegrain protocol.
+const (
+	// TagInit carries a rank's WorkerInit (master -> worker, once).
+	TagInit byte = 1 + iota
+	// TagJob carries one encoded job frame (master -> workers).
+	TagJob
+	// TagPartial carries one encoded reduction partial (worker -> master).
+	TagPartial
+	// TagShutdown ends a worker's serve loop (master -> workers).
+	TagShutdown
+	// TagErr carries a worker-side error message (worker -> master).
+	TagErr
+)
+
+// stripeQuantum is the pattern quantum rank stripes snap to, relative
+// to partition starts — the same 16-pattern (whole-cache-line) quantum
+// the likelihood engine uses for thread stripes, so rank boundaries
+// land exactly where thread boundaries are allowed to land.
+const stripeQuantum = 16
+
+// Pool is the master-side endpoint of a distributed worker group. It
+// implements likelihood.Dispatcher: the master's likelihood engine
+// posts job codes to it exactly as it would to a threads.Pool. The
+// master rank doubles as worker rank 0, executing stripe 0 on a local
+// thread crew; ranks 1..R-1 execute their stripes remotely.
+//
+// A Pool serves one engine at a time (the engine posting through it
+// must be the one that encodes the jobs) and is single-master like
+// threads.Pool.
+type Pool struct {
+	tr      fabric.Transport
+	local   *threads.Pool
+	stripes []threads.Range
+
+	// remote[r] is rank r's partial of the current job (nil for the
+	// master's own rank and before the first dispatch).
+	remote []*likelihood.WirePartial
+
+	// shippedModel/shippedTopo are the engine epochs as of the last
+	// broadcast: a moved model epoch attaches a model-sync block, a
+	// moved topology epoch attaches a tile-reset marker.
+	shippedModel, shippedTopo uint64
+
+	closed bool
+}
+
+// NewPool builds the master endpoint over an accepted transport: it
+// computes the partition-aligned rank stripes, ships every remote rank
+// its WorkerInit (stripe pattern data + geometry + treatment shape),
+// and starts the master's own local thread crew over stripe 0.
+//
+// set supplies the treatment *shape* (CAT vs GAMMA, category count)
+// the worker engines are built with; it should be the same set the
+// master's engine is then constructed from. threadsPerRank is t of the
+// R×t grid (the same t is applied on every rank, as in the paper's
+// one-rank-per-node runs).
+func NewPool(tr fabric.Transport, pat *msa.Patterns, set *gtr.PartitionSet, threadsPerRank int) (*Pool, error) {
+	ranks := tr.Size()
+	if tr.Rank() != 0 {
+		return nil, fmt.Errorf("finegrain: NewPool on rank %d (master is rank 0)", tr.Rank())
+	}
+	if threadsPerRank < 1 {
+		threadsPerRank = 1
+	}
+	stripes := threads.SplitWeighted(pat.Weights, ranks)
+	threads.AlignBoundaries(stripes, stripeQuantum, pat.PartStarts())
+	for r, s := range stripes {
+		if s.Len() == 0 {
+			return nil, fmt.Errorf("finegrain: rank %d's stripe is empty (%d ranks over %d patterns)",
+				r, ranks, pat.NumPatterns())
+		}
+	}
+	p := &Pool{
+		tr:      tr,
+		stripes: stripes,
+		remote:  make([]*likelihood.WirePartial, ranks),
+	}
+	for r := 1; r < ranks; r++ {
+		sp, partIndex, clipOff := pat.Slice(stripes[r].Lo, stripes[r].Hi)
+		init := &likelihood.WorkerInit{
+			Rank: r, Ranks: ranks, Threads: threadsPerRank,
+			Geom: likelihood.WorkerGeom{
+				StripeLo: stripes[r].Lo, StripeHi: stripes[r].Hi,
+				MasterParts: pat.NumParts(),
+				PartMap:     partIndex, ClipOff: clipOff,
+			},
+			Pat:   sp,
+			IsCAT: set.IsCAT(),
+			NCats: set.ClvCats(),
+		}
+		if err := tr.Send(r, TagInit, likelihood.EncodeWorkerInit(init)); err != nil {
+			return nil, fmt.Errorf("finegrain: init rank %d: %w", r, err)
+		}
+	}
+	p.local = threads.NewPoolStripe(threadsPerRank, pat.Weights, stripes[0].Lo, stripes[0].Hi)
+	return p, nil
+}
+
+// Transport returns the pool's transport (its counters carry the
+// broadcast/reduction accounting tests assert on).
+func (p *Pool) Transport() fabric.Transport { return p.tr }
+
+// Stripes returns the per-rank pattern stripes.
+func (p *Pool) Stripes() []threads.Range { return p.stripes }
+
+// LocalPool returns the master's own thread crew (stripe 0).
+func (p *Pool) LocalPool() *threads.Pool { return p.local }
+
+// Post implements likelihood.Dispatcher: broadcast the encoded job to
+// every remote rank, execute the master's stripe locally, collect and
+// retain the rank partials. The runner must be the master's likelihood
+// engine (it implements likelihood.WireMaster). Transport failures
+// panic: like a dead worker thread, a dead worker rank is not a
+// recoverable per-job condition.
+func (p *Pool) Post(runner threads.JobRunner, code threads.JobCode) {
+	wm, ok := runner.(likelihood.WireMaster)
+	if !ok {
+		panic(fmt.Sprintf("finegrain: runner %T cannot encode wire jobs", runner))
+	}
+	modelEpoch, topoEpoch := wm.WireEpochs()
+	includeModel := modelEpoch != p.shippedModel
+	reset := topoEpoch != p.shippedTopo
+	frame := wm.EncodeWireJob(code, includeModel, reset)
+	if err := fabric.Broadcast(p.tr, TagJob, frame); err != nil {
+		panic(fmt.Sprintf("finegrain: job broadcast: %v", err))
+	}
+	p.shippedModel, p.shippedTopo = modelEpoch, topoEpoch
+
+	p.local.Post(runner, code)
+
+	payloads, err := fabric.Collect(p.tr, TagPartial, TagErr)
+	if err != nil {
+		panic(fmt.Sprintf("finegrain: partial collection: %v", err))
+	}
+	for r, pl := range payloads {
+		if pl == nil {
+			continue
+		}
+		part, err := likelihood.DecodeWirePartial(pl)
+		if err != nil {
+			panic(fmt.Sprintf("finegrain: rank %d partial: %v", r, err))
+		}
+		p.remote[r] = part
+		if code == threads.JobSiteLL {
+			wm.AbsorbRemoteSiteLL(p.stripes[r].Lo, part.Vec)
+		}
+	}
+}
+
+// Workers returns the number of LOCAL workers (the crew running RunJob
+// in this process); remote crews execute behind the wire.
+func (p *Pool) Workers() int { return p.local.Workers() }
+
+// Slot returns local worker w's reduction slot.
+func (p *Pool) Slot(w int) *[threads.SlotWidth]float64 { return p.local.Slot(w) }
+
+// SumSlots combines slot i over the whole grid: local workers in
+// worker order, then remote ranks in rank order — rank order IS
+// pattern order (stripes ascend with rank), so the reduction is
+// deterministic for a fixed grid. Only slots 0 and 1 cross the wire
+// (every current job code reduces into those); higher slots are local.
+func (p *Pool) SumSlots(i int) float64 {
+	sum := p.local.SumSlots(i)
+	if i < 2 {
+		for _, part := range p.remote {
+			if part != nil {
+				sum += part.Slots[i]
+			}
+		}
+	}
+	return sum
+}
+
+// SumSlots2 combines two slots at once (makenewz derivatives).
+func (p *Pool) SumSlots2(i, j int) (float64, float64) {
+	a, b := p.local.SumSlots2(i, j)
+	for _, part := range p.remote {
+		if part == nil {
+			continue
+		}
+		if i < 2 {
+			a += part.Slots[i]
+		}
+		if j < 2 {
+			b += part.Slots[j]
+		}
+	}
+	return a, b
+}
+
+// EnsureWide sizes the local wide slots; remote ranks size their own
+// (each worker engine calls EnsureWide on its own crew).
+func (p *Pool) EnsureWide(width int) { p.local.EnsureWide(width) }
+
+// WideSlot returns local worker w's wide reduction row.
+func (p *Pool) WideSlot(w int) []float64 { return p.local.WideSlot(w) }
+
+// SumWide combines wide slot i (a partition's log-likelihood
+// component) over the whole grid, local first then rank order.
+func (p *Pool) SumWide(i int) float64 {
+	sum := p.local.SumWide(i)
+	for _, part := range p.remote {
+		if part != nil && i < len(part.Wide) {
+			sum += part.Wide[i]
+		}
+	}
+	return sum
+}
+
+// AlignRangesAt snaps the local crew's stripe boundaries; rank-stripe
+// boundaries were snapped to the same quantum at construction.
+func (p *Pool) AlignRangesAt(quantum int, starts []int) { p.local.AlignRangesAt(quantum, starts) }
+
+// ForkJoin forwards master-side precomputation to the local crew.
+func (p *Pool) ForkJoin(n, grain int, fn func(lo, hi int)) { p.local.ForkJoin(n, grain, fn) }
+
+// Dispatches counts jobs posted (each Post is one local barrier
+// crossing plus one broadcast/reduction pair).
+func (p *Pool) Dispatches() int64 { return p.local.Dispatches() }
+
+// AbortJob cancels the local crew's job cooperatively. Remote ranks
+// finish their stripe of the job — their partials are collected and
+// discarded with the rest of the aborted result; the master's rollback
+// re-marks the descriptor stale everywhere, so the next dispatch
+// rewrites whatever remote ranks computed.
+func (p *Pool) AbortJob() { p.local.AbortJob() }
+
+// Aborted reports whether the local job was asked to stop.
+func (p *Pool) Aborted() bool { return p.local.Aborted() }
+
+// Close shuts the grid down: remote serve loops get a shutdown frame,
+// the local crew is closed. The transport itself stays open (its owner
+// closes it).
+func (p *Pool) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	// Best effort, per rank: one dead rank's broken link must not stop
+	// the shutdown frames to the ranks after it (fabric.Broadcast
+	// returns on the first failed Send, which would leave survivors
+	// blocked in Recv forever).
+	for r := 1; r < p.tr.Size(); r++ {
+		_ = p.tr.Send(r, TagShutdown, nil)
+	}
+	p.local.Close()
+}
+
+// Run hosts an in-proc R×t hybrid: rank 0 builds the distributed pool
+// and a full-axis master engine over it and runs body; ranks 1..R-1
+// serve their stripes. This is the finegrain analogue of fabric.Run —
+// the zero-setup entry point used by core's hybrid wiring and tests.
+// The engine handed to body evaluates over all R×t workers; body runs
+// on the master only.
+func Run(ranks, threadsPerRank int, pat *msa.Patterns, set *gtr.PartitionSet, body func(eng *likelihood.Engine, pool *Pool) error) error {
+	if ranks < 1 {
+		return fmt.Errorf("finegrain: %d ranks", ranks)
+	}
+	trs := fabric.NewChanTransports(ranks)
+	errs := make([]error, ranks)
+	done := make(chan int, ranks-1)
+	for r := 1; r < ranks; r++ {
+		go func(r int) {
+			defer func() { done <- r }()
+			errs[r] = Serve(trs[r])
+		}(r)
+	}
+	err := func() error {
+		pool, err := NewPool(trs[0], pat, set, threadsPerRank)
+		if err != nil {
+			return err
+		}
+		defer pool.Close()
+		eng, err := likelihood.NewPartitioned(pat, set, likelihood.Config{Pool: pool})
+		if err != nil {
+			return err
+		}
+		return body(eng, pool)
+	}()
+	if err != nil {
+		// Unblock serving ranks waiting on the master.
+		trs[0].Close()
+	}
+	for r := 1; r < ranks; r++ {
+		<-done
+	}
+	trs[0].Close()
+	if err != nil {
+		return err
+	}
+	for r := 1; r < ranks; r++ {
+		if errs[r] != nil {
+			return fmt.Errorf("finegrain: rank %d: %w", r, errs[r])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,507 @@
+package finegrain
+
+import (
+	"math"
+	"testing"
+
+	"raxml/internal/fabric"
+	"raxml/internal/gtr"
+	"raxml/internal/likelihood"
+	"raxml/internal/msa"
+	"raxml/internal/rng"
+	"raxml/internal/seqgen"
+	"raxml/internal/tree"
+)
+
+// makeData synthesizes a test pattern set: unpartitioned when genes <=
+// 1, otherwise `genes` equal column spans compressed partition-major.
+func makeData(t testing.TB, taxa, chars, genes int, seed int64) *msa.Patterns {
+	t.Helper()
+	a, _, err := seqgen.Generate(seqgen.Config{Taxa: taxa, Chars: chars, Seed: seed, TreeScale: 0.5, Alpha: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if genes <= 1 {
+		pat, err := msa.Compress(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pat
+	}
+	var defs []msa.PartitionDef
+	per := chars / genes
+	for g := 0; g < genes; g++ {
+		hi := (g + 1) * per
+		if g == genes-1 {
+			hi = chars
+		}
+		defs = append(defs, msa.PartitionDef{
+			ModelName: "DNA",
+			Name:      "gene" + string(rune('A'+g)),
+			Ranges:    []msa.SiteRange{{Lo: g * per, Hi: hi, Stride: 1}},
+		})
+	}
+	pat, err := msa.CompressPartitioned(a, defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pat
+}
+
+// makeSet builds a fresh per-partition model set of the given treatment.
+func makeSet(t testing.TB, pat *msa.Patterns, cat bool) *gtr.PartitionSet {
+	t.Helper()
+	set := gtr.NewPartitionSet(pat.NumParts())
+	for i, pr := range pat.PartRanges() {
+		if cat {
+			set.Rates[i] = gtr.NewUniform(pr.Len())
+		} else {
+			g, err := gtr.NewGamma(0.8, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			set.Rates[i] = g
+		}
+	}
+	return set
+}
+
+// refEngine builds the single-process reference engine (its own model
+// instances, one worker).
+func refEngine(t testing.TB, pat *msa.Patterns, cat bool) *likelihood.Engine {
+	t.Helper()
+	eng, err := likelihood.NewPartitioned(pat, makeSet(t, pat, cat), likelihood.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if m := math.Abs(b); m > 1 {
+		return d / m
+	}
+	return d
+}
+
+// TestGoldenDistributedLikelihood pins the 2-rank x 2-thread
+// distributed likelihood to the single-process reference at 1e-10
+// relative, for CAT and GAMMA, partitioned and unpartitioned: plain
+// evaluation, evaluation at several edges, per-partition components,
+// site log-likelihoods, and (at a looser optimizer tolerance) the
+// branch-length optimization endpoint.
+func TestGoldenDistributedLikelihood(t *testing.T) {
+	cases := []struct {
+		name  string
+		genes int
+		cat   bool
+	}{
+		{"CAT/unpartitioned", 1, true},
+		{"CAT/partitioned", 3, true},
+		{"GAMMA/unpartitioned", 1, false},
+		{"GAMMA/partitioned", 3, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pat := makeData(t, 12, 900, tc.genes, 7)
+			topo := tree.Random(pat.Names, rng.New(99))
+
+			ref := refEngine(t, pat, tc.cat)
+			if err := ref.AttachTree(topo.Clone()); err != nil {
+				t.Fatal(err)
+			}
+			wantLL := ref.LogLikelihood()
+			wantParts := ref.PartitionLogLikelihoods(nil)
+			wantSite := ref.SiteLogLikelihoods(nil)
+			edges := topo.Edges()
+			wantEdge := make([]float64, 0, 4)
+			for i := 0; i < 4; i++ {
+				e := edges[(i*7)%len(edges)]
+				wantEdge = append(wantEdge, ref.EvaluateEdge(e.A, e.B))
+			}
+			wantOpt := ref.OptimizeAllBranches(2, 0.01)
+
+			err := Run(2, 2, pat, makeSet(t, pat, tc.cat), func(eng *likelihood.Engine, pool *Pool) error {
+				if err := eng.AttachTree(topo.Clone()); err != nil {
+					return err
+				}
+				if got := eng.LogLikelihood(); relDiff(got, wantLL) > 1e-10 {
+					t.Errorf("LogLikelihood: distributed %.12f vs reference %.12f", got, wantLL)
+				}
+				gotParts := eng.PartitionLogLikelihoods(nil)
+				sum := 0.0
+				for i, got := range gotParts {
+					sum += got
+					if relDiff(got, wantParts[i]) > 1e-10 {
+						t.Errorf("partition %d component: distributed %.12f vs reference %.12f", i, got, wantParts[i])
+					}
+				}
+				if relDiff(sum, wantLL) > 1e-10 {
+					t.Errorf("partition components sum %.12f vs total %.12f", sum, wantLL)
+				}
+				gotSite := eng.SiteLogLikelihoods(nil)
+				for k := range gotSite {
+					if relDiff(gotSite[k], wantSite[k]) > 1e-10 {
+						t.Fatalf("site %d log-likelihood: distributed %.12f vs reference %.12f", k, gotSite[k], wantSite[k])
+					}
+				}
+				for i := 0; i < 4; i++ {
+					e := edges[(i*7)%len(edges)]
+					if got := eng.EvaluateEdge(e.A, e.B); relDiff(got, wantEdge[i]) > 1e-10 {
+						t.Errorf("edge (%d, %d): distributed %.12f vs reference %.12f", e.A, e.B, got, wantEdge[i])
+					}
+				}
+				if got := eng.OptimizeAllBranches(2, 0.01); relDiff(got, wantOpt) > 1e-8 {
+					t.Errorf("OptimizeAllBranches: distributed %.12f vs reference %.12f", got, wantOpt)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestOneBroadcastOneReductionPerDispatch asserts the acceptance
+// invariant: a partitioned full-tree relikelihood over the finegrain
+// pool is exactly one descriptor broadcast plus one reduction per pool
+// dispatch, measured at the transport's collective counters.
+func TestOneBroadcastOneReductionPerDispatch(t *testing.T) {
+	pat := makeData(t, 10, 800, 3, 11)
+	topo := tree.Random(pat.Names, rng.New(5))
+	err := Run(2, 2, pat, makeSet(t, pat, true), func(eng *likelihood.Engine, pool *Pool) error {
+		if err := eng.AttachTree(topo.Clone()); err != nil {
+			return err
+		}
+		eng.LogLikelihood() // warm: arena bound, first model block shipped
+		stats := pool.Transport().Stats()
+
+		for step := 0; step < 3; step++ {
+			d0 := eng.DispatchCount()
+			b0 := stats.Broadcasts.Load()
+			r0 := stats.Reductions.Load()
+			eng.InvalidateAll() // full tree goes stale
+			ll := eng.LogLikelihood()
+			if math.IsNaN(ll) {
+				t.Fatal("NaN likelihood")
+			}
+			if d := eng.DispatchCount() - d0; d != 1 {
+				t.Fatalf("full-tree relikelihood used %d dispatches, want 1", d)
+			}
+			if b := stats.Broadcasts.Load() - b0; b != 1 {
+				t.Fatalf("full-tree relikelihood used %d broadcasts, want 1", b)
+			}
+			if r := stats.Reductions.Load() - r0; r != 1 {
+				t.Fatalf("full-tree relikelihood used %d reductions, want 1", r)
+			}
+		}
+
+		// The per-partition decomposition rides the same single dispatch.
+		d0 := eng.DispatchCount()
+		b0 := stats.Broadcasts.Load()
+		eng.InvalidateAll()
+		eng.PartitionLogLikelihoods(nil)
+		if d := eng.DispatchCount() - d0; d != 1 {
+			t.Fatalf("PartitionLogLikelihoods used %d dispatches, want 1", d)
+		}
+		if b := stats.Broadcasts.Load() - b0; b != 1 {
+			t.Fatalf("PartitionLogLikelihoods used %d broadcasts, want 1", b)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSPRFuzzDistributed drives the distributed engine through a random
+// sequence of SPR moves, branch-length edits and evaluations at random
+// edges — the arena fuzz test's program, run over the finegrain pool —
+// asserting after every step that the distributed incremental
+// likelihood matches a fresh single-process engine.
+func TestSPRFuzzDistributed(t *testing.T) {
+	r := rng.New(20260729)
+	pat := makeData(t, 12, 700, 2, 3)
+	topo := tree.Random(pat.Names, r)
+
+	err := Run(2, 2, pat, makeSet(t, pat, true), func(eng *likelihood.Engine, pool *Pool) error {
+		if err := eng.AttachTree(topo); err != nil {
+			return err
+		}
+		eng.LogLikelihood()
+
+		check := func(step int, op string) {
+			edges := topo.Edges()
+			edge := edges[r.Intn(len(edges))]
+			got := eng.EvaluateEdge(edge.A, edge.B)
+			fresh := refEngine(t, pat, true)
+			if err := fresh.AttachTree(topo.Clone()); err != nil {
+				t.Fatal(err)
+			}
+			want := fresh.LogLikelihood()
+			if relDiff(got, want) > 1e-9 {
+				t.Fatalf("step %d (%s): distributed %.12f vs fresh %.12f", step, op, got, want)
+			}
+		}
+
+		for step := 0; step < 20; step++ {
+			switch r.Intn(3) {
+			case 0: // SPR: prune a random subtree, regraft into a random edge
+				edges := topo.Edges()
+				var p *tree.PrunedSubtree
+				var err error
+				for try := 0; try < 50 && p == nil; try++ {
+					edge := edges[r.Intn(len(edges))]
+					if topo.Nodes[edge.B].IsTip() {
+						continue
+					}
+					p, err = topo.Prune(edge.A, edge.B)
+					if err != nil {
+						p = nil
+					}
+				}
+				if p == nil {
+					continue
+				}
+				// Regraft targets must lie in the main component (Regraft
+				// does not reject edges inside the pruned subtree).
+				rem := topo.RegraftCandidates(p, 1<<20)
+				if err := topo.Regraft(p, rem[r.Intn(len(rem))]); err != nil {
+					topo.Restore(p)
+					continue
+				}
+				eng.InvalidateAll()
+				check(step, "spr")
+			case 1: // branch-length edit with precise invalidation
+				edges := topo.Edges()
+				edge := edges[r.Intn(len(edges))]
+				topo.SetEdgeLength(edge.A, edge.B, topo.EdgeLength(edge.A, edge.B)*(0.5+r.Float64()))
+				eng.InvalidateEdge(edge.A, edge.B)
+				check(step, "brlen")
+			default: // pure evaluation (cache reads only)
+				check(step, "eval")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDistributedModelOptimization exercises the model-sync path: model
+// parameters optimized on the distributed engine must track the
+// single-process reference (same coordinate-descent program, so the
+// endpoints agree to optimizer precision), including per-site CAT rate
+// estimation, which stresses SiteLL vector collection and repeated
+// treatment swaps.
+func TestDistributedModelOptimization(t *testing.T) {
+	pat := makeData(t, 10, 600, 2, 13)
+	topo := tree.Random(pat.Names, rng.New(17))
+
+	ref := refEngine(t, pat, true)
+	if err := ref.AttachTree(topo.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	ref.EstimateEmpiricalFreqs()
+	refLL := ref.OptimizeModel(likelihood.ModelOptConfig{Rates: true, Rounds: 1})
+	refLL = ref.OptimizePerSiteRates(8, 6)
+
+	err := Run(3, 2, pat, makeSet(t, pat, true), func(eng *likelihood.Engine, pool *Pool) error {
+		if err := eng.AttachTree(topo.Clone()); err != nil {
+			return err
+		}
+		eng.EstimateEmpiricalFreqs()
+		got := eng.OptimizeModel(likelihood.ModelOptConfig{Rates: true, Rounds: 1})
+		got = eng.OptimizePerSiteRates(8, 6)
+		if relDiff(got, refLL) > 1e-8 {
+			t.Errorf("optimized lnL: distributed %.12f vs reference %.12f", got, refLL)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBootstrapWeightsDistributed exercises SetWeights (a bootstrap
+// replicate's weight vector) across the wire.
+func TestBootstrapWeightsDistributed(t *testing.T) {
+	pat := makeData(t, 10, 500, 2, 23)
+	topo := tree.Random(pat.Names, rng.New(31))
+	w := pat.Resample(rng.New(77))
+
+	ref := refEngine(t, pat, true)
+	if err := ref.AttachTree(topo.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	ref.SetWeights(w)
+	want := ref.LogLikelihood()
+
+	err := Run(2, 1, pat, makeSet(t, pat, true), func(eng *likelihood.Engine, pool *Pool) error {
+		if err := eng.AttachTree(topo.Clone()); err != nil {
+			return err
+		}
+		eng.LogLikelihood() // original weights first: the sync must replace them
+		eng.SetWeights(w)
+		if got := eng.LogLikelihood(); relDiff(got, want) > 1e-10 {
+			t.Errorf("bootstrap weights: distributed %.12f vs reference %.12f", got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReattachTreeDistributed covers the tile-reset marker: a second
+// AttachTree must not leak CLVs across topologies on remote ranks.
+func TestReattachTreeDistributed(t *testing.T) {
+	pat := makeData(t, 10, 400, 1, 41)
+	t1 := tree.Random(pat.Names, rng.New(1))
+	t2 := tree.Random(pat.Names, rng.New(2))
+
+	ref := refEngine(t, pat, true)
+	if err := ref.AttachTree(t2.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	want := ref.LogLikelihood()
+
+	err := Run(2, 2, pat, makeSet(t, pat, true), func(eng *likelihood.Engine, pool *Pool) error {
+		if err := eng.AttachTree(t1.Clone()); err != nil {
+			return err
+		}
+		eng.LogLikelihood()
+		if err := eng.AttachTree(t2.Clone()); err != nil {
+			return err
+		}
+		if got := eng.LogLikelihood(); relDiff(got, want) > 1e-10 {
+			t.Errorf("after re-attach: distributed %.12f vs reference %.12f", got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTCPTransportDistributed runs the same golden comparison over the
+// real TCP transport: a listening master and two dialing worker
+// goroutines exchanging length-prefixed frames through the loopback —
+// the in-process twin of the spawned-process worker mode.
+func TestTCPTransportDistributed(t *testing.T) {
+	pat := makeData(t, 10, 600, 2, 53)
+	topo := tree.Random(pat.Names, rng.New(9))
+
+	ref := refEngine(t, pat, true)
+	if err := ref.AttachTree(topo.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	want := ref.LogLikelihood()
+
+	const ranks = 3
+	master, err := fabric.ListenTCP("127.0.0.1:0", ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer master.Close()
+
+	serveErr := make(chan error, ranks-1)
+	for r := 1; r < ranks; r++ {
+		go func(r int) {
+			wt, err := fabric.DialTCP(master.Addr(), r, ranks)
+			if err != nil {
+				serveErr <- err
+				return
+			}
+			defer wt.Close()
+			serveErr <- Serve(wt)
+		}(r)
+	}
+	if err := master.Accept(); err != nil {
+		t.Fatal(err)
+	}
+
+	set := makeSet(t, pat, true)
+	pool, err := NewPool(master, pat, set, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := likelihood.NewPartitioned(pat, set, likelihood.Config{Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AttachTree(topo.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	stats := master.Stats()
+	b0 := stats.Broadcasts.Load()
+	got := eng.LogLikelihood()
+	if relDiff(got, want) > 1e-10 {
+		t.Errorf("TCP distributed %.12f vs reference %.12f", got, want)
+	}
+	if b := stats.Broadcasts.Load() - b0; b != 1 {
+		t.Errorf("TCP relikelihood used %d broadcasts, want 1", b)
+	}
+	pool.Close()
+	for r := 1; r < ranks; r++ {
+		if err := <-serveErr; err != nil {
+			t.Fatalf("worker: %v", err)
+		}
+	}
+}
+
+// TestStripesPartitionAligned asserts rank stripes snap to the same
+// 16-pattern quantum, relative to partition starts, as thread stripes.
+func TestStripesPartitionAligned(t *testing.T) {
+	pat := makeData(t, 10, 1600, 3, 61)
+	err := Run(2, 1, pat, makeSet(t, pat, true), func(eng *likelihood.Engine, pool *Pool) error {
+		starts := pat.PartStarts()
+		for r, s := range pool.Stripes() {
+			if s.Len() == 0 {
+				t.Fatalf("rank %d stripe empty", r)
+			}
+			if r == 0 {
+				continue
+			}
+			// The stripe boundary must be a 16-multiple relative to the
+			// start of the partition containing it (or a partition start).
+			b := s.Lo
+			seg := 0
+			for _, st := range starts {
+				if st <= b {
+					seg = st
+				}
+			}
+			if (b-seg)%16 != 0 {
+				t.Errorf("rank %d stripe starts at %d, offset %d from segment start %d not a 16-multiple",
+					r, b, b-seg, seg)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkerErrorSurfaces ensures a failing worker produces an error on
+// the master rather than a hang.
+func TestWorkerErrorSurfaces(t *testing.T) {
+	trs := fabric.NewChanTransports(2)
+	done := make(chan error, 1)
+	go func() {
+		// Misbehaving master: sends a garbage init frame.
+		err := trs[0].Send(1, TagInit, []byte{1, 2, 3})
+		done <- err
+	}()
+	if err := Serve(trs[1]); err == nil {
+		t.Fatal("Serve accepted a garbage init frame")
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	trs[0].Close()
+}

@@ -1,0 +1,75 @@
+package finegrain
+
+import (
+	"errors"
+	"fmt"
+
+	"raxml/internal/fabric"
+	"raxml/internal/likelihood"
+	"raxml/internal/threads"
+)
+
+// Serve runs one remote worker rank to completion: receive the init
+// frame, build the stripe engine (stripe pattern data, stripe CLV
+// arena, local t-thread crew), then execute job frames until a
+// shutdown frame — or a closed transport — ends the loop.
+//
+// The worker is stateless beyond its engine: every job frame carries
+// the node capacity, carries a tile-reset marker when the master
+// re-attached a tree, and carries a model-sync block when model state
+// changed, so a worker that just replays frames in order is always
+// consistent with the master's planning. Errors are reported to the
+// master as TagErr frames (surfaced from the master's Collect) and
+// returned here.
+func Serve(tr fabric.Transport) error {
+	tag, payload, err := tr.Recv(0)
+	if err != nil {
+		return fmt.Errorf("finegrain: worker init recv: %w", err)
+	}
+	if tag != TagInit {
+		return fmt.Errorf("finegrain: worker expected init frame, got tag %d", tag)
+	}
+	init, err := likelihood.DecodeWorkerInit(payload)
+	if err != nil {
+		return fmt.Errorf("finegrain: worker init decode: %w", err)
+	}
+	eng, err := likelihood.BuildWorkerEngine(init)
+	if err != nil {
+		return fmt.Errorf("finegrain: worker engine: %w", err)
+	}
+	if pool, ok := eng.Pool().(*threads.Pool); ok {
+		defer pool.Close()
+	}
+	geom := &init.Geom
+	for {
+		tag, payload, err := tr.Recv(0)
+		if err != nil {
+			if errors.Is(err, fabric.ErrTransportClosed) {
+				return nil // master tore the world down
+			}
+			return fmt.Errorf("finegrain: worker recv: %w", err)
+		}
+		switch tag {
+		case TagShutdown:
+			return nil
+		case TagJob:
+			job, err := likelihood.DecodeWireJob(payload)
+			if err != nil {
+				_ = tr.Send(0, TagErr, []byte(err.Error()))
+				return fmt.Errorf("finegrain: worker job decode: %w", err)
+			}
+			partial, err := eng.ExecWireJob(job, geom)
+			if err != nil {
+				_ = tr.Send(0, TagErr, []byte(err.Error()))
+				return fmt.Errorf("finegrain: worker job exec: %w", err)
+			}
+			if err := tr.Send(0, TagPartial, partial); err != nil {
+				return fmt.Errorf("finegrain: worker partial send: %w", err)
+			}
+		default:
+			err := fmt.Errorf("finegrain: worker got unexpected tag %d", tag)
+			_ = tr.Send(0, TagErr, []byte(err.Error()))
+			return err
+		}
+	}
+}

@@ -86,6 +86,44 @@ const noTile = int32(-1)
 // lines in both arenas.
 const stripeQuantum = 16
 
+// Dispatcher is the fine-grained execution substrate the engine posts
+// its job codes to. *threads.Pool — the in-process Pthreads analogue —
+// is the canonical implementation; finegrain.Pool implements the same
+// contract with workers distributed over fabric ranks (remote
+// processes), each owning a stripe of the pattern axis. The engine is
+// written against this interface so the single-process and distributed
+// hybrids run exactly the same planning, kernel and reduction code:
+// the contract is job codes in, deterministic worker-order (and, for
+// the distributed pool, rank-order) reductions out, cooperative abort.
+type Dispatcher interface {
+	// Post runs one job code on every worker and returns when all have
+	// finished (one barrier crossing).
+	Post(runner threads.JobRunner, code threads.JobCode)
+	// Workers returns the number of local workers (the crew executing
+	// RunJob in this process).
+	Workers() int
+	// Slot returns local worker w's fixed-width reduction slot.
+	Slot(w int) *[threads.SlotWidth]float64
+	// SumSlots and SumSlots2 combine reduction partials across ALL
+	// workers of the substrate (local and remote), deterministically.
+	SumSlots(i int) float64
+	SumSlots2(i, j int) (float64, float64)
+	// EnsureWide, WideSlot and SumWide are the variable-width
+	// per-partition reduction storage (threads.Pool semantics).
+	EnsureWide(width int)
+	WideSlot(w int) []float64
+	SumWide(i int) float64
+	// AlignRangesAt snaps local worker stripes to tile quanta.
+	AlignRangesAt(quantum int, starts []int)
+	// ForkJoin is the master-side precomputation helper (no dispatch).
+	ForkJoin(n, grain int, fn func(lo, hi int))
+	// Dispatches counts barrier crossings paid so far.
+	Dispatches() int64
+	// AbortJob / Aborted are the cooperative-cancel pair.
+	AbortJob()
+	Aborted() bool
+}
+
 // partState is one partition's slice of the engine: its span on the
 // concatenated pattern axis, its model instance, and the offsets of its
 // segment within every CLV tile and matrix scratch buffer.
@@ -115,7 +153,7 @@ type partState struct {
 type Engine struct {
 	pat   *msa.Patterns
 	parts []partState
-	pool  *threads.Pool
+	pool  Dispatcher
 
 	tree    *tree.Tree
 	weights []int
@@ -185,6 +223,38 @@ type Engine struct {
 	jobVX, jobVY, jobVS childView
 	jobDst              []float64
 
+	// wire metadata of the current job, recorded alongside the resolved
+	// views so a distributed Dispatcher can re-encode the job for
+	// remote ranks (see remote.go): the job's branch lengths and the
+	// symbolic (tip taxon / directed-edge) form of each view.
+	jobT, jobT2 float64
+	jobWire     [3]WireView
+	jobNViews   int
+
+	// modelEpoch counts invalidation points at which model state
+	// (parameters, rate treatments, weights) may have changed; a
+	// distributed Dispatcher ships a model-sync block whenever the
+	// epoch moved since its last broadcast. Every model mutation goes
+	// through InvalidateAll (stale CLVs otherwise), so bumping there
+	// can never miss a change — topology-only InvalidateAll calls ship
+	// a redundant block, which is waste, not error. topoEpoch counts
+	// AttachTree calls, after which remote ranks must reset their tile
+	// bindings.
+	modelEpoch uint64
+	topoEpoch  uint64
+
+	// serialPool is the lazily created fallback of ThreadPool for
+	// engines running on a non-threads Dispatcher.
+	serialPool *threads.Pool
+
+	// wire buffers, reused across jobs (remote.go): the encoded job
+	// frame on the master, the encoded partial and site-LL scratch on
+	// a worker rank.
+	wireBuf        []byte
+	wirePartialBuf []byte
+	wireSiteLL     []float64
+	wireWide       []float64
+
 	// statistics
 	newviewCount int64
 	evalCount    int64
@@ -192,9 +262,10 @@ type Engine struct {
 
 // Config carries the optional knobs of New.
 type Config struct {
-	// Pool supplies fine-grained parallelism; nil means a serial
-	// single-worker pool.
-	Pool *threads.Pool
+	// Pool supplies fine-grained parallelism: a *threads.Pool for the
+	// in-process hybrid, a finegrain.Pool for distributed workers; nil
+	// means a serial single-worker pool.
+	Pool Dispatcher
 }
 
 // New creates a single-partition engine over the pattern set with the
@@ -287,6 +358,7 @@ func build(pat *msa.Patterns, spans []msa.PartRange, set *gtr.PartitionSet, cfg 
 		starts[i] = e.parts[i].lo
 	}
 	e.pool.AlignRangesAt(stripeQuantum, starts)
+	e.pool.EnsureWide(len(e.parts))
 	e.weights = append([]int(nil), pat.Weights...)
 	e.buildTipVectors()
 	e.ensureP()
@@ -316,8 +388,23 @@ func (e *Engine) tipVecOf(taxon int) []float64 {
 	return e.tipFlat[taxon*e.nPatterns*4 : (taxon+1)*e.nPatterns*4]
 }
 
-// Pool returns the engine's worker pool.
-func (e *Engine) Pool() *threads.Pool { return e.pool }
+// Pool returns the engine's execution substrate.
+func (e *Engine) Pool() Dispatcher { return e.pool }
+
+// ThreadPool returns the engine's substrate as an in-process
+// *threads.Pool when it is one (the common case), or a lazily created
+// serial pool over the full pattern axis otherwise. Engines that need
+// a plain thread crew over the whole axis — the parsimony engine's
+// Fitch kernels are not distributed — use this instead of Pool.
+func (e *Engine) ThreadPool() *threads.Pool {
+	if p, ok := e.pool.(*threads.Pool); ok {
+		return p
+	}
+	if e.serialPool == nil {
+		e.serialPool = threads.NewPool(1, e.nPatterns)
+	}
+	return e.serialPool
+}
 
 // Model returns partition 0's substitution model — the engine's only
 // model for single-partition data.
@@ -433,27 +520,16 @@ func (e *Engine) AttachTree(t *tree.Tree) error {
 	e.ensureArena()
 	e.releaseTiles()
 	e.InvalidateAll()
+	e.topoEpoch++
 	return nil
 }
 
 // ensureArena grows the per-directed-edge bookkeeping (tile bindings
-// and validity flags) to the tree's node-arena size in one grow per
-// slice — no per-element appends.
+// and validity flags) to the tree's node-arena size; worker-mode
+// engines size the same bookkeeping from the wire via
+// EnsureNodeCapacity (remote.go), which holds the single grow path.
 func (e *Engine) ensureArena() {
-	n := e.tree.MaxNodeID() * 3
-	if len(e.tileOf) >= n {
-		return
-	}
-	old := len(e.tileOf)
-	tiles := make([]int32, n)
-	copy(tiles, e.tileOf)
-	for i := old; i < n; i++ {
-		tiles[i] = noTile
-	}
-	e.tileOf = tiles
-	valid := make([]bool, n)
-	copy(valid, e.valid)
-	e.valid = valid
+	e.EnsureNodeCapacity(e.tree.MaxNodeID())
 }
 
 // releaseTiles unbinds every directed edge from its tile and returns
@@ -509,11 +585,15 @@ func padTo(n, q int) int {
 	return (n + q - 1) / q * q
 }
 
-// InvalidateAll marks every cached CLV stale (topology changed).
+// InvalidateAll marks every cached CLV stale (topology or model
+// changed) and advances the model epoch: every model-state mutation in
+// the engine ends in an InvalidateAll, so distributed dispatchers use
+// the epoch as the "ship a model-sync block" trigger.
 func (e *Engine) InvalidateAll() {
 	for i := range e.valid {
 		e.valid[i] = false
 	}
+	e.modelEpoch++
 }
 
 // InvalidateEdge marks stale exactly the directed CLVs whose view
@@ -641,17 +721,28 @@ func (e *Engine) EvaluateEdge(a, b int) float64 {
 	t := e.tree.EdgeLength(a, b)
 	e.ensureP()
 	e.fillP(t, e.pEval)
-	e.jobVA = e.viewOf(a, slotA)
-	e.jobVB = e.viewOf(b, slotB)
+	e.setEdgeJob(a, slotA, b, slotB, t)
 	e.evalCount++
 	e.dispatch(threads.JobEvaluate)
 	return e.pool.SumSlots(0)
 }
 
+// setEdgeJob publishes the two endpoint views of an edge job (evaluate,
+// makenewz, site-LL) in both resolved (jobVA/jobVB) and wire form.
+func (e *Engine) setEdgeJob(a, slotA, b, slotB int, t float64) {
+	e.jobVA = e.viewOf(a, slotA)
+	e.jobVB = e.viewOf(b, slotB)
+	e.jobWire[0] = e.wireViewOf(a, slotA)
+	e.jobWire[1] = e.wireViewOf(b, slotB)
+	e.jobNViews = 2
+	e.jobT, e.jobT2 = t, 0
+}
+
 // PartitionLogLikelihoods returns the per-partition log-likelihood
 // components of the attached tree (their sum is LogLikelihood). The
-// per-pattern site log-likelihoods are produced by one SiteLL job, so
-// the whole call costs a single pool dispatch even when CLVs are stale.
+// evaluate kernel writes one partial per (worker, partition) into the
+// pool's wide reduction slots, so the whole call is ONE JobEvaluate
+// dispatch — no follow-up per-pattern site-likelihood pass.
 func (e *Engine) PartitionLogLikelihoods(dst []float64) []float64 {
 	if dst == nil {
 		dst = make([]float64, len(e.parts))
@@ -659,14 +750,11 @@ func (e *Engine) PartitionLogLikelihoods(dst []float64) []float64 {
 	if len(dst) != len(e.parts) {
 		panic(fmt.Sprintf("likelihood: destination has %d entries, want %d partitions", len(dst), len(e.parts)))
 	}
-	site := e.SiteLogLikelihoods(nil)
+	// Every JobEvaluate populates the wide slots; reuse the standard
+	// evaluation path rather than restating it.
+	e.LogLikelihood()
 	for i := range e.parts {
-		ps := &e.parts[i]
-		sum := 0.0
-		for k := ps.lo; k < ps.hi; k++ {
-			sum += float64(e.weights[k]) * site[k]
-		}
-		dst[i] = sum
+		dst[i] = e.pool.SumWide(i)
 	}
 	return dst
 }

@@ -384,14 +384,21 @@ func boolIdx(cond bool, a, b int) int {
 // across the edge whose endpoint views the master stored in jobVA and
 // jobVB, using the per-partition transition matrices already in pEval.
 // The total is the sum of per-partition components — linked branch
-// lengths, independent models.
-func (e *Engine) evaluateRange(r threads.Range) float64 {
+// lengths, independent models. Each component is also recorded in the
+// worker's wide reduction slot, so one JobEvaluate dispatch yields the
+// per-partition decomposition (PartitionLogLikelihoods) for free;
+// every wide entry is overwritten, including partitions disjoint from
+// this worker's range (wide rows are not cleared between jobs).
+func (e *Engine) evaluateRange(w int, r threads.Range) float64 {
+	ws := e.pool.WideSlot(w)
 	sum := 0.0
 	for pi := range e.parts {
-		ps, lo, hi, ok := e.chunkOf(pi, r)
-		if ok {
-			sum += e.evaluateChunk(ps, lo, hi)
+		c := 0.0
+		if ps, lo, hi, ok := e.chunkOf(pi, r); ok {
+			c = e.evaluateChunk(ps, lo, hi)
 		}
+		ws[pi] = c
+		sum += c
 	}
 	return sum
 }
@@ -535,9 +542,9 @@ func (e *Engine) SiteLogLikelihoods(dst []float64) []float64 {
 	e.queueTraversal(b, slotB)
 	e.prepareTraversal()
 	e.ensureP()
-	e.fillP(e.tree.EdgeLength(a, b), e.pEval)
-	e.jobVA = e.viewOf(a, slotA)
-	e.jobVB = e.viewOf(b, slotB)
+	t := e.tree.EdgeLength(a, b)
+	e.fillP(t, e.pEval)
+	e.setEdgeJob(a, slotA, b, slotB, t)
 	e.jobDst = dst
 	e.dispatch(threads.JobSiteLL)
 	e.jobDst = nil
@@ -640,8 +647,7 @@ func (e *Engine) branchDerivatives(a, slotA, b, slotB int, t float64) (d1, d2 fl
 			ps.model.PDeriv(t, ps.rates.Rates[c], &e.pEval[ps.pOff+c], &e.pD1[ps.pOff+c], &e.pD2[ps.pOff+c])
 		}
 	}
-	e.jobVA = e.viewOf(a, slotA)
-	e.jobVB = e.viewOf(b, slotB)
+	e.setEdgeJob(a, slotA, b, slotB, t)
 	e.beginTraversal() // views are fresh: empty descriptor, pure reduction
 	e.dispatch(threads.JobMakenewz)
 	return e.pool.SumSlots2(0, 1)

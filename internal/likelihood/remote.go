@@ -1,0 +1,889 @@
+package likelihood
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"raxml/internal/gtr"
+	"raxml/internal/msa"
+	"raxml/internal/threads"
+)
+
+// This file is the wire half of the distributed (finegrain) dispatcher:
+// the compact binary codec for traversal-descriptor jobs and the
+// worker-mode execution path that replays them on a remote rank's
+// stripe engine. It reproduces RAxML's _FINE_GRAIN_MPI design
+// (genericParallelization.c): the master plans exactly as for threads —
+// one traversal descriptor, one job code — and the remote workers are
+// just more crew members whose "shared memory" is a stripe of the
+// pattern axis they own outright.
+//
+// What goes on the wire is deliberately *symbolic*, not resolved:
+// descriptor entries carry (node, slot) directed-edge ids, tip taxa and
+// branch lengths — never arena offsets, P matrices or lookup tables.
+// Arena offsets differ per rank (each rank's CLV arena covers only its
+// stripe, with its own tile size and binding order), and matrices/LUTs
+// are cheap to rebuild but expensive to ship: one GAMMA entry's
+// matrices alone are 2·4·16 float64 = 1 KiB, versus 48 bytes for the
+// symbolic entry. Every rank therefore rebuilds P matrices and tip
+// lookup tables locally from shipped model parameters + branch lengths,
+// which keeps a job frame at ~50 bytes per descriptor entry and makes
+// the broadcast cost topology-bound, not pattern-bound.
+//
+// Model state (GTR parameters, rate treatments, pattern weights) ships
+// only when the engine's model epoch has moved since the dispatcher's
+// last broadcast — branch-length-only iterations (the Newton hot loop)
+// ship nothing but the two f64 lengths and the empty descriptor.
+
+// WireView is the symbolic form of one job view (an endpoint of the
+// edge being evaluated, or one corner of an insertion scan): a tip
+// taxon, or an internal directed CLV named by (node, slot).
+type WireView struct {
+	Tip        bool
+	Taxon      int32
+	Node, Slot int32
+}
+
+// WireEntry is one traversal-descriptor entry with tip children
+// resolved to taxa: compute directed CLV (Node, Slot) from children
+// (C1, C1Slot) and (C2, C2Slot) across branches Len1/Len2. A
+// non-negative CxTaxon marks a tip child (the remote rank has no tree
+// to look it up in).
+type WireEntry struct {
+	Node, Slot        int32
+	C1, C1Slot, C1Tax int32
+	C2, C2Slot, C2Tax int32
+	Len1, Len2        float64
+}
+
+// WireModel is the model-sync block: full per-partition model state
+// plus the active pattern weights over the master's full pattern axis.
+// It is rank-independent — the same block is broadcast to every rank,
+// and each rank slices the per-pattern vectors down to its stripe — so
+// a model change still costs exactly one broadcast.
+type WireModel struct {
+	Weights []int // full master pattern axis
+	IsCAT   bool
+	Parts   []WireModelPart
+}
+
+// WireModelPart is one partition's model state.
+type WireModelPart struct {
+	Rates [6]float64
+	Freqs [4]float64
+	// CatRates/CatAssign are the CAT treatment (assignments indexed
+	// partition-locally over the master's full partition span);
+	// GammaRates/GammaProbs the GAMMA treatment.
+	CatRates, GammaRates, GammaProbs []float64
+	CatAssign                        []int
+}
+
+// WireJob is one decoded job frame.
+type WireJob struct {
+	Code    threads.JobCode
+	MaxNode int
+	Reset   bool
+	Model   *WireModel
+	T, T2   float64
+	NViews  int
+	Views   [3]WireView
+	Entries []WireEntry
+}
+
+// WirePartial is one rank's decoded reduction partial: the two fixed
+// reduction slots every current job code uses, the per-partition wide
+// components (indexed by MASTER partition), and the site-log-likelihood
+// stripe for JobSiteLL.
+type WirePartial struct {
+	Slots [2]float64
+	Wide  []float64
+	Vec   []float64
+}
+
+// WorkerGeom is the stripe geometry a worker rank holds from its init
+// frame and applies to every job.
+type WorkerGeom struct {
+	// StripeLo/StripeHi is the rank's stripe on the master pattern axis.
+	StripeLo, StripeHi int
+	// MasterParts is the master's partition count (width of Wide).
+	MasterParts int
+	// PartMap maps local partition index -> master partition index.
+	PartMap []int
+	// ClipOff is the local partition's pattern offset inside its master
+	// partition (for slicing partition-local per-pattern vectors).
+	ClipOff []int
+}
+
+// WireMaster is what a distributed Dispatcher requires of its runner:
+// the planning engine must encode the job in flight and absorb remote
+// partials. *Engine implements it.
+type WireMaster interface {
+	threads.JobRunner
+	EncodeWireJob(code threads.JobCode, includeModel, reset bool) []byte
+	WireEpochs() (model, topo uint64)
+	AbsorbRemoteSiteLL(stripeLo int, vec []float64)
+}
+
+// WireEpochs returns the engine's model and topology epochs; a
+// distributed dispatcher ships a model block (respectively a tile
+// reset) when they moved since its last broadcast.
+func (e *Engine) WireEpochs() (model, topo uint64) { return e.modelEpoch, e.topoEpoch }
+
+// wireViewOf builds the symbolic form of the view (node, slot).
+func (e *Engine) wireViewOf(node, slot int) WireView {
+	n := &e.tree.Nodes[node]
+	if n.IsTip() {
+		return WireView{Tip: true, Taxon: int32(n.Taxon)}
+	}
+	return WireView{Node: int32(node), Slot: int32(slot)}
+}
+
+// ---------------------------------------------------------------------
+// Byte-level helpers (little-endian, length-prefixed slices)
+// ---------------------------------------------------------------------
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendI32(b []byte, v int32) []byte {
+	return binary.LittleEndian.AppendUint32(b, uint32(v))
+}
+
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+func appendF64s(b []byte, vs []float64) []byte {
+	b = appendU32(b, uint32(len(vs)))
+	for _, v := range vs {
+		b = appendF64(b, v)
+	}
+	return b
+}
+
+func appendInts(b []byte, vs []int) []byte {
+	b = appendU32(b, uint32(len(vs)))
+	for _, v := range vs {
+		b = appendI32(b, int32(v))
+	}
+	return b
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// wireReader consumes a frame; the first malformed read poisons it and
+// every subsequent read returns zeros, so decoders check Err once.
+type wireReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *wireReader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("likelihood: truncated wire frame at offset %d of %d", r.off, len(r.b))
+	}
+}
+
+func (r *wireReader) u8() byte {
+	if r.err != nil || r.off+1 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *wireReader) bool() bool { return r.u8() != 0 }
+
+func (r *wireReader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *wireReader) i32() int32 { return int32(r.u32()) }
+
+func (r *wireReader) f64() float64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.off:]))
+	r.off += 8
+	return v
+}
+
+func (r *wireReader) f64s() []float64 {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.off+8*n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.f64()
+	}
+	return out
+}
+
+func (r *wireReader) ints() []int {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.off+4*n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(r.i32())
+	}
+	return out
+}
+
+func (r *wireReader) string() string {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.off+n > len(r.b) {
+		r.fail()
+		return ""
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+// ---------------------------------------------------------------------
+// Job frames (master encode, worker decode + execute)
+// ---------------------------------------------------------------------
+
+const (
+	jobFlagModel byte = 1 << iota
+	jobFlagReset
+)
+
+// EncodeWireJob encodes the job in flight — the prepared descriptor
+// window, the job's views and branch lengths, optionally a model-sync
+// block and a tile-reset marker — into a frame the same engine decodes
+// with DecodeWireJob on a remote rank. Must be called between the
+// master's prepareTraversal and the job's completion (a distributed
+// Dispatcher calls it at the top of Post). The returned buffer is
+// reused by the next call.
+func (e *Engine) EncodeWireJob(code threads.JobCode, includeModel, reset bool) []byte {
+	b := e.wireBuf[:0]
+	b = append(b, byte(code))
+	var flags byte
+	if includeModel {
+		flags |= jobFlagModel
+	}
+	if reset {
+		flags |= jobFlagReset
+	}
+	b = append(b, flags)
+	b = appendU32(b, uint32(e.tree.MaxNodeID()))
+	if includeModel {
+		b = e.appendWireModel(b)
+	}
+	b = appendF64(b, e.jobT)
+	b = appendF64(b, e.jobT2)
+	nv := e.jobNViews
+	if code == threads.JobNewview {
+		nv = 0 // pure descriptor walk: stale view metadata is not part of the job
+	}
+	b = append(b, byte(nv))
+	for i := 0; i < nv; i++ {
+		v := e.jobWire[i]
+		b = appendBool(b, v.Tip)
+		b = appendI32(b, v.Taxon)
+		b = appendI32(b, v.Node)
+		b = appendI32(b, v.Slot)
+	}
+	window := e.trav[e.travLo:e.travHi]
+	b = appendU32(b, uint32(len(window)))
+	for i := range window {
+		ent := &window[i]
+		p := &ent.pub
+		c1t, c2t := int32(-1), int32(-1)
+		if ent.left.tip {
+			c1t = int32(ent.left.taxon)
+		}
+		if ent.right.tip {
+			c2t = int32(ent.right.taxon)
+		}
+		b = appendI32(b, int32(p.Node))
+		b = appendI32(b, int32(p.Slot))
+		b = appendI32(b, int32(p.C1))
+		b = appendI32(b, int32(p.C1Slot))
+		b = appendI32(b, c1t)
+		b = appendI32(b, int32(p.C2))
+		b = appendI32(b, int32(p.C2Slot))
+		b = appendI32(b, c2t)
+		b = appendF64(b, p.Len1)
+		b = appendF64(b, p.Len2)
+	}
+	e.wireBuf = b
+	return b
+}
+
+// appendWireModel appends the model-sync block: active weights over the
+// full pattern axis plus every partition's parameters and rate
+// treatment (CAT assignments partition-local over the full span).
+func (e *Engine) appendWireModel(b []byte) []byte {
+	b = appendInts(b, e.weights)
+	b = appendBool(b, e.isCAT)
+	b = appendU32(b, uint32(len(e.parts)))
+	for i := range e.parts {
+		ps := &e.parts[i]
+		for _, v := range ps.model.Rates {
+			b = appendF64(b, v)
+		}
+		for _, v := range ps.model.Freqs {
+			b = appendF64(b, v)
+		}
+		b = appendF64s(b, ps.rates.Rates)
+		b = appendF64s(b, ps.rates.Probs)
+		b = appendInts(b, ps.rates.PatternCategory)
+	}
+	return b
+}
+
+// DecodeWireJob decodes a job frame.
+func DecodeWireJob(buf []byte) (*WireJob, error) {
+	r := &wireReader{b: buf}
+	j := &WireJob{}
+	j.Code = threads.JobCode(r.u8())
+	flags := r.u8()
+	j.Reset = flags&jobFlagReset != 0
+	j.MaxNode = int(r.u32())
+	if flags&jobFlagModel != 0 {
+		j.Model = decodeWireModel(r)
+	}
+	j.T = r.f64()
+	j.T2 = r.f64()
+	j.NViews = int(r.u8())
+	if j.NViews > 3 {
+		return nil, fmt.Errorf("likelihood: job frame has %d views", j.NViews)
+	}
+	for i := 0; i < j.NViews; i++ {
+		j.Views[i] = WireView{Tip: r.bool(), Taxon: r.i32(), Node: r.i32(), Slot: r.i32()}
+	}
+	n := int(r.u32())
+	if r.err == nil && n > 0 {
+		if r.off+n*48 > len(r.b) {
+			r.fail()
+		} else {
+			j.Entries = make([]WireEntry, n)
+			for i := range j.Entries {
+				j.Entries[i] = WireEntry{
+					Node: r.i32(), Slot: r.i32(),
+					C1: r.i32(), C1Slot: r.i32(), C1Tax: r.i32(),
+					C2: r.i32(), C2Slot: r.i32(), C2Tax: r.i32(),
+					Len1: r.f64(), Len2: r.f64(),
+				}
+			}
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(r.b) {
+		return nil, fmt.Errorf("likelihood: job frame has %d trailing bytes", len(r.b)-r.off)
+	}
+	return j, nil
+}
+
+func decodeWireModel(r *wireReader) *WireModel {
+	m := &WireModel{}
+	m.Weights = r.ints()
+	m.IsCAT = r.bool()
+	n := int(r.u32())
+	if r.err != nil || n < 0 || n > 1<<20 {
+		r.fail()
+		return m
+	}
+	m.Parts = make([]WireModelPart, n)
+	for i := range m.Parts {
+		p := &m.Parts[i]
+		for k := 0; k < 6; k++ {
+			p.Rates[k] = r.f64()
+		}
+		for k := 0; k < 4; k++ {
+			p.Freqs[k] = r.f64()
+		}
+		rates := r.f64s()
+		probs := r.f64s()
+		assign := r.ints()
+		if m.IsCAT {
+			p.CatRates, p.CatAssign = rates, assign
+		} else {
+			p.GammaRates, p.GammaProbs = rates, probs
+		}
+	}
+	return m
+}
+
+// ---------------------------------------------------------------------
+// Worker-mode engine operations
+// ---------------------------------------------------------------------
+
+// EnsureNodeCapacity sizes the per-directed-edge bookkeeping (tile
+// bindings, validity flags) for node ids below maxNode. Worker-mode
+// engines have no attached tree, so the master ships the capacity with
+// every job frame; ensureArena is the tree-driven wrapper.
+func (e *Engine) EnsureNodeCapacity(maxNode int) {
+	n := maxNode * 3
+	if len(e.tileOf) >= n {
+		return
+	}
+	old := len(e.tileOf)
+	tiles := make([]int32, n)
+	copy(tiles, e.tileOf)
+	for i := old; i < n; i++ {
+		tiles[i] = noTile
+	}
+	e.tileOf = tiles
+	valid := make([]bool, n)
+	copy(valid, e.valid)
+	e.valid = valid
+}
+
+// ResetTiles releases every directed-edge -> tile binding back to the
+// free list (the worker-side mirror of AttachTree: the master's next
+// descriptors name a fresh topology, so stale bindings must not leak
+// values across trees).
+func (e *Engine) ResetTiles() {
+	e.releaseTiles()
+	for i := range e.valid {
+		e.valid[i] = false
+	}
+}
+
+// ApplyWireModel installs a model-sync block onto a worker engine,
+// slicing the per-pattern vectors (weights, CAT assignments) down to
+// the rank's stripe using the init-time geometry.
+func (e *Engine) ApplyWireModel(m *WireModel, g *WorkerGeom) error {
+	if len(m.Parts) != g.MasterParts {
+		return fmt.Errorf("likelihood: model block has %d partitions, expected %d", len(m.Parts), g.MasterParts)
+	}
+	if len(m.Weights) < g.StripeHi {
+		return fmt.Errorf("likelihood: model block weights cover %d patterns, stripe ends at %d", len(m.Weights), g.StripeHi)
+	}
+	copy(e.weights, m.Weights[g.StripeLo:g.StripeHi])
+	for li := range e.parts {
+		ps := &e.parts[li]
+		wp := &m.Parts[g.PartMap[li]]
+		if err := ps.model.SetRates(wp.Rates); err != nil {
+			return fmt.Errorf("likelihood: model sync partition %d: %v", li, err)
+		}
+		if err := ps.model.SetFreqs(wp.Freqs); err != nil {
+			return fmt.Errorf("likelihood: model sync partition %d: %v", li, err)
+		}
+		rc := ps.rates
+		if m.IsCAT {
+			if !rc.IsCAT() {
+				return fmt.Errorf("likelihood: model sync partition %d: CAT block for GAMMA engine", li)
+			}
+			n := ps.hi - ps.lo
+			off := g.ClipOff[li]
+			if len(wp.CatAssign) < off+n {
+				return fmt.Errorf("likelihood: model sync partition %d: %d assignments, need [%d, %d)",
+					li, len(wp.CatAssign), off, off+n)
+			}
+			rc.Rates = append(rc.Rates[:0], wp.CatRates...)
+			rc.PatternCategory = append(rc.PatternCategory[:0], wp.CatAssign[off:off+n]...)
+		} else {
+			if rc.IsCAT() {
+				return fmt.Errorf("likelihood: model sync partition %d: GAMMA block for CAT engine", li)
+			}
+			rc.Rates = append(rc.Rates[:0], wp.GammaRates...)
+			rc.Probs = append(rc.Probs[:0], wp.GammaProbs...)
+		}
+	}
+	e.ensureP()
+	return nil
+}
+
+// prepareWireTraversal is the worker-mode prepareTraversal: it resolves
+// a shipped descriptor window against the LOCAL arena (binding tiles in
+// entry order, exactly as the master binds its own) and rebuilds every
+// entry's per-partition transition matrices and tip lookup tables from
+// the entry's branch lengths — the worker-side P rebuild that keeps job
+// frames small. No tree is consulted: tip children arrive pre-resolved.
+func (e *Engine) prepareWireTraversal(entries []WireEntry) {
+	e.trav = e.trav[:0]
+	for i := range entries {
+		we := &entries[i]
+		ent := travEntry{pub: TraversalEntry{
+			Node: int(we.Node), Slot: int(we.Slot),
+			C1: int(we.C1), C1Slot: int(we.C1Slot),
+			C2: int(we.C2), C2Slot: int(we.C2Slot),
+			Len1: we.Len1, Len2: we.Len2,
+		}}
+		if we.C1Tax >= 0 {
+			ent.left = travChild{tip: true, taxon: int(we.C1Tax)}
+		}
+		if we.C2Tax >= 0 {
+			ent.right = travChild{tip: true, taxon: int(we.C2Tax)}
+		}
+		e.trav = append(e.trav, ent)
+	}
+	n := len(e.trav)
+	e.travLo, e.travHi = 0, n
+	if n == 0 {
+		return
+	}
+	e.ensureP()
+	nc := e.totalCats
+	need := 2 * nc * n
+	if cap(e.travP) < need {
+		e.travP = make([][4][4]float64, need)
+	}
+	e.travP = e.travP[:need]
+	lutSize := 16 * nc * 4
+	tips := 0
+	for i := range e.trav {
+		if e.trav[i].left.tip {
+			tips++
+		}
+		if e.trav[i].right.tip {
+			tips++
+		}
+	}
+	if cap(e.travLUT) < tips*lutSize {
+		e.travLUT = make([]float64, tips*lutSize)
+	}
+	e.travLUT = e.travLUT[:tips*lutSize]
+
+	off, lutOff := 0, 0
+	for i := range e.trav {
+		ent := &e.trav[i]
+		ent.dstOff = e.clvOffset(ent.pub.Node, ent.pub.Slot)
+		ent.dstScaleOff = e.scaleOffset(ent.pub.Node, ent.pub.Slot)
+		if !ent.left.tip {
+			ent.left.off = e.clvOffset(ent.pub.C1, ent.pub.C1Slot)
+			ent.left.scaleOff = e.scaleOffset(ent.pub.C1, ent.pub.C1Slot)
+		}
+		if !ent.right.tip {
+			ent.right.off = e.clvOffset(ent.pub.C2, ent.pub.C2Slot)
+			ent.right.scaleOff = e.scaleOffset(ent.pub.C2, ent.pub.C2Slot)
+		}
+		ent.pL = e.travP[off : off+nc]
+		ent.pR = e.travP[off+nc : off+2*nc]
+		off += 2 * nc
+		ent.lutL, ent.lutR = nil, nil
+		if ent.left.tip {
+			ent.lutL = e.travLUT[lutOff : lutOff+lutSize]
+			lutOff += lutSize
+		}
+		if ent.right.tip {
+			ent.lutR = e.travLUT[lutOff : lutOff+lutSize]
+			lutOff += lutSize
+		}
+	}
+	if n >= pFillParallelEntries && e.pool.Workers() > 1 {
+		e.pool.ForkJoin(n, 8, e.fillTravMatrices)
+	} else {
+		e.fillTravMatrices(0, n)
+	}
+	e.newviewCount += int64(n)
+}
+
+// wireChildView materializes a shipped view against the local arena.
+func (e *Engine) wireChildView(v WireView) childView {
+	if v.Tip {
+		return childView{tip: true, vec: e.tipVecOf(int(v.Taxon)), stride: 4}
+	}
+	off := e.clvOffset(int(v.Node), int(v.Slot))
+	so := e.scaleOffset(int(v.Node), int(v.Slot))
+	return childView{
+		vec:    e.arena[off : off+e.tileFloats : off+e.tileFloats],
+		scale:  e.scaleArena[so : so+e.tileScale : so+e.tileScale],
+		stride: e.nCat * 4,
+	}
+}
+
+// ExecWireJob replays one decoded job frame on a worker engine: apply
+// capacity/reset/model state, resolve the descriptor locally, rebuild
+// the job's transition matrices from the shipped branch lengths, run
+// the job over the local thread crew (one local barrier crossing) and
+// return the encoded reduction partial — wide components indexed by
+// MASTER partition, the site-LL vector over the local stripe.
+func (e *Engine) ExecWireJob(job *WireJob, g *WorkerGeom) ([]byte, error) {
+	e.EnsureNodeCapacity(job.MaxNode)
+	if job.Reset {
+		e.ResetTiles()
+	}
+	if job.Model != nil {
+		if err := e.ApplyWireModel(job.Model, g); err != nil {
+			return nil, err
+		}
+	}
+	e.prepareWireTraversal(job.Entries)
+	e.ensureP()
+	switch job.Code {
+	case threads.JobNewview:
+		// descriptor walk only
+	case threads.JobEvaluate, threads.JobSiteLL:
+		e.fillP(job.T, e.pEval)
+	case threads.JobMakenewz:
+		for i := range e.parts {
+			ps := &e.parts[i]
+			for c := 0; c < ps.rates.NumCats(); c++ {
+				ps.model.PDeriv(job.T, ps.rates.Rates[c], &e.pEval[ps.pOff+c], &e.pD1[ps.pOff+c], &e.pD2[ps.pOff+c])
+			}
+		}
+	case threads.JobInsertScan:
+		e.fillP(job.T/2, e.pLeft)
+		e.fillP(job.T/2, e.pRight)
+		e.fillP(job.T2, e.pEval)
+	default:
+		return nil, fmt.Errorf("likelihood: wire job code %d not executable", job.Code)
+	}
+	for i := 0; i < job.NViews; i++ {
+		v := e.wireChildView(job.Views[i])
+		switch {
+		case job.Code == threads.JobInsertScan && i == 0:
+			e.jobVX = v
+		case job.Code == threads.JobInsertScan && i == 1:
+			e.jobVY = v
+		case job.Code == threads.JobInsertScan && i == 2:
+			e.jobVS = v
+		case i == 0:
+			e.jobVA = v
+		default:
+			e.jobVB = v
+		}
+	}
+	if job.Code == threads.JobSiteLL {
+		if cap(e.wireSiteLL) < e.nPatterns {
+			e.wireSiteLL = make([]float64, e.nPatterns)
+		}
+		e.jobDst = e.wireSiteLL[:e.nPatterns]
+	}
+	e.pool.Post(e, job.Code)
+
+	// Encode the partial: fixed slots, master-indexed wide components,
+	// optional site-LL stripe.
+	b := e.wirePartialBuf[:0]
+	s0, s1 := e.pool.SumSlots2(0, 1)
+	b = appendF64(b, s0)
+	b = appendF64(b, s1)
+	if job.Code == threads.JobEvaluate {
+		b = appendU32(b, uint32(g.MasterParts))
+		if cap(e.wireWide) < g.MasterParts {
+			e.wireWide = make([]float64, g.MasterParts)
+		}
+		wide := e.wireWide[:g.MasterParts]
+		for i := range wide {
+			wide[i] = 0
+		}
+		for li := range e.parts {
+			wide[g.PartMap[li]] = e.pool.SumWide(li)
+		}
+		for _, v := range wide {
+			b = appendF64(b, v)
+		}
+	} else {
+		b = appendU32(b, 0)
+	}
+	if job.Code == threads.JobSiteLL {
+		b = appendF64s(b, e.jobDst)
+		e.jobDst = nil
+	} else {
+		b = appendU32(b, 0)
+	}
+	e.wirePartialBuf = b
+	return b, nil
+}
+
+// DecodeWirePartial decodes a reduction partial.
+func DecodeWirePartial(buf []byte) (*WirePartial, error) {
+	r := &wireReader{b: buf}
+	p := &WirePartial{}
+	p.Slots[0] = r.f64()
+	p.Slots[1] = r.f64()
+	nw := int(r.u32())
+	if r.err == nil && nw > 0 {
+		if r.off+8*nw > len(r.b) {
+			r.fail()
+		} else {
+			p.Wide = make([]float64, nw)
+			for i := range p.Wide {
+				p.Wide[i] = r.f64()
+			}
+		}
+	}
+	p.Vec = r.f64s()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(r.b) {
+		return nil, fmt.Errorf("likelihood: partial frame has %d trailing bytes", len(r.b)-r.off)
+	}
+	return p, nil
+}
+
+// AbsorbRemoteSiteLL copies a remote rank's site-log-likelihood stripe
+// into the destination of the site-LL job in flight. Called by a
+// distributed Dispatcher from inside Post, while jobDst is bound.
+func (e *Engine) AbsorbRemoteSiteLL(stripeLo int, vec []float64) {
+	copy(e.jobDst[stripeLo:stripeLo+len(vec)], vec)
+}
+
+// ---------------------------------------------------------------------
+// Worker init
+// ---------------------------------------------------------------------
+
+// WorkerInit is everything a remote rank needs to build its stripe
+// engine: the stripe's pattern data (local axis), geometry, the rate
+// treatment *shape* (real parameters arrive with the first job's model
+// block), and the local thread count.
+type WorkerInit struct {
+	Rank, Ranks int
+	Threads     int
+	Geom        WorkerGeom
+	Pat         *msa.Patterns
+	IsCAT       bool
+	NCats       int // GAMMA category count (CLV width); 1 for CAT
+}
+
+// EncodeWorkerInit encodes the init frame.
+func EncodeWorkerInit(w *WorkerInit) []byte {
+	var b []byte
+	b = appendI32(b, int32(w.Rank))
+	b = appendI32(b, int32(w.Ranks))
+	b = appendI32(b, int32(w.Threads))
+	b = appendI32(b, int32(w.Geom.StripeLo))
+	b = appendI32(b, int32(w.Geom.StripeHi))
+	b = appendI32(b, int32(w.Geom.MasterParts))
+	b = appendInts(b, w.Geom.PartMap)
+	b = appendInts(b, w.Geom.ClipOff)
+	b = appendBool(b, w.IsCAT)
+	b = appendI32(b, int32(w.NCats))
+
+	p := w.Pat
+	b = appendU32(b, uint32(len(p.Names)))
+	for _, n := range p.Names {
+		b = appendString(b, n)
+	}
+	b = appendU32(b, uint32(p.NumPatterns()))
+	for _, row := range p.Data {
+		for _, s := range row {
+			b = append(b, byte(s))
+		}
+	}
+	b = appendInts(b, p.Weights)
+	b = appendU32(b, uint32(len(p.Parts)))
+	for _, pr := range p.Parts {
+		b = appendString(b, pr.Name)
+		b = appendI32(b, int32(pr.Lo))
+		b = appendI32(b, int32(pr.Hi))
+	}
+	return b
+}
+
+// DecodeWorkerInit decodes an init frame.
+func DecodeWorkerInit(buf []byte) (*WorkerInit, error) {
+	r := &wireReader{b: buf}
+	w := &WorkerInit{}
+	w.Rank = int(r.i32())
+	w.Ranks = int(r.i32())
+	w.Threads = int(r.i32())
+	w.Geom.StripeLo = int(r.i32())
+	w.Geom.StripeHi = int(r.i32())
+	w.Geom.MasterParts = int(r.i32())
+	w.Geom.PartMap = r.ints()
+	w.Geom.ClipOff = r.ints()
+	w.IsCAT = r.bool()
+	w.NCats = int(r.i32())
+
+	nTaxa := int(r.u32())
+	if r.err != nil || nTaxa < 0 || nTaxa > 1<<24 {
+		r.fail()
+		return nil, r.err
+	}
+	names := make([]string, nTaxa)
+	for i := range names {
+		names[i] = r.string()
+	}
+	nPat := int(r.u32())
+	if r.err != nil || nPat < 0 || r.off+nTaxa*nPat > len(r.b) {
+		r.fail()
+		return nil, r.err
+	}
+	data := make([][]msa.State, nTaxa)
+	for i := range data {
+		row := make([]msa.State, nPat)
+		for k := range row {
+			row[k] = msa.State(r.b[r.off])
+			r.off++
+		}
+		data[i] = row
+	}
+	weights := r.ints()
+	nParts := int(r.u32())
+	if r.err != nil || nParts < 0 || nParts > 1<<20 {
+		r.fail()
+		return nil, r.err
+	}
+	var parts []msa.PartRange
+	for i := 0; i < nParts; i++ {
+		parts = append(parts, msa.PartRange{Name: r.string(), Lo: int(r.i32()), Hi: int(r.i32())})
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(r.b) {
+		return nil, fmt.Errorf("likelihood: init frame has %d trailing bytes", len(r.b)-r.off)
+	}
+	w.Pat = msa.FromParts(names, data, weights, parts)
+	return w, nil
+}
+
+// BuildWorkerEngine constructs a remote rank's stripe engine from its
+// init frame: placeholder default models and treatment shapes (the
+// first job's model block overwrites them), a local thread crew over
+// the stripe's own pattern axis.
+func BuildWorkerEngine(w *WorkerInit) (*Engine, error) {
+	n := w.Pat.NumParts()
+	set := gtr.NewPartitionSet(n)
+	for i, pr := range w.Pat.PartRanges() {
+		if w.IsCAT {
+			set.Rates[i] = gtr.NewUniform(pr.Len())
+		} else {
+			g, err := gtr.NewGamma(1.0, w.NCats)
+			if err != nil {
+				return nil, err
+			}
+			set.Rates[i] = g
+		}
+	}
+	var pool *threads.Pool
+	if n > 1 {
+		pool = threads.NewPoolWeighted(w.Threads, w.Pat.Weights)
+	} else {
+		pool = threads.NewPool(w.Threads, w.Pat.NumPatterns())
+	}
+	return NewPartitioned(w.Pat, set, Config{Pool: pool})
+}

@@ -1,0 +1,207 @@
+package likelihood
+
+import (
+	"math"
+	"testing"
+
+	"raxml/internal/gtr"
+	"raxml/internal/rng"
+	"raxml/internal/threads"
+	"raxml/internal/tree"
+)
+
+// TestPartitionLogLikelihoodsOneDispatch is the regression test for the
+// widened (per-partition) evaluate reduction: the per-partition
+// components must come back from a single JobEvaluate dispatch — no
+// follow-up site-likelihood pass — and agree with the weighted
+// site-log-likelihood sums they replaced.
+func TestPartitionLogLikelihoodsOneDispatch(t *testing.T) {
+	r := rng.New(321)
+	pat := randomPatterns(t, r, 10, 240)
+	e := newEngine(t, pat, gtr.Default(), gtr.NewUniform(pat.NumPatterns()), 3)
+	tr := tree.Random(pat.Names, r)
+	if err := e.AttachTree(tr); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stale tree: the one dispatch covers refresh + evaluate + split.
+	d0 := e.DispatchCount()
+	comps := e.PartitionLogLikelihoods(nil)
+	if d := e.DispatchCount() - d0; d != 1 {
+		t.Fatalf("PartitionLogLikelihoods on a stale tree cost %d dispatches, want 1", d)
+	}
+
+	// Cross-check against the site-log-likelihood definition.
+	site := e.SiteLogLikelihoods(nil)
+	for i := 0; i < e.NumPartitions(); i++ {
+		pr := e.PartitionRange(i)
+		want := 0.0
+		for k := pr.Lo; k < pr.Hi; k++ {
+			want += float64(e.Weights()[k]) * site[k]
+		}
+		if math.Abs(comps[i]-want) > 1e-9*math.Max(1, math.Abs(want)) {
+			t.Fatalf("partition %d: wide-slot component %.12f vs site-LL sum %.12f", i, comps[i], want)
+		}
+	}
+
+	// The components sum to the total.
+	total := e.LogLikelihood()
+	sum := 0.0
+	for _, c := range comps {
+		sum += c
+	}
+	if math.Abs(sum-total) > 1e-9*math.Abs(total) {
+		t.Fatalf("component sum %.12f vs LogLikelihood %.12f", sum, total)
+	}
+}
+
+// TestWireJobRoundTrip pins the job-frame codec: a prepared descriptor
+// plus job metadata must decode to exactly what was encoded, including
+// the optional model block and reset marker.
+func TestWireJobRoundTrip(t *testing.T) {
+	r := rng.New(77)
+	pat := randomPatterns(t, r, 8, 120)
+	e := newEngine(t, pat, gtr.Default(), gtr.NewUniform(pat.NumPatterns()), 1)
+	tr := tree.Random(pat.Names, r)
+	if err := e.AttachTree(tr); err != nil {
+		t.Fatal(err)
+	}
+
+	// Build a real evaluate job (stale tree: non-empty descriptor).
+	a := 0
+	b := e.tree.Nodes[0].Neighbors[0]
+	slotA := e.slotOf(a, b)
+	slotB := e.slotOf(b, a)
+	e.beginTraversal()
+	e.queueTraversal(a, slotA)
+	e.queueTraversal(b, slotB)
+	e.prepareTraversal()
+	e.travLo, e.travHi = 0, len(e.trav)
+	e.setEdgeJob(a, slotA, b, slotB, 0.125)
+
+	frame := e.EncodeWireJob(threads.JobEvaluate, true, true)
+	job, err := DecodeWireJob(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Code != threads.JobEvaluate || !job.Reset || job.Model == nil {
+		t.Fatalf("header mismatch: code %d reset %v model %v", job.Code, job.Reset, job.Model != nil)
+	}
+	if job.MaxNode != tr.MaxNodeID() {
+		t.Fatalf("MaxNode %d, want %d", job.MaxNode, tr.MaxNodeID())
+	}
+	if job.T != 0.125 || job.T2 != 0 {
+		t.Fatalf("branch lengths (%g, %g), want (0.125, 0)", job.T, job.T2)
+	}
+	if job.NViews != 2 {
+		t.Fatalf("NViews %d, want 2", job.NViews)
+	}
+	if len(job.Entries) != len(e.trav) {
+		t.Fatalf("%d entries, want %d", len(job.Entries), len(e.trav))
+	}
+	for i, we := range job.Entries {
+		pub := e.trav[i].pub
+		if int(we.Node) != pub.Node || int(we.Slot) != pub.Slot ||
+			int(we.C1) != pub.C1 || int(we.C2) != pub.C2 ||
+			we.Len1 != pub.Len1 || we.Len2 != pub.Len2 {
+			t.Fatalf("entry %d: %+v vs %+v", i, we, pub)
+		}
+		if (we.C1Tax >= 0) != e.trav[i].left.tip || (we.C2Tax >= 0) != e.trav[i].right.tip {
+			t.Fatalf("entry %d tip flags mismatch", i)
+		}
+	}
+	m := job.Model
+	if len(m.Weights) != pat.NumPatterns() {
+		t.Fatalf("model block ships %d weights, want %d", len(m.Weights), pat.NumPatterns())
+	}
+	if !m.IsCAT || len(m.Parts) != 1 {
+		t.Fatalf("model block: IsCAT %v parts %d", m.IsCAT, len(m.Parts))
+	}
+	if m.Parts[0].Rates != e.Model().Rates || m.Parts[0].Freqs != e.Model().Freqs {
+		t.Fatal("model block parameters differ from engine model")
+	}
+
+	// Without the flags, neither block is present.
+	frame2 := e.EncodeWireJob(threads.JobEvaluate, false, false)
+	job2, err := DecodeWireJob(append([]byte(nil), frame2...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job2.Model != nil || job2.Reset {
+		t.Fatal("flagless frame decoded with model/reset present")
+	}
+
+	// Truncations must error, not panic or misread.
+	for _, cut := range []int{1, 7, len(frame) / 2, len(frame) - 1} {
+		if _, err := DecodeWireJob(frame[:cut]); err == nil {
+			t.Fatalf("truncated frame (%d bytes) decoded without error", cut)
+		}
+	}
+}
+
+// TestWirePartialRoundTrip pins the partial codec.
+func TestWirePartialRoundTrip(t *testing.T) {
+	var b []byte
+	b = appendF64(b, -123.5)
+	b = appendF64(b, 4.25)
+	b = appendU32(b, 2)
+	b = appendF64(b, -100)
+	b = appendF64(b, -23.5)
+	b = appendF64s(b, []float64{1, 2, 3})
+	p, err := DecodeWirePartial(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Slots != [2]float64{-123.5, 4.25} {
+		t.Fatalf("slots %v", p.Slots)
+	}
+	if len(p.Wide) != 2 || p.Wide[0] != -100 || p.Wide[1] != -23.5 {
+		t.Fatalf("wide %v", p.Wide)
+	}
+	if len(p.Vec) != 3 || p.Vec[2] != 3 {
+		t.Fatalf("vec %v", p.Vec)
+	}
+	if _, err := DecodeWirePartial(b[:9]); err == nil {
+		t.Fatal("truncated partial decoded without error")
+	}
+}
+
+// TestWorkerInitRoundTrip pins the init codec over a partitioned slice.
+func TestWorkerInitRoundTrip(t *testing.T) {
+	r := rng.New(5)
+	pat := randomPatterns(t, r, 6, 200)
+	sp, partIndex, clipOff := pat.Slice(48, 176)
+	in := &WorkerInit{
+		Rank: 2, Ranks: 4, Threads: 3,
+		Geom: WorkerGeom{
+			StripeLo: 48, StripeHi: 176, MasterParts: pat.NumParts(),
+			PartMap: partIndex, ClipOff: clipOff,
+		},
+		Pat: sp, IsCAT: true, NCats: 1,
+	}
+	out, err := DecodeWorkerInit(EncodeWorkerInit(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rank != 2 || out.Ranks != 4 || out.Threads != 3 {
+		t.Fatalf("header: %+v", out)
+	}
+	if out.Geom.StripeLo != 48 || out.Geom.StripeHi != 176 {
+		t.Fatalf("stripe: %+v", out.Geom)
+	}
+	if out.Pat.NumTaxa() != pat.NumTaxa() || out.Pat.NumPatterns() != 128 {
+		t.Fatalf("stripe patterns: %d taxa, %d patterns", out.Pat.NumTaxa(), out.Pat.NumPatterns())
+	}
+	for i := range out.Pat.Data {
+		for k, s := range out.Pat.Data[i] {
+			if s != pat.Data[i][48+k] {
+				t.Fatalf("taxon %d pattern %d: %v vs %v", i, k, s, pat.Data[i][48+k])
+			}
+		}
+	}
+	for k, w := range out.Pat.Weights {
+		if w != pat.Weights[48+k] {
+			t.Fatalf("weight %d: %d vs %d", k, w, pat.Weights[48+k])
+		}
+	}
+}

@@ -45,6 +45,11 @@ func (e *Engine) EvaluateInsertion(subRoot, attach, x, y int) float64 {
 	e.jobVX = e.viewOf(x, slotXY)
 	e.jobVY = e.viewOf(y, slotYX)
 	e.jobVS = e.viewOf(subRoot, slotSub)
+	e.jobWire[0] = e.wireViewOf(x, slotXY)
+	e.jobWire[1] = e.wireViewOf(y, slotYX)
+	e.jobWire[2] = e.wireViewOf(subRoot, slotSub)
+	e.jobNViews = 3
+	e.jobT, e.jobT2 = txy, pendant
 	e.dispatch(threads.JobInsertScan)
 	return e.pool.SumSlots(0)
 }

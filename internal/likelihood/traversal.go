@@ -376,7 +376,7 @@ func (e *Engine) RunJob(code threads.JobCode, w int, r threads.Range) {
 	case threads.JobNewview:
 		// descriptor walk only
 	case threads.JobEvaluate:
-		e.pool.Slot(w)[0] = e.evaluateRange(r)
+		e.pool.Slot(w)[0] = e.evaluateRange(w, r)
 	case threads.JobMakenewz:
 		s := e.pool.Slot(w)
 		s[0], s[1] = e.derivativesRange(r)

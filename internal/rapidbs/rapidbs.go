@@ -53,7 +53,7 @@ type Runner struct {
 func NewRunner(eng *likelihood.Engine) *Runner {
 	return &Runner{
 		eng:            eng,
-		pars:           parsimony.New(eng.Patterns(), eng.Pool()),
+		pars:           parsimony.New(eng.Patterns(), eng.ThreadPool()),
 		searchSettings: search.Bootstrap(),
 	}
 }

@@ -75,7 +75,7 @@ func TestSearchRecoversTrueTreeNeighborhood(t *testing.T) {
 	}
 	pat, _ := msa.Compress(a)
 	eng := testEngine(t, pat, 2)
-	start := parsimony.StepwiseAddition(pat, rng.New(7), eng.Pool())
+	start := parsimony.StepwiseAddition(pat, rng.New(7), eng.ThreadPool())
 	res, err := Run(eng, start, Thorough())
 	if err != nil {
 		t.Fatal(err)

@@ -104,6 +104,10 @@ type slot struct {
 	_ [64]byte
 }
 
+// wideQuantum pads per-worker wide-slot rows to whole 64-byte cache
+// lines (8 float64), keeping adjacent workers' rows off shared lines.
+const wideQuantum = 8
+
 // spinIters bounds the busy-wait before a waiter parks on its condition
 // variable. Within tight optimization loops the next job arrives in
 // well under this budget; between jobs (master doing serial work) the
@@ -118,6 +122,15 @@ type Pool struct {
 	workers int
 	ranges  []Range
 	slots   []slot
+
+	// wide is the variable-width reduction storage: one row of
+	// wideWidth float64 per worker at stride wideStride (padded to
+	// whole cache lines). Sized by EnsureWide; engines use it for
+	// reductions whose component count is data-dependent (one
+	// log-likelihood component per alignment partition).
+	wide       []float64
+	wideWidth  int
+	wideStride int
 
 	// Current job, published by the master before bumping gen. Plain
 	// fields: the atomic gen increment is the release point and the
@@ -174,6 +187,26 @@ func NewPoolPartitioned(workers int, weights []int, starts []int, quantum int) *
 	p := NewPoolWeighted(workers, weights)
 	p.AlignRangesAt(quantum, starts)
 	return p
+}
+
+// NewPoolStripe creates a pool whose workers cover only the pattern
+// stripe [lo, hi) of a wider axis, with ranges balanced by the weight
+// mass inside the stripe. Worker ranges carry *global* pattern indices,
+// so engines indexing the full axis run unchanged — this is the local
+// crew of one rank of a distributed (finegrain) pool, where every rank
+// owns one stripe of the shared pattern axis and subdivides it among
+// its own threads. weights spans the full axis.
+func NewPoolStripe(workers int, weights []int, lo, hi int) *Pool {
+	if lo < 0 || hi > len(weights) || hi < lo {
+		panic(fmt.Sprintf("threads: stripe [%d, %d) outside [0, %d)", lo, hi, len(weights)))
+	}
+	w := clampWorkers(workers, hi-lo)
+	ranges := SplitWeighted(weights[lo:hi], w)
+	for i := range ranges {
+		ranges[i].Lo += lo
+		ranges[i].Hi += lo
+	}
+	return newPool(w, ranges)
 }
 
 func clampWorkers(workers, n int) int {
@@ -361,24 +394,38 @@ func (p *Pool) AlignRangesAt(quantum int, starts []int) {
 	}
 	p.postMu.Lock()
 	defer p.postMu.Unlock()
-	n := p.ranges[p.workers-1].Hi
-	if n-p.ranges[0].Lo < 2*quantum*p.workers {
+	AlignBoundaries(p.ranges, quantum, starts)
+}
+
+// AlignBoundaries snaps the boundaries of a contiguous range partition
+// in place, with AlignRangesAt's semantics (segment-relative snapping,
+// per-boundary degenerate-stripe protection, no-op on narrow average
+// stripes). Exported so stripe computations outside a Pool — the
+// per-rank stripes of a distributed worker pool — snap with exactly the
+// same rules as a pool's own thread stripes.
+func AlignBoundaries(ranges []Range, quantum int, starts []int) {
+	k := len(ranges)
+	if quantum <= 1 || k <= 1 {
+		return
+	}
+	n := ranges[k-1].Hi
+	if n-ranges[0].Lo < 2*quantum*k {
 		return
 	}
 	if len(starts) == 0 {
 		starts = []int{0}
 	}
-	lo := p.ranges[0].Lo
-	for i := 0; i < p.workers-1; i++ {
-		b := p.ranges[i].Hi
+	lo := ranges[0].Lo
+	for i := 0; i < k-1; i++ {
+		b := ranges[i].Hi
 		cand := snapToSegment(b, quantum, starts, n)
-		if cand <= lo || cand >= p.ranges[i+1].Hi {
+		if cand <= lo || cand >= ranges[i+1].Hi {
 			cand = b // snapping would empty a stripe: keep the exact split
 		}
-		p.ranges[i] = Range{lo, cand}
+		ranges[i] = Range{lo, cand}
 		lo = cand
 	}
-	p.ranges[p.workers-1] = Range{lo, n}
+	ranges[k-1] = Range{lo, n}
 }
 
 // snapToSegment rounds boundary b to the nearest multiple of quantum
@@ -437,6 +484,44 @@ func (p *Pool) SumSlots2(i, j int) (float64, float64) {
 	}
 	return a, b
 }
+
+// EnsureWide sizes the variable-width reduction storage to at least
+// `width` float64 per worker (rows padded to whole cache lines). Must
+// not be called concurrently with a posted job. Engines call it once at
+// construction — e.g. one slot per alignment partition, so JobEvaluate
+// can return every partition's log-likelihood component from a single
+// dispatch instead of needing a follow-up per-pattern pass.
+func (p *Pool) EnsureWide(width int) {
+	if width <= p.wideWidth {
+		return
+	}
+	p.postMu.Lock()
+	defer p.postMu.Unlock()
+	p.wideWidth = width
+	p.wideStride = (width + wideQuantum - 1) / wideQuantum * wideQuantum
+	p.wide = make([]float64, p.workers*p.wideStride)
+}
+
+// WideSlot returns worker w's wide reduction row (length as passed to
+// EnsureWide). Kernels must overwrite every entry they own each job —
+// rows are not cleared between posts.
+func (p *Pool) WideSlot(w int) []float64 {
+	base := w * p.wideStride
+	return p.wide[base : base+p.wideWidth : base+p.wideWidth]
+}
+
+// SumWide combines wide-slot index i across workers in worker order,
+// deterministically, like SumSlots.
+func (p *Pool) SumWide(i int) float64 {
+	sum := 0.0
+	for w := 0; w < p.workers; w++ {
+		sum += p.wide[w*p.wideStride+i]
+	}
+	return sum
+}
+
+// WideWidth returns the current wide-slot width (0 before EnsureWide).
+func (p *Pool) WideWidth() int { return p.wideWidth }
 
 // AbortJob requests cooperative cancellation of the job in flight.
 // Long-running kernels poll Aborted between descriptor entries and

@@ -1,0 +1,122 @@
+package threads
+
+import (
+	"testing"
+)
+
+// TestWideSlots covers the variable-width reduction storage behind
+// one-dispatch per-partition evaluate reductions: per-worker rows,
+// deterministic worker-order sums, growth, and row isolation.
+func TestWideSlots(t *testing.T) {
+	p := NewPool(4, 64)
+	defer p.Close()
+	p.EnsureWide(3)
+	if p.WideWidth() != 3 {
+		t.Fatalf("WideWidth = %d, want 3", p.WideWidth())
+	}
+	p.ParallelFor(func(w int, r Range) {
+		ws := p.WideSlot(w)
+		for i := range ws {
+			ws[i] = float64((w + 1) * (i + 1))
+		}
+	})
+	for i := 0; i < 3; i++ {
+		want := 0.0
+		for w := 0; w < p.Workers(); w++ {
+			want += float64((w + 1) * (i + 1))
+		}
+		if got := p.SumWide(i); got != want {
+			t.Fatalf("SumWide(%d) = %g, want %g", i, got, want)
+		}
+	}
+	// Growing reallocates; shrinking requests are no-ops.
+	p.EnsureWide(2)
+	if p.WideWidth() != 3 {
+		t.Fatalf("EnsureWide(2) shrank width to %d", p.WideWidth())
+	}
+	p.EnsureWide(10)
+	if p.WideWidth() != 10 {
+		t.Fatalf("EnsureWide(10) gave width %d", p.WideWidth())
+	}
+	p.ParallelFor(func(w int, r Range) {
+		ws := p.WideSlot(w)
+		if len(ws) != 10 {
+			t.Errorf("worker %d wide row has %d entries, want 10", w, len(ws))
+		}
+		for i := range ws {
+			ws[i] = 1
+		}
+	})
+	if got := p.SumWide(9); got != float64(p.Workers()) {
+		t.Fatalf("SumWide(9) = %g, want %d", got, p.Workers())
+	}
+}
+
+// TestNewPoolStripe covers the stripe-bounded constructor used by the
+// distributed pool's local crews: global indices, full coverage of
+// [lo, hi), nothing outside it.
+func TestNewPoolStripe(t *testing.T) {
+	weights := make([]int, 100)
+	for i := range weights {
+		weights[i] = 1 + i%3
+	}
+	p := NewPoolStripe(3, weights, 40, 90)
+	defer p.Close()
+	ranges := p.Ranges()
+	if lo := ranges[0].Lo; lo != 40 {
+		t.Fatalf("first range starts at %d, want 40", lo)
+	}
+	if hi := ranges[len(ranges)-1].Hi; hi != 90 {
+		t.Fatalf("last range ends at %d, want 90", hi)
+	}
+	for i := 1; i < len(ranges); i++ {
+		if ranges[i].Lo != ranges[i-1].Hi {
+			t.Fatalf("ranges not contiguous: %v", ranges)
+		}
+	}
+	// Jobs must cover exactly the stripe.
+	covered := make([]bool, 100)
+	p.ParallelFor(func(w int, r Range) {
+		for k := r.Lo; k < r.Hi; k++ {
+			covered[k] = true
+		}
+	})
+	for k, c := range covered {
+		if inStripe := k >= 40 && k < 90; c != inStripe {
+			t.Fatalf("pattern %d covered=%v, want %v", k, c, inStripe)
+		}
+	}
+	// Workers clamp to the stripe width, not the full axis.
+	narrow := NewPoolStripe(64, weights, 10, 14)
+	defer narrow.Close()
+	if narrow.Workers() != 4 {
+		t.Fatalf("narrow stripe pool has %d workers, want 4", narrow.Workers())
+	}
+}
+
+// TestAlignBoundariesStandalone pins the exported boundary snapping
+// against the Pool method it was extracted from.
+func TestAlignBoundariesStandalone(t *testing.T) {
+	weights := make([]int, 320)
+	for i := range weights {
+		weights[i] = 1
+	}
+	standalone := SplitWeighted(weights, 4)
+	AlignBoundaries(standalone, 16, nil)
+
+	p := NewPoolWeighted(4, weights)
+	defer p.Close()
+	p.AlignRanges(16)
+	viaPool := p.Ranges()
+
+	for i := range standalone {
+		if standalone[i] != viaPool[i] {
+			t.Fatalf("range %d: standalone %v vs pool %v", i, standalone[i], viaPool[i])
+		}
+	}
+	for i := 0; i < len(standalone)-1; i++ {
+		if standalone[i].Hi%16 != 0 {
+			t.Fatalf("boundary %d at %d not snapped", i, standalone[i].Hi)
+		}
+	}
+}
