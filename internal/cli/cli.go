@@ -8,6 +8,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -50,6 +52,9 @@ func Raxml(args []string, stdout io.Writer) error {
 		userTree   = fs.String("t", "", "user tree file (Newick; -f e and -f s)")
 		treesFile  = fs.String("z", "", "multi-tree file (one Newick per line; -f s)")
 
+		cpuProf = fs.String("cpuprofile", "", "write a pprof CPU profile of the analysis to this file")
+		memProf = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
+
 		fine     = fs.Bool("fine", false, "distribute the FINE grain over -R ranks: one likelihood striped over R x T workers (-f e and -f d)")
 		fineNet  = fs.String("fine-transport", "chan", "fine-grain fabric: chan (in-process ranks) or tcp (spawned worker processes)")
 		fgWorker = fs.Bool("fine-worker", false, "internal: run as a spawned fine-grain worker process")
@@ -68,6 +73,38 @@ func Raxml(args []string, stdout io.Writer) error {
 	if *alignFile == "" {
 		fs.Usage()
 		return fmt.Errorf("missing -s alignment file")
+	}
+	// Profiling hooks (-cpuprofile/-memprofile): wrap the whole analysis
+	// so kernel work — likelihood traversals, makenewz iterations, the
+	// wire codec — can be inspected with `go tool pprof` without ad-hoc
+	// patches. See docs/profiling.md.
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(stdout, "raxml: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile is sharp
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stdout, "raxml: -memprofile:", err)
+			}
+		}()
 	}
 	var modelType core.ModelType
 	switch *model {

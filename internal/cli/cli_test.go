@@ -360,3 +360,45 @@ func TestRaxmlPartitionFileErrors(t *testing.T) {
 		t.Fatalf("gap-ridden partition file accepted: %v", err)
 	}
 }
+
+// TestRaxmlProfiles: -cpuprofile/-memprofile must produce non-empty
+// pprof files alongside a normal analysis (the perf-tooling contract of
+// docs/profiling.md).
+func TestRaxmlProfiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full analysis skipped in -short mode")
+	}
+	dir := t.TempDir()
+	align := writeTestAlignment(t, dir)
+	names := make([]string, 8)
+	for i := range names {
+		names[i] = "taxon000" + string(rune('0'+i))
+	}
+	nw, err := tree.FormatNewick(tree.Caterpillar(names), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	treePath := filepath.Join(dir, "user.nwk")
+	if err := os.WriteFile(treePath, []byte(nw+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cpuPath := filepath.Join(dir, "cpu.pprof")
+	memPath := filepath.Join(dir, "mem.pprof")
+	var out bytes.Buffer
+	err = Raxml([]string{
+		"-s", align, "-n", "prof", "-f", "e", "-t", treePath, "-w", dir,
+		"-cpuprofile", cpuPath, "-memprofile", memPath,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpuPath, memPath} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}

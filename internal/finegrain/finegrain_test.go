@@ -505,3 +505,60 @@ func TestWorkerErrorSurfaces(t *testing.T) {
 	}
 	trs[0].Close()
 }
+
+// TestMakenewzWireTraffic is the distributed cost-model regression for
+// the two-phase eigen-basis makenewz: over 2 ranks, a full
+// OptimizeBranch on fresh endpoint views must cost exactly ONE
+// JobMakenewzSetup broadcast plus ONE JobMakenewzCore broadcast per
+// Newton iteration — each paired with exactly one rank-ordered
+// reduction — and the per-iteration frames must stay tiny (eigen
+// exponential factors only: no per-iteration model-sync block, no P
+// matrices). A model block on this workload ships the full weight
+// vector and would blow the per-frame bound immediately.
+func TestMakenewzWireTraffic(t *testing.T) {
+	pat := makeData(t, 12, 300, 1, 9)
+	set := makeSet(t, pat, false) // GAMMA: 4 matrix categories, 1 partition
+	err := Run(2, 2, pat, set, func(eng *likelihood.Engine, pool *Pool) error {
+		tr := tree.Random(pat.Names, rng.New(4))
+		if err := eng.AttachTree(tr); err != nil {
+			return err
+		}
+		a := 0
+		b := tr.Nodes[0].Neighbors[0]
+		eng.OptimizeBranch(a, b) // warm: tiles bound, model epoch shipped
+		_ = eng.LogLikelihood()  // leaves both endpoint views of (a, b) fresh
+		st := pool.Transport().Stats()
+		d0 := eng.DispatchCount()
+		b0 := st.Broadcasts.Load()
+		r0 := st.Reductions.Load()
+		by0 := st.BytesSent.Load()
+
+		eng.OptimizeBranch(a, b)
+		iters := eng.LastNewtonIterations()
+		if iters < 1 {
+			t.Error("no Newton iterations recorded")
+		}
+		dd := eng.DispatchCount() - d0
+		if dd != int64(1+iters) {
+			t.Errorf("OptimizeBranch cost %d dispatches, want 1 setup + %d iterations", dd, iters)
+		}
+		if got := st.Broadcasts.Load() - b0; got != dd {
+			t.Errorf("%d broadcasts for %d dispatches (extra wire traffic per barrier)", got, dd)
+		}
+		if got := st.Reductions.Load() - r0; got != dd {
+			t.Errorf("%d reductions for %d dispatches", got, dd)
+		}
+		// Per-frame average over setup + iterations. The core frame is
+		// header + 3×(4·nCats) float64 ≈ 420 bytes here; a model-sync
+		// block alone would add >1200 bytes of weights.
+		frames := dd * int64(pool.Transport().Size()-1)
+		perFrame := float64(st.BytesSent.Load()-by0) / float64(frames)
+		if perFrame > 600 {
+			t.Errorf("average makenewz frame is %.0f bytes; iterations must ship only eigen factors", perFrame)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -289,6 +289,49 @@ func (m *Model) PDeriv(t, rate float64, p, d1, d2 *[4][4]float64) {
 // Eigenvalues returns the eigenvalues of the normalized Q (diagnostics).
 func (m *Model) Eigenvalues() [4]float64 { return m.eval }
 
+// SumtableBasis returns the two eigen-projection matrices of the
+// makenewz sumtable decomposition. Writing P(t·r) through the
+// eigensystem, the per-category likelihood across a branch factors as
+//
+//	Σ_s π_s·a_s·(P(t·r)·b)_s  =  Σ_k exp(λ_k·t·r) · (aᵀ·left)_k · (right·b)_k
+//
+// for any endpoint CLVs a and b: left[s][k] = π_s·evec[s][k] is the
+// π-weighted right-eigenvector matrix applied to the first endpoint,
+// right = evec⁻¹ applies to the second. The k-indexed products
+// (aᵀ·left)_k·(right·b)_k are branch-length independent — they are the
+// 4-entry sumtable the likelihood engine precomputes once per branch,
+// after which every Newton iteration is a dot product against the
+// ExpEigen factors instead of three 4×4 matrix products.
+func (m *Model) SumtableBasis() (left, right [4][4]float64) {
+	for s := 0; s < 4; s++ {
+		for k := 0; k < 4; k++ {
+			left[s][k] = m.Freqs[s] * m.evec[s][k]
+		}
+	}
+	return left, m.inv
+}
+
+// ExpEigen fills e0 with the eigen-basis exponential factors
+// exp(λ_k·t·rate) of P(t·rate) and e1/e2 with their first and second
+// derivatives with respect to t: e1[k] = λ_k·rate·e0[k] and
+// e2[k] = (λ_k·rate)²·e0[k]. Together with SumtableBasis these are the
+// diagonal form of PDeriv: d^n/dt^n Σ_s π_s·a_s·(P·b)_s =
+// Σ_k en[k]·sumtable[k]. Negative t·rate is clamped to 0, matching P
+// and PDeriv.
+func (m *Model) ExpEigen(t, rate float64, e0, e1, e2 *[4]float64) {
+	tt := t * rate
+	if tt < 0 {
+		tt = 0
+	}
+	for k := 0; k < 4; k++ {
+		lr := m.eval[k] * rate
+		ex := math.Exp(m.eval[k] * tt)
+		e0[k] = ex
+		e1[k] = lr * ex
+		e2[k] = lr * lr * ex
+	}
+}
+
 // Clone returns an independent copy of the model.
 func (m *Model) Clone() *Model {
 	c := *m

@@ -492,3 +492,71 @@ func BenchmarkDecompose(b *testing.B) {
 		}
 	}
 }
+
+// TestSumtableBasisDiagonalizesP verifies the algebraic identity the
+// eigen-basis makenewz kernels rely on: for arbitrary CLV-like vectors
+// a and b, the π-weighted quadratic form through P(t·r) — and through
+// each of PDeriv's derivative matrices — equals the diagonal form
+// Σ_k factor[k]·(aᵀ·left)_k·(right·b)_k with the SumtableBasis
+// projections and the ExpEigen factors.
+func TestSumtableBasisDiagonalizesP(t *testing.T) {
+	m, err := New([6]float64{1.3, 2.9, 0.55, 0.8, 2.2, 1}, [4]float64{0.31, 0.19, 0.27, 0.23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := [4]float64{0.9, 0.02, 0.4, 0.13}
+	b := [4]float64{0.05, 0.88, 0.21, 0.6}
+	left, right := m.SumtableBasis()
+	var table [4]float64
+	for k := 0; k < 4; k++ {
+		lz, rz := 0.0, 0.0
+		for s := 0; s < 4; s++ {
+			lz += left[s][k] * a[s]
+			rz += right[k][s] * b[s]
+		}
+		table[k] = lz * rz
+	}
+	for _, tv := range []float64{1e-8, 1e-3, 0.1, 0.9, 4.0} {
+		for _, rate := range []float64{0.25, 1, 3.7} {
+			var p, d1, d2 [4][4]float64
+			m.PDeriv(tv, rate, &p, &d1, &d2)
+			quad := func(mat *[4][4]float64) float64 {
+				sum := 0.0
+				for s := 0; s < 4; s++ {
+					for j := 0; j < 4; j++ {
+						sum += m.Freqs[s] * a[s] * mat[s][j] * b[j]
+					}
+				}
+				return sum
+			}
+			var e0, e1, e2 [4]float64
+			m.ExpEigen(tv, rate, &e0, &e1, &e2)
+			diag := func(f *[4]float64) float64 {
+				return f[0]*table[0] + f[1]*table[1] + f[2]*table[2] + f[3]*table[3]
+			}
+			checks := []struct {
+				name        string
+				matrix, eig float64
+			}{
+				{"P", quad(&p), diag(&e0)},
+				{"dP", quad(&d1), diag(&e1)},
+				{"d2P", quad(&d2), diag(&e2)},
+			}
+			for _, c := range checks {
+				d := math.Abs(c.matrix - c.eig)
+				if d > 1e-12*(1+math.Abs(c.matrix)) {
+					t.Errorf("t=%g rate=%g %s: matrix form %.15g vs eigen form %.15g",
+						tv, rate, c.name, c.matrix, c.eig)
+				}
+			}
+		}
+	}
+	// The left projection is exactly the π-weighted eigenvector matrix.
+	for s := 0; s < 4; s++ {
+		for k := 0; k < 4; k++ {
+			if left[s][k] != m.Freqs[s]*m.evec[s][k] {
+				t.Fatalf("left[%d][%d] != π_s·evec", s, k)
+			}
+		}
+	}
+}

@@ -258,6 +258,28 @@ type Engine struct {
 	// statistics
 	newviewCount int64
 	evalCount    int64
+
+	// Eigen-basis makenewz state (makenewz.go). sumtable is the
+	// persistent worker-owned sumtable arena: ONE tile-shaped buffer
+	// (tileFloats float64, the same per-partition padded segments as a
+	// CLV tile) holding the per-(site, category) 4-entry eigen-basis
+	// sumtables of the branch being Newton-optimized; each worker fills
+	// and reads only its stripe. mkzExp/mkzD1/mkzD2 are the per-
+	// (partition, category) exponential factors of the current iterate
+	// (4 float64 each at [(pOff+c)*4]), the only thing a distributed
+	// dispatcher ships per Newton iteration. lastNewtonIters records the
+	// iteration count of the most recent OptimizeBranch (dispatch-
+	// accounting tests); legacyMakenewz routes OptimizeBranch through
+	// the full-matrix JobMakenewz kernel (golden tests, ablation).
+	sumtable             []float64
+	mkzExp, mkzD1, mkzD2 []float64
+	lastNewtonIters      int
+	legacyMakenewz       bool
+
+	// edgeSweep/sweepStack are the reused buffers of the DFS edge
+	// ordering OptimizeAllBranches sweeps in (optimize.go).
+	edgeSweep  []tree.Edge
+	sweepStack [][2]int
 }
 
 // Config carries the optional knobs of New.
@@ -442,14 +464,17 @@ func (e *Engine) Counts() (newviews, evals int64) {
 }
 
 // MemoryBytes returns the engine's current likelihood-buffer footprint:
-// the CLV arena, its scaling counters and the tip vectors. Section 7
+// the CLV arena, its scaling counters, the tip vectors and the makenewz
+// sumtable arena (one extra tile once branch-length optimization has
+// run). Section 7
 // of the paper predicts that growing pattern counts will force one rank
 // to own the memory of many cores ("perhaps even the entire node");
 // this accessor quantifies the per-rank footprint driving that
 // prediction. Because the arena is one flat allocation, the figure is
 // exact, not a sum over stray slices.
 func (e *Engine) MemoryBytes() int64 {
-	return int64(len(e.arena))*8 + int64(len(e.scaleArena))*4 + int64(len(e.tipFlat))*8
+	return int64(len(e.arena))*8 + int64(len(e.scaleArena))*4 +
+		int64(len(e.tipFlat))*8 + int64(len(e.sumtable))*8
 }
 
 // EstimateMemoryBytes predicts the fully populated CLV-arena footprint

@@ -638,7 +638,12 @@ func (e *Engine) derivativesChunk(ps *partState, lo, hi int) (d1, d2 float64) {
 // branchDerivatives posts one JobMakenewz over fresh endpoint views
 // (a, slotA) and (b, slotB) at branch length t and returns the reduced
 // derivatives. Callers must have refreshed the views (refreshViews);
-// each Newton iteration then costs exactly one barrier crossing.
+// each Newton iteration then costs exactly one barrier crossing. This
+// is the LEGACY full-matrix kernel — per-iteration PDeriv fills on the
+// master, three 4×4 matrix products per (site, category) in the
+// workers — kept as the golden reference behind SetLegacyMakenewz;
+// production branch optimization runs the eigen-basis sumtable path
+// (makenewz.go).
 func (e *Engine) branchDerivatives(a, slotA, b, slotB int, t float64) (d1, d2 float64) {
 	e.ensureP()
 	for i := range e.parts {

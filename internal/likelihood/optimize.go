@@ -1,6 +1,7 @@
 package likelihood
 
 import (
+	"fmt"
 	"math"
 
 	"raxml/internal/gtr"
@@ -26,10 +27,13 @@ const (
 // OptimizeBranch optimizes the length of edge (a, b) by Newton–Raphson
 // on d(lnL)/dt with a bisection-style fallback when the second
 // derivative is not usable. Returns the optimized length. The endpoint
-// views are refreshed once with a single batched traversal job; each
-// Newton iteration then costs one JobMakenewz dispatch. Under linked
-// branch lengths the per-partition derivative partials simply add, so
-// the partitioned iteration is the same loop.
+// views are refreshed once with a single batched traversal job and
+// projected into the model eigenbasis with one JobMakenewzSetup
+// (makenewz.go); each Newton iteration then costs one JobMakenewzCore
+// dispatch — one barrier crossing, with only the eigen exponential
+// factors recomputed on the master. Under linked branch lengths the
+// per-partition derivative partials simply add, so the partitioned
+// iteration is the same loop.
 func (e *Engine) OptimizeBranch(a, b int) float64 {
 	e.ensureArena()
 	slotA := e.slotOf(a, b)
@@ -37,8 +41,18 @@ func (e *Engine) OptimizeBranch(a, b int) float64 {
 	e.refreshViews([2]int{a, slotA}, [2]int{b, slotB})
 
 	t := e.tree.EdgeLength(a, b)
+	if !e.legacyMakenewz {
+		e.makenewzSetup(a, slotA, b, slotB, t)
+	}
+	e.lastNewtonIters = 0
 	for iter := 0; iter < newtonMaxIter; iter++ {
-		d1, d2 := e.branchDerivatives(a, slotA, b, slotB, t)
+		var d1, d2 float64
+		if e.legacyMakenewz {
+			d1, d2 = e.branchDerivatives(a, slotA, b, slotB, t)
+		} else {
+			d1, d2 = e.makenewzCore(t)
+		}
+		e.lastNewtonIters++
 		var next float64
 		if d2 < -1e-300 {
 			next = t - d1/d2
@@ -74,13 +88,18 @@ func (e *Engine) OptimizeBranch(a, b int) float64 {
 // OptimizeAllBranches sweeps every edge with OptimizeBranch up to
 // `rounds` times, stopping early when a full sweep improves the
 // log-likelihood by less than tol. It returns the final log-likelihood.
+// The sweep visits edges in depth-first discovery order (edgesDFS), not
+// node-id order: consecutive edges share a node, so after one branch's
+// SetEdgeLength invalidation the next branch's endpoint views are at
+// most one hop stale and every refreshViews descriptor stays O(1)
+// entries — RAxML's smoothTree recursion, flattened.
 func (e *Engine) OptimizeAllBranches(rounds int, tol float64) float64 {
 	if rounds < 1 {
 		rounds = 1
 	}
 	prev := e.LogLikelihood()
 	for round := 0; round < rounds; round++ {
-		for _, edge := range e.tree.Edges() {
+		for _, edge := range e.edgesDFS() {
 			e.OptimizeBranch(edge.A, edge.B)
 		}
 		cur := e.LogLikelihood()
@@ -90,6 +109,61 @@ func (e *Engine) OptimizeAllBranches(rounds int, tol float64) float64 {
 		prev = cur
 	}
 	return prev
+}
+
+// edgesDFS fills the reused sweep buffer with the attached tree's edges
+// in depth-first discovery order from taxon 0 (each edge emitted when
+// its far node is first reached, oriented parent→child). Allocation-
+// free after the first call at a given tree size.
+func (e *Engine) edgesDFS() []tree.Edge {
+	e.edgeSweep = e.edgeSweep[:0]
+	e.sweepStack = append(e.sweepStack[:0], [2]int{0, -1})
+	for len(e.sweepStack) > 0 {
+		top := e.sweepStack[len(e.sweepStack)-1]
+		e.sweepStack = e.sweepStack[:len(e.sweepStack)-1]
+		node, parent := top[0], top[1]
+		if parent >= 0 {
+			e.edgeSweep = append(e.edgeSweep, tree.Edge{A: parent, B: node})
+		}
+		n := &e.tree.Nodes[node]
+		for s := len(n.Neighbors) - 1; s >= 0; s-- {
+			if v := n.Neighbors[s]; v >= 0 && v != parent {
+				e.sweepStack = append(e.sweepStack, [2]int{v, node})
+			}
+		}
+	}
+	return e.edgeSweep
+}
+
+// OptimizeJunction Newton-optimizes every branch incident to `center` —
+// the local smoothing RAxML applies around a fresh SPR insertion point.
+// All endpoint views the sweep needs (the three views out of `center`
+// and the three views back at it) are refreshed with ONE combined
+// traversal descriptor up front, so the per-branch refreshes inside
+// OptimizeBranch see at most the one view the previous branch's length
+// change invalidated. Returns the number of branches optimized.
+func (e *Engine) OptimizeJunction(center int) int {
+	e.ensureArena()
+	n := &e.tree.Nodes[center]
+	var views [6][2]int
+	nv := 0
+	for s, v := range n.Neighbors {
+		if v < 0 {
+			continue
+		}
+		views[nv] = [2]int{center, s}
+		views[nv+1] = [2]int{v, e.slotOf(v, center)}
+		nv += 2
+	}
+	e.refreshViews(views[:nv]...)
+	done := 0
+	for _, v := range n.Neighbors {
+		if v >= 0 {
+			e.OptimizeBranch(center, v)
+			done++
+		}
+	}
+	return done
 }
 
 // goldenSection maximizes f over [lo, hi] to within xtol and returns the
@@ -167,7 +241,7 @@ func (e *Engine) OptimizeModel(cfg ModelOptConfig) float64 {
 					rates[ri] = math.Exp(best)
 					if err := ps.model.SetRates(rates); err != nil {
 						rates[ri] = orig
-						_ = ps.model.SetRates(rates)
+						restoreRates(ps.model, rates, ps.name, err)
 					}
 					e.InvalidateAll()
 				}
@@ -197,6 +271,20 @@ func (e *Engine) OptimizeModel(cfg ModelOptConfig) float64 {
 		cur = next
 	}
 	return cur
+}
+
+// restoreRates reinstalls a known-good exchangeability vector after a
+// rejected optimization candidate. A failure here is not a soft
+// optimization miss: the model's eigensystem no longer matches any
+// valid parameterization, and silently continuing (the old behaviour
+// was `_ = ps.model.SetRates(rates)`) would corrupt every subsequent
+// likelihood the engine computes. Panic with full context instead.
+func restoreRates(m *gtr.Model, rates [6]float64, partition string, cause error) {
+	if err := m.SetRates(rates); err != nil {
+		panic(fmt.Sprintf(
+			"likelihood: OptimizeModel partition %q: candidate rejected (%v) and restoring the previous exchangeabilities failed: %v",
+			partition, cause, err))
+	}
 }
 
 // OptimizePerSiteRates implements the GTRCAT rate-category estimation:

@@ -88,7 +88,23 @@ type WireJob struct {
 	T, T2   float64
 	NViews  int
 	Views   [3]WireView
+	Factors *WireFactors
 	Entries []WireEntry
+}
+
+// WireFactors is the JobMakenewzCore payload: per MASTER partition, the
+// matrix-category count and the three eigen exponential factor blocks
+// (4 float64 per category each, for the likelihood and the first- and
+// second-derivative weights — gtr.Model.ExpEigen's output). This is the
+// *whole* per-Newton-iteration wire payload of the sumtable scheme:
+// ~100 bytes per 4-category partition, no P matrices, no model block.
+// The sumtable itself never crosses the wire — every rank computed its
+// stripe from its own CLVs during JobMakenewzSetup. A worker rank
+// copies the blocks of its own partitions into its local factor
+// scratch (applyWireFactors), re-indexed by the init-time geometry.
+type WireFactors struct {
+	Cats        []int     // per master partition matrix-category count
+	Exp, D1, D2 []float64 // concatenated blocks, 4·Cats[i] each, master order
 }
 
 // WirePartial is one rank's decoded reduction partial: the two fixed
@@ -319,6 +335,9 @@ func (e *Engine) EncodeWireJob(code threads.JobCode, includeModel, reset bool) [
 		b = appendI32(b, v.Node)
 		b = appendI32(b, v.Slot)
 	}
+	if code == threads.JobMakenewzCore {
+		b = e.appendWireFactors(b)
+	}
 	window := e.trav[e.travLo:e.travHi]
 	b = appendU32(b, uint32(len(window)))
 	for i := range window {
@@ -368,6 +387,100 @@ func (e *Engine) appendWireModel(b []byte) []byte {
 	return b
 }
 
+// appendWireFactors appends the per-iteration makenewz factor block:
+// every master partition's category count followed by its Exp/D1/D2
+// blocks from the factor scratch makenewzFactors just filled.
+func (e *Engine) appendWireFactors(b []byte) []byte {
+	b = appendU32(b, uint32(len(e.parts)))
+	for i := range e.parts {
+		ps := &e.parts[i]
+		nc := ps.rates.NumCats()
+		b = appendU32(b, uint32(nc))
+		lo, hi := ps.pOff*4, (ps.pOff+nc)*4
+		for _, v := range e.mkzExp[lo:hi] {
+			b = appendF64(b, v)
+		}
+		for _, v := range e.mkzD1[lo:hi] {
+			b = appendF64(b, v)
+		}
+		for _, v := range e.mkzD2[lo:hi] {
+			b = appendF64(b, v)
+		}
+	}
+	return b
+}
+
+func decodeWireFactors(r *wireReader) *WireFactors {
+	np := int(r.u32())
+	if r.err != nil || np < 0 || np > 1<<20 {
+		r.fail()
+		return nil
+	}
+	// Every remaining byte is at most factor payload, so len/24 bounds
+	// the total category·4 count — pre-size the blocks once instead of
+	// append-growing on the per-Newton-iteration hot path.
+	capHint := (len(r.b) - r.off) / 24
+	f := &WireFactors{
+		Cats: make([]int, np),
+		Exp:  make([]float64, 0, capHint),
+		D1:   make([]float64, 0, capHint),
+		D2:   make([]float64, 0, capHint),
+	}
+	for i := 0; i < np; i++ {
+		nc := int(r.u32())
+		if r.err != nil || nc < 0 || r.off+3*nc*4*8 > len(r.b) {
+			r.fail()
+			return f
+		}
+		f.Cats[i] = nc
+		for k := 0; k < nc*4; k++ {
+			f.Exp = append(f.Exp, r.f64())
+		}
+		for k := 0; k < nc*4; k++ {
+			f.D1 = append(f.D1, r.f64())
+		}
+		for k := 0; k < nc*4; k++ {
+			f.D2 = append(f.D2, r.f64())
+		}
+	}
+	return f
+}
+
+// applyWireFactors installs a shipped factor block into the worker
+// engine's factor scratch, re-indexing master partitions to the rank's
+// local partitions via the init-time geometry. Must run after ensureP
+// (local pOff offsets fresh).
+func (e *Engine) applyWireFactors(f *WireFactors, g *WorkerGeom) error {
+	if f == nil {
+		return fmt.Errorf("likelihood: makenewz core frame without factor block")
+	}
+	if len(f.Cats) != g.MasterParts {
+		return fmt.Errorf("likelihood: factor block has %d partitions, expected %d", len(f.Cats), g.MasterParts)
+	}
+	e.ensureFactorScratch()
+	for li := range e.parts {
+		ps := &e.parts[li]
+		mi := g.PartMap[li]
+		nc := ps.rates.NumCats()
+		if f.Cats[mi] != nc {
+			return fmt.Errorf("likelihood: factor block partition %d carries %d categories, local engine has %d",
+				mi, f.Cats[mi], nc)
+		}
+		moff := 0
+		for q := 0; q < mi; q++ {
+			moff += f.Cats[q] * 4
+		}
+		if moff+nc*4 > len(f.Exp) {
+			return fmt.Errorf("likelihood: factor block truncated at partition %d", mi)
+		}
+		lo := ps.pOff * 4
+		copy(e.mkzExp[lo:lo+nc*4], f.Exp[moff:moff+nc*4])
+		copy(e.mkzD1[lo:lo+nc*4], f.D1[moff:moff+nc*4])
+		copy(e.mkzD2[lo:lo+nc*4], f.D2[moff:moff+nc*4])
+	}
+	return nil
+}
+
 // DecodeWireJob decodes a job frame.
 func DecodeWireJob(buf []byte) (*WireJob, error) {
 	r := &wireReader{b: buf}
@@ -387,6 +500,9 @@ func DecodeWireJob(buf []byte) (*WireJob, error) {
 	}
 	for i := 0; i < j.NViews; i++ {
 		j.Views[i] = WireView{Tip: r.bool(), Taxon: r.i32(), Node: r.i32(), Slot: r.i32()}
+	}
+	if j.Code == threads.JobMakenewzCore {
+		j.Factors = decodeWireFactors(r)
 	}
 	n := int(r.u32())
 	if r.err == nil && n > 0 {
@@ -652,6 +768,15 @@ func (e *Engine) ExecWireJob(job *WireJob, g *WorkerGeom) ([]byte, error) {
 			for c := 0; c < ps.rates.NumCats(); c++ {
 				ps.model.PDeriv(job.T, ps.rates.Rates[c], &e.pEval[ps.pOff+c], &e.pD1[ps.pOff+c], &e.pD2[ps.pOff+c])
 			}
+		}
+	case threads.JobMakenewzSetup:
+		e.ensureSumtable()
+	case threads.JobMakenewzCore:
+		// The sumtable was filled by this rank's JobMakenewzSetup; only
+		// the tiny factor block arrives per iteration.
+		e.ensureSumtable()
+		if err := e.applyWireFactors(job.Factors, g); err != nil {
+			return nil, err
 		}
 	case threads.JobInsertScan:
 		e.fillP(job.T/2, e.pLeft)

@@ -139,6 +139,75 @@ func TestWireJobRoundTrip(t *testing.T) {
 	}
 }
 
+// TestWireMakenewzCoreRoundTrip pins the JobMakenewzCore frame: the
+// per-iteration factor block must round-trip exactly, carry no views
+// and no descriptor entries, and be absent from every other job code.
+// It also bounds the frame size — the whole point of the sumtable
+// scheme is that a Newton iteration ships ~12·Σcats float64, not P
+// matrices or a model block.
+func TestWireMakenewzCoreRoundTrip(t *testing.T) {
+	r := rng.New(88)
+	pat := randomPatterns(t, r, 8, 150)
+	gam, err := gtr.NewGamma(0.8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(t, pat, gtr.Default(), gam, 1)
+	tr := tree.Random(pat.Names, r)
+	if err := e.AttachTree(tr); err != nil {
+		t.Fatal(err)
+	}
+	a := 0
+	b := tr.Nodes[0].Neighbors[0]
+	slotA := e.slotOf(a, b)
+	slotB := e.slotOf(b, a)
+	e.refreshViews([2]int{a, slotA}, [2]int{b, slotB})
+	e.makenewzSetup(a, slotA, b, slotB, 0.25)
+	e.makenewzFactors(0.25)
+	e.jobT, e.jobT2 = 0.25, 0
+	e.jobNViews = 0
+	e.beginTraversal()
+
+	frame := e.EncodeWireJob(threads.JobMakenewzCore, false, false)
+	if len(frame) > 512 {
+		t.Fatalf("core frame is %d bytes; a per-iteration frame must stay matrix- and model-free", len(frame))
+	}
+	job, err := DecodeWireJob(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Code != threads.JobMakenewzCore || job.NViews != 0 || len(job.Entries) != 0 || job.Model != nil {
+		t.Fatalf("core frame decoded: code %d, %d views, %d entries, model %v",
+			job.Code, job.NViews, len(job.Entries), job.Model != nil)
+	}
+	f := job.Factors
+	if f == nil || len(f.Cats) != 1 || f.Cats[0] != 4 {
+		t.Fatalf("factor block: %+v", f)
+	}
+	for i := 0; i < 16; i++ {
+		if f.Exp[i] != e.mkzExp[i] || f.D1[i] != e.mkzD1[i] || f.D2[i] != e.mkzD2[i] {
+			t.Fatalf("factor %d mismatch: (%g,%g,%g) vs (%g,%g,%g)",
+				i, f.Exp[i], f.D1[i], f.D2[i], e.mkzExp[i], e.mkzD1[i], e.mkzD2[i])
+		}
+	}
+	for _, cut := range []int{3, len(frame) / 2, len(frame) - 1} {
+		if _, err := DecodeWireJob(frame[:cut]); err == nil {
+			t.Fatalf("truncated core frame (%d bytes) decoded without error", cut)
+		}
+	}
+
+	// The setup frame carries the two views and nothing iteration-bound.
+	e.makenewzSetup(a, slotA, b, slotB, 0.25)
+	setup := e.EncodeWireJob(threads.JobMakenewzSetup, false, false)
+	sj, err := DecodeWireJob(setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sj.NViews != 2 || sj.Factors != nil {
+		t.Fatalf("setup frame: %d views, factors %v", sj.NViews, sj.Factors != nil)
+	}
+}
+
 // TestWirePartialRoundTrip pins the partial codec.
 func TestWirePartialRoundTrip(t *testing.T) {
 	var b []byte

@@ -380,6 +380,11 @@ func (e *Engine) RunJob(code threads.JobCode, w int, r threads.Range) {
 	case threads.JobMakenewz:
 		s := e.pool.Slot(w)
 		s[0], s[1] = e.derivativesRange(r)
+	case threads.JobMakenewzSetup:
+		e.makenewzSetupRange(r)
+	case threads.JobMakenewzCore:
+		s := e.pool.Slot(w)
+		s[0], s[1] = e.makenewzCoreRange(r)
 	case threads.JobSiteLL:
 		e.siteLLRange(r)
 	case threads.JobInsertScan:

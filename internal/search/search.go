@@ -237,7 +237,7 @@ func sprPass(eng *likelihood.Engine, t *tree.Tree, radius int, epsilon float64, 
 			return improved, fmt.Errorf("search: plug failed: %v", err)
 		}
 		eng.InvalidateAll()
-		optimizeJunction(eng, t, p.Attach)
+		optimizeJunction(eng, p.Attach)
 		full := eng.LogLikelihood()
 		if full > *best+epsilon {
 			*best = full
@@ -254,13 +254,14 @@ func sprPass(eng *likelihood.Engine, t *tree.Tree, radius int, epsilon float64, 
 }
 
 // optimizeJunction Newton-optimizes the three branches around a fresh
-// insertion point — the "lazy" local optimization of RAxML's SPR.
-func optimizeJunction(eng *likelihood.Engine, t *tree.Tree, attach int) {
-	for _, v := range t.Nodes[attach].Neighbors {
-		if v >= 0 {
-			eng.OptimizeBranch(attach, v)
-		}
-	}
+// insertion point — the "lazy" local optimization of RAxML's SPR. The
+// engine's OptimizeJunction refreshes all six endpoint views of the
+// junction with ONE combined traversal descriptor before the per-branch
+// Newton loops (each of which is one sumtable setup plus one dispatch
+// per iteration), so the move evaluation stays descriptor-batched even
+// right after the full invalidation of Plug.
+func optimizeJunction(eng *likelihood.Engine, attach int) {
+	eng.OptimizeJunction(attach)
 }
 
 func adjacent(t *tree.Tree, a, b int) bool {

@@ -72,8 +72,19 @@ const (
 	// per-worker log-likelihood partial at the virtual root.
 	JobEvaluate
 	// JobMakenewz computes the first and second branch-length
-	// derivative partials (the Newton-Raphson quantities).
+	// derivative partials (the Newton-Raphson quantities) through the
+	// full transition-matrix products — the reference kernel, kept for
+	// golden tests and ablation (SetLegacyMakenewz).
 	JobMakenewz
+	// JobMakenewzSetup projects the two endpoint CLVs of a branch into
+	// the model eigenbasis and fills the worker's stripe of the
+	// per-(site, category) sumtable arena — phase 1 of the two-phase
+	// makenewz, posted once per branch.
+	JobMakenewzSetup
+	// JobMakenewzCore reduces the derivative partials by 4-term dot
+	// products of the eigen exponential factors against the sumtable —
+	// phase 2, posted once per Newton iteration.
+	JobMakenewzCore
 	// JobSiteLL fills per-pattern site log-likelihoods.
 	JobSiteLL
 	// JobInsertScan scores one lazy-SPR insertion (three-way CLV join).
