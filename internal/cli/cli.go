@@ -17,6 +17,7 @@ import (
 	"raxml/internal/core"
 	"raxml/internal/fabric"
 	"raxml/internal/figures"
+	"raxml/internal/likelihood"
 	"raxml/internal/msa"
 	"raxml/internal/seqgen"
 	"raxml/internal/support"
@@ -55,6 +56,8 @@ func Raxml(args []string, stdout io.Writer) error {
 		cpuProf = fs.String("cpuprofile", "", "write a pprof CPU profile of the analysis to this file")
 		memProf = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
 
+		kernels = fs.String("kernels", "auto", "likelihood kernels: auto (best available), scalar (portable reference) or avx2; propagated to spawned -fine workers")
+
 		fine     = fs.Bool("fine", false, "distribute the FINE grain over -R ranks: one likelihood striped over R x T workers (-f e and -f d)")
 		fineNet  = fs.String("fine-transport", "chan", "fine-grain fabric: chan (in-process ranks) or tcp (spawned worker processes)")
 		fgWorker = fs.Bool("fine-worker", false, "internal: run as a spawned fine-grain worker process")
@@ -63,6 +66,12 @@ func Raxml(args []string, stdout io.Writer) error {
 		fgRanks  = fs.Int("fine-ranks", 0, "internal: fine-grain world size")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// Bind the kernel selection before any engine exists — the worker
+	// path below builds its engines from wire frames, the master paths
+	// build theirs inside the analysis runners.
+	if err := likelihood.SetKernelMode(*kernels); err != nil {
 		return err
 	}
 	if *fgWorker {
@@ -172,11 +181,11 @@ func Raxml(args []string, stdout io.Writer) error {
 	if *fine {
 		switch *analysis {
 		case "e":
-			return withFineTransport(*fineNet, opts.Ranks, stdout, func(tr fabric.Transport) error {
+			return withFineTransport(*fineNet, opts.Ranks, *kernels, stdout, func(tr fabric.Transport) error {
 				return runEvaluateFine(pat, opts, tr, *userTree, *runName, *outDir, stdout)
 			})
 		case "d":
-			return withFineTransport(*fineNet, opts.Ranks, stdout, func(tr fabric.Transport) error {
+			return withFineTransport(*fineNet, opts.Ranks, *kernels, stdout, func(tr fabric.Transport) error {
 				return runMultiSearchFine(pat, opts, tr, *bootstraps, *runName, *outDir, stdout)
 			})
 		default:

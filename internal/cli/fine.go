@@ -38,9 +38,11 @@ func RaxmlWorker(connect string, rank, ranks int, stderr io.Writer) error {
 // withFineTransport hands fn the master-side transport of a fine run:
 // nil for the in-proc channel grid (core builds the world itself), or
 // an accepted TCP transport with ranks-1 spawned worker processes
-// serving behind it. Worker processes are reaped on return; if fn
-// failed, the transport teardown unblocks them first.
-func withFineTransport(transport string, ranks int, stdout io.Writer, fn func(tr fabric.Transport) error) error {
+// serving behind it. The kernels selection travels on each worker's
+// argv so every rank of the grid computes with the same kernel set.
+// Worker processes are reaped on return; if fn failed, the transport
+// teardown unblocks them first.
+func withFineTransport(transport string, ranks int, kernels string, stdout io.Writer, fn func(tr fabric.Transport) error) error {
 	switch transport {
 	case "", "chan":
 		return fn(nil)
@@ -67,6 +69,7 @@ func withFineTransport(transport string, ranks int, stdout io.Writer, fn func(tr
 	for r := 1; r < ranks; r++ {
 		cmd := exec.Command(exe,
 			"-fine-worker",
+			"-kernels", kernels,
 			"-fine-connect", tr.Addr(),
 			"-fine-rank", strconv.Itoa(r),
 			"-fine-ranks", strconv.Itoa(ranks),

@@ -227,8 +227,12 @@ func jacobiEigen(a [4][4]float64) ([4]float64, [4][4]float64, error) {
 }
 
 // P fills dst with the transition probability matrix P(t·rate) for branch
-// length t scaled by a rate-category multiplier. dst[i][j] = P(j|i, t).
-func (m *Model) P(t, rate float64, dst *[4][4]float64) {
+// length t scaled by a rate-category multiplier, in flat row-major form:
+// dst[i*4+j] = P(j|i, t). The flat [16]float64 layout is the one every
+// likelihood kernel consumes — a category's matrix is one contiguous
+// 128-byte block (two cache lines), indexable with constant offsets and
+// loadable as four 4-lane rows (see docs/kernels.md).
+func (m *Model) P(t, rate float64, dst *[16]float64) {
 	tt := t * rate
 	if tt < 0 {
 		tt = 0
@@ -247,15 +251,15 @@ func (m *Model) P(t, rate float64, dst *[4][4]float64) {
 			if sum < 0 {
 				sum = 0
 			}
-			dst[i][j] = sum
+			dst[i*4+j] = sum
 		}
 	}
 }
 
 // PDeriv fills p, d1 and d2 with P(t·rate) and its first and second
-// derivatives with respect to t. The Newton–Raphson branch-length
-// optimizer (likelihood.OptimizeBranch) consumes these.
-func (m *Model) PDeriv(t, rate float64, p, d1, d2 *[4][4]float64) {
+// derivatives with respect to t, in the same flat row-major layout as P.
+// The legacy full-matrix branch-length kernel consumes these.
+func (m *Model) PDeriv(t, rate float64, p, d1, d2 *[16]float64) {
 	tt := t * rate
 	if tt < 0 {
 		tt = 0
@@ -279,9 +283,9 @@ func (m *Model) PDeriv(t, rate float64, p, d1, d2 *[4][4]float64) {
 			if s < 0 {
 				s = 0
 			}
-			p[i][j] = s
-			d1[i][j] = s1
-			d2[i][j] = s2
+			p[i*4+j] = s
+			d1[i*4+j] = s1
+			d2[i*4+j] = s2
 		}
 	}
 }
@@ -295,20 +299,22 @@ func (m *Model) Eigenvalues() [4]float64 { return m.eval }
 //
 //	Σ_s π_s·a_s·(P(t·r)·b)_s  =  Σ_k exp(λ_k·t·r) · (aᵀ·left)_k · (right·b)_k
 //
-// for any endpoint CLVs a and b: left[s][k] = π_s·evec[s][k] is the
+// for any endpoint CLVs a and b: left[s*4+k] = π_s·evec[s][k] is the
 // π-weighted right-eigenvector matrix applied to the first endpoint,
-// right = evec⁻¹ applies to the second. The k-indexed products
-// (aᵀ·left)_k·(right·b)_k are branch-length independent — they are the
-// 4-entry sumtable the likelihood engine precomputes once per branch,
-// after which every Newton iteration is a dot product against the
-// ExpEigen factors instead of three 4×4 matrix products.
-func (m *Model) SumtableBasis() (left, right [4][4]float64) {
+// right[k*4+j] = (evec⁻¹)[k][j] applies to the second (both flat
+// row-major, like P). The k-indexed products (aᵀ·left)_k·(right·b)_k
+// are branch-length independent — they are the 4-entry sumtable the
+// likelihood engine precomputes once per branch, after which every
+// Newton iteration is a dot product against the ExpEigen factors
+// instead of three 4×4 matrix products.
+func (m *Model) SumtableBasis() (left, right [16]float64) {
 	for s := 0; s < 4; s++ {
 		for k := 0; k < 4; k++ {
-			left[s][k] = m.Freqs[s] * m.evec[s][k]
+			left[s*4+k] = m.Freqs[s] * m.evec[s][k]
+			right[k*4+s] = m.inv[k][s]
 		}
 	}
-	return left, m.inv
+	return left, right
 }
 
 // ExpEigen fills e0 with the eigen-basis exponential factors

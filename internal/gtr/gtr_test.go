@@ -80,15 +80,15 @@ func TestPRowStochastic(t *testing.T) {
 		m := randomModel(r)
 		tt := float64(tRaw) / 6553.5 // [0, 10]
 		rate := 0.01 + float64(rateRaw)/65535*5
-		var p [4][4]float64
+		var p [16]float64
 		m.P(tt, rate, &p)
 		for i := 0; i < 4; i++ {
 			row := 0.0
 			for j := 0; j < 4; j++ {
-				if p[i][j] < -1e-12 || p[i][j] > 1+1e-9 {
+				if p[i*4+j] < -1e-12 || p[i*4+j] > 1+1e-9 {
 					return false
 				}
-				row += p[i][j]
+				row += p[i*4+j]
 			}
 			if math.Abs(row-1) > 1e-8 {
 				return false
@@ -103,7 +103,7 @@ func TestPRowStochastic(t *testing.T) {
 
 func TestPZeroTimeIsIdentity(t *testing.T) {
 	m := randomModel(rng.New(3))
-	var p [4][4]float64
+	var p [16]float64
 	m.P(0, 1, &p)
 	for i := 0; i < 4; i++ {
 		for j := 0; j < 4; j++ {
@@ -111,8 +111,8 @@ func TestPZeroTimeIsIdentity(t *testing.T) {
 			if i == j {
 				want = 1
 			}
-			if math.Abs(p[i][j]-want) > 1e-10 {
-				t.Fatalf("P(0)[%d][%d] = %g, want %g", i, j, p[i][j], want)
+			if math.Abs(p[i*4+j]-want) > 1e-10 {
+				t.Fatalf("P(0)[%d][%d] = %g, want %g", i, j, p[i*4+j], want)
 			}
 		}
 	}
@@ -120,12 +120,12 @@ func TestPZeroTimeIsIdentity(t *testing.T) {
 
 func TestPLongTimeReachesStationarity(t *testing.T) {
 	m := randomModel(rng.New(4))
-	var p [4][4]float64
+	var p [16]float64
 	m.P(500, 1, &p)
 	for i := 0; i < 4; i++ {
 		for j := 0; j < 4; j++ {
-			if math.Abs(p[i][j]-m.Freqs[j]) > 1e-6 {
-				t.Fatalf("P(inf)[%d][%d] = %g, want stationary %g", i, j, p[i][j], m.Freqs[j])
+			if math.Abs(p[i*4+j]-m.Freqs[j]) > 1e-6 {
+				t.Fatalf("P(inf)[%d][%d] = %g, want stationary %g", i, j, p[i*4+j], m.Freqs[j])
 			}
 		}
 	}
@@ -134,7 +134,7 @@ func TestPLongTimeReachesStationarity(t *testing.T) {
 func TestPChapmanKolmogorov(t *testing.T) {
 	// P(t1+t2) == P(t1) P(t2)
 	m := randomModel(rng.New(5))
-	var p1, p2, p12, prod [4][4]float64
+	var p1, p2, p12, prod [16]float64
 	m.P(0.3, 1, &p1)
 	m.P(0.5, 1, &p2)
 	m.P(0.8, 1, &p12)
@@ -142,16 +142,16 @@ func TestPChapmanKolmogorov(t *testing.T) {
 		for j := 0; j < 4; j++ {
 			s := 0.0
 			for k := 0; k < 4; k++ {
-				s += p1[i][k] * p2[k][j]
+				s += p1[i*4+k] * p2[k*4+j]
 			}
-			prod[i][j] = s
+			prod[i*4+j] = s
 		}
 	}
 	for i := 0; i < 4; i++ {
 		for j := 0; j < 4; j++ {
-			if math.Abs(prod[i][j]-p12[i][j]) > 1e-9 {
+			if math.Abs(prod[i*4+j]-p12[i*4+j]) > 1e-9 {
 				t.Fatalf("Chapman-Kolmogorov violated at [%d][%d]: %g vs %g",
-					i, j, prod[i][j], p12[i][j])
+					i, j, prod[i*4+j], p12[i*4+j])
 			}
 		}
 	}
@@ -160,12 +160,12 @@ func TestPChapmanKolmogorov(t *testing.T) {
 func TestDetailedBalance(t *testing.T) {
 	// Reversibility: π_i P_ij(t) == π_j P_ji(t).
 	m := randomModel(rng.New(6))
-	var p [4][4]float64
+	var p [16]float64
 	m.P(0.7, 1, &p)
 	for i := 0; i < 4; i++ {
 		for j := 0; j < 4; j++ {
-			lhs := m.Freqs[i] * p[i][j]
-			rhs := m.Freqs[j] * p[j][i]
+			lhs := m.Freqs[i] * p[i*4+j]
+			rhs := m.Freqs[j] * p[j*4+i]
 			if math.Abs(lhs-rhs) > 1e-10 {
 				t.Fatalf("detailed balance violated at (%d,%d): %g vs %g", i, j, lhs, rhs)
 			}
@@ -196,19 +196,19 @@ func TestPDerivMatchesFiniteDifference(t *testing.T) {
 	m := randomModel(rng.New(8))
 	const h = 1e-6
 	for _, tt := range []float64{0.05, 0.2, 1.0} {
-		var p, d1, d2, pPlus, pMinus [4][4]float64
+		var p, d1, d2, pPlus, pMinus [16]float64
 		m.PDeriv(tt, 1, &p, &d1, &d2)
 		m.P(tt+h, 1, &pPlus)
 		m.P(tt-h, 1, &pMinus)
 		for i := 0; i < 4; i++ {
 			for j := 0; j < 4; j++ {
-				fd1 := (pPlus[i][j] - pMinus[i][j]) / (2 * h)
-				if math.Abs(fd1-d1[i][j]) > 1e-4*(1+math.Abs(fd1)) {
-					t.Fatalf("t=%g d1[%d][%d]: analytic %g vs FD %g", tt, i, j, d1[i][j], fd1)
+				fd1 := (pPlus[i*4+j] - pMinus[i*4+j]) / (2 * h)
+				if math.Abs(fd1-d1[i*4+j]) > 1e-4*(1+math.Abs(fd1)) {
+					t.Fatalf("t=%g d1[%d][%d]: analytic %g vs FD %g", tt, i, j, d1[i*4+j], fd1)
 				}
-				fd2 := (pPlus[i][j] - 2*p[i][j] + pMinus[i][j]) / (h * h)
-				if math.Abs(fd2-d2[i][j]) > 1e-2*(1+math.Abs(fd2)) {
-					t.Fatalf("t=%g d2[%d][%d]: analytic %g vs FD %g", tt, i, j, d2[i][j], fd2)
+				fd2 := (pPlus[i*4+j] - 2*p[i*4+j] + pMinus[i*4+j]) / (h * h)
+				if math.Abs(fd2-d2[i*4+j]) > 1e-2*(1+math.Abs(fd2)) {
+					t.Fatalf("t=%g d2[%d][%d]: analytic %g vs FD %g", tt, i, j, d2[i*4+j], fd2)
 				}
 			}
 		}
@@ -219,7 +219,7 @@ func TestJukesCantorClosedForm(t *testing.T) {
 	// JC69: P_ii = 1/4 + 3/4 e^{-4t/3}, P_ij = 1/4 - 1/4 e^{-4t/3}.
 	m := JukesCantor()
 	for _, tt := range []float64{0.01, 0.1, 0.5, 2} {
-		var p [4][4]float64
+		var p [16]float64
 		m.P(tt, 1, &p)
 		e := math.Exp(-4 * tt / 3)
 		same := 0.25 + 0.75*e
@@ -230,8 +230,8 @@ func TestJukesCantorClosedForm(t *testing.T) {
 				if i == j {
 					want = same
 				}
-				if math.Abs(p[i][j]-want) > 1e-10 {
-					t.Fatalf("JC P(%g)[%d][%d] = %g, want %g", tt, i, j, p[i][j], want)
+				if math.Abs(p[i*4+j]-want) > 1e-10 {
+					t.Fatalf("JC P(%g)[%d][%d] = %g, want %g", tt, i, j, p[i*4+j], want)
 				}
 			}
 		}
@@ -402,17 +402,17 @@ func TestNormalizeCAT(t *testing.T) {
 
 func TestSetRatesRecomputes(t *testing.T) {
 	m := JukesCantor()
-	var pBefore [4][4]float64
+	var pBefore [16]float64
 	m.P(0.5, 1, &pBefore)
 	if err := m.SetRates([6]float64{4, 8, 1, 1, 8, 1}); err != nil {
 		t.Fatal(err)
 	}
-	var pAfter [4][4]float64
+	var pAfter [16]float64
 	m.P(0.5, 1, &pAfter)
 	diff := 0.0
 	for i := 0; i < 4; i++ {
 		for j := 0; j < 4; j++ {
-			diff += math.Abs(pAfter[i][j] - pBefore[i][j])
+			diff += math.Abs(pAfter[i*4+j] - pBefore[i*4+j])
 		}
 	}
 	if diff < 1e-6 {
@@ -422,7 +422,7 @@ func TestSetRatesRecomputes(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		row := 0.0
 		for j := 0; j < 4; j++ {
-			row += pAfter[i][j]
+			row += pAfter[i*4+j]
 		}
 		if math.Abs(row-1) > 1e-8 {
 			t.Fatalf("row %d sums to %g after SetRates", i, row)
@@ -466,7 +466,7 @@ func TestCloneIndependence(t *testing.T) {
 
 func BenchmarkP(b *testing.B) {
 	m := randomModel(rng.New(1))
-	var p [4][4]float64
+	var p [16]float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.P(0.1, 1.0, &p)
@@ -475,7 +475,7 @@ func BenchmarkP(b *testing.B) {
 
 func BenchmarkPDeriv(b *testing.B) {
 	m := randomModel(rng.New(1))
-	var p, d1, d2 [4][4]float64
+	var p, d1, d2 [16]float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.PDeriv(0.1, 1.0, &p, &d1, &d2)
@@ -511,20 +511,20 @@ func TestSumtableBasisDiagonalizesP(t *testing.T) {
 	for k := 0; k < 4; k++ {
 		lz, rz := 0.0, 0.0
 		for s := 0; s < 4; s++ {
-			lz += left[s][k] * a[s]
-			rz += right[k][s] * b[s]
+			lz += left[s*4+k] * a[s]
+			rz += right[k*4+s] * b[s]
 		}
 		table[k] = lz * rz
 	}
 	for _, tv := range []float64{1e-8, 1e-3, 0.1, 0.9, 4.0} {
 		for _, rate := range []float64{0.25, 1, 3.7} {
-			var p, d1, d2 [4][4]float64
+			var p, d1, d2 [16]float64
 			m.PDeriv(tv, rate, &p, &d1, &d2)
-			quad := func(mat *[4][4]float64) float64 {
+			quad := func(mat *[16]float64) float64 {
 				sum := 0.0
 				for s := 0; s < 4; s++ {
 					for j := 0; j < 4; j++ {
-						sum += m.Freqs[s] * a[s] * mat[s][j] * b[j]
+						sum += m.Freqs[s] * a[s] * mat[s*4+j] * b[j]
 					}
 				}
 				return sum
@@ -554,7 +554,7 @@ func TestSumtableBasisDiagonalizesP(t *testing.T) {
 	// The left projection is exactly the π-weighted eigenvector matrix.
 	for s := 0; s < 4; s++ {
 		for k := 0; k < 4; k++ {
-			if left[s][k] != m.Freqs[s]*m.evec[s][k] {
+			if left[s*4+k] != m.Freqs[s]*m.evec[s][k] {
 				t.Fatalf("left[%d][%d] != π_s·evec", s, k)
 			}
 		}

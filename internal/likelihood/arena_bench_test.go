@@ -1,6 +1,7 @@
 package likelihood
 
 import (
+	"runtime"
 	"testing"
 
 	"raxml/internal/gtr"
@@ -69,6 +70,9 @@ func BenchmarkNewviewArena(b *testing.B) {
 	for _, tc := range cases {
 		for _, workers := range []int{1, 4} {
 			b.Run(tc.name+"/workers="+string(rune('0'+workers)), func(b *testing.B) {
+				if workers > runtime.NumCPU() {
+					b.Skipf("%d workers oversubscribe %d CPUs: timings would measure the scheduler", workers, runtime.NumCPU())
+				}
 				pool := threads.NewPool(workers, pat.NumPatterns())
 				defer pool.Close()
 				e, err := New(pat, gtr.Default(), tc.rates(), Config{Pool: pool})
@@ -149,6 +153,9 @@ func BenchmarkNewviewPartitioned(b *testing.B) {
 		tr := tree.Random(pat.Names, rng.New(3))
 		for _, workers := range []int{1, 4} {
 			b.Run(shape.name+"/workers="+string(rune('0'+workers)), func(b *testing.B) {
+				if workers > runtime.NumCPU() {
+					b.Skipf("%d workers oversubscribe %d CPUs: timings would measure the scheduler", workers, runtime.NumCPU())
+				}
 				pool := threads.NewPoolPartitioned(workers, pat.Weights, pat.PartStarts(), 16)
 				defer pool.Close()
 				set := &gtr.PartitionSet{}

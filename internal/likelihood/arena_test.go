@@ -72,14 +72,14 @@ func refLogLikelihood(tr *tree.Tree, pat *msa.Patterns, model *gtr.Model, rates 
 			return view{vec: clv[idx], scale: scale[idx], stride: nCat * 4}
 		}
 		var ch [2]view
-		var pm [2][][4][4]float64
+		var pm [2][][16]float64
 		j := 0
 		for s, v := range n.Neighbors {
 			if s == slot || v < 0 {
 				continue
 			}
 			ch[j] = compute(v, slotOf(v, node))
-			pm[j] = make([][4][4]float64, rates.NumCats())
+			pm[j] = make([][16]float64, rates.NumCats())
 			for c := 0; c < rates.NumCats(); c++ {
 				model.P(n.Lengths[s], rates.Rates[c], &pm[j][c])
 			}
@@ -115,8 +115,8 @@ func refLogLikelihood(tr *tree.Tree, pat *msa.Patterns, model *gtr.Model, rates 
 				l0, l1, l2, l3 := ch[0].vec[lBase], ch[0].vec[lBase+1], ch[0].vec[lBase+2], ch[0].vec[lBase+3]
 				r0, r1, r2, r3 := ch[1].vec[rBase], ch[1].vec[rBase+1], ch[1].vec[rBase+2], ch[1].vec[rBase+3]
 				for s := 0; s < 4; s++ {
-					ls := pl[s][0]*l0 + pl[s][1]*l1 + pl[s][2]*l2 + pl[s][3]*l3
-					rs := pr[s][0]*r0 + pr[s][1]*r1 + pr[s][2]*r2 + pr[s][3]*r3
+					ls := pl[s*4+0]*l0 + pl[s*4+1]*l1 + pl[s*4+2]*l2 + pl[s*4+3]*l3
+					rs := pr[s*4+0]*r0 + pr[s*4+1]*r1 + pr[s*4+2]*r2 + pr[s*4+3]*r3
 					v := ls * rs
 					dst[base+cat*4+s] = v
 					if v > maxEntry {
@@ -141,7 +141,7 @@ func refLogLikelihood(tr *tree.Tree, pat *msa.Patterns, model *gtr.Model, rates 
 	b := tr.Nodes[0].Neighbors[0]
 	va := compute(a, slotOf(a, b))
 	vb := compute(b, slotOf(b, a))
-	pEval := make([][4][4]float64, rates.NumCats())
+	pEval := make([][16]float64, rates.NumCats())
 	for c := 0; c < rates.NumCats(); c++ {
 		model.P(tr.EdgeLength(a, b), rates.Rates[c], &pEval[c])
 	}
@@ -169,8 +169,8 @@ func refLogLikelihood(tr *tree.Tree, pat *msa.Patterns, model *gtr.Model, rates 
 				if as == 0 {
 					continue
 				}
-				dot := p[s][0]*vb.vec[bBase] + p[s][1]*vb.vec[bBase+1] +
-					p[s][2]*vb.vec[bBase+2] + p[s][3]*vb.vec[bBase+3]
+				dot := p[s*4+0]*vb.vec[bBase] + p[s*4+1]*vb.vec[bBase+1] +
+					p[s*4+2]*vb.vec[bBase+2] + p[s*4+3]*vb.vec[bBase+3]
 				catL += model.Freqs[s] * as * dot
 			}
 			if rates.IsCAT() {

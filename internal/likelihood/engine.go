@@ -83,7 +83,10 @@ const noTile = int32(-1)
 // buffer (2 CAT patterns/line, 1+ GAMMA patterns/line, 16 int32 scale
 // counters/line), and partition segments are padded to the same lines,
 // so snapping relative to partition starts keeps workers off shared
-// lines in both arenas.
+// lines in both arenas. It is also a whole number of SIMD lane blocks:
+// a worker's chunk always holds complete 4-lane pattern blocks, so the
+// dispatched vector kernels (kernels_dispatch.go) stream [16]float64
+// blocks without ever splitting a pattern across workers.
 const stripeQuantum = 16
 
 // Dispatcher is the fine-grained execution substrate the engine posts
@@ -163,6 +166,11 @@ type Engine struct {
 	isCAT     bool // uniform across partitions (gtr.PartitionSet.Validate)
 	totalCats int  // Σ per-partition matrix category counts (ensureP)
 
+	// kern is the kernel implementation set bound at construction
+	// (kernels_dispatch.go): scalar reference or AVX2 assembly for the
+	// two hottest loops, selected by the process-wide SetKernelMode.
+	kern *kernelTable
+
 	// The flat CLV arena. arena holds nTiles tiles of tileFloats
 	// float64 each; scaleArena holds the matching rescaling counters,
 	// tileScale int32 per tile. A tile is the concatenation of
@@ -201,9 +209,9 @@ type Engine struct {
 	// pRight serve the insertion-scan kernel; pEval/pD1/pD2 the
 	// evaluate and makenewz kernels. Per-entry newview matrices live in
 	// the traversal arena.
-	pLeft, pRight []([4][4]float64)
-	pEval         [][4][4]float64
-	pD1, pD2      [][4][4]float64
+	pLeft, pRight [][16]float64
+	pEval         [][16]float64
+	pD1, pD2      [][16]float64
 
 	// traversal descriptor state (see traversal.go): the ordered list
 	// of stale directed CLVs posted to the pool as one job, its
@@ -211,7 +219,7 @@ type Engine struct {
 	// window workers execute. All buffers are reused across jobs for
 	// the engine's whole life.
 	trav            []travEntry
-	travP           [][4][4]float64
+	travP           [][16]float64
 	travLUT         []float64
 	travLo, travHi  int
 	perNodeDispatch bool
@@ -337,6 +345,7 @@ func build(pat *msa.Patterns, spans []msa.PartRange, set *gtr.PartitionSet, cfg 
 		nPatterns: pat.NumPatterns(),
 		isCAT:     set.IsCAT(),
 		nCat:      set.ClvCats(),
+		kern:      activeKernelTable(),
 	}
 	lo := 0
 	for i, r := range spans {
@@ -673,11 +682,11 @@ func (e *Engine) ensureP() {
 	}
 	e.totalCats = total
 	if cap(e.pEval) < total {
-		e.pLeft = make([][4][4]float64, total)
-		e.pRight = make([][4][4]float64, total)
-		e.pEval = make([][4][4]float64, total)
-		e.pD1 = make([][4][4]float64, total)
-		e.pD2 = make([][4][4]float64, total)
+		e.pLeft = make([][16]float64, total)
+		e.pRight = make([][16]float64, total)
+		e.pEval = make([][16]float64, total)
+		e.pD1 = make([][16]float64, total)
+		e.pD2 = make([][16]float64, total)
 		return
 	}
 	e.pLeft = e.pLeft[:total]
@@ -692,7 +701,7 @@ func (e *Engine) ensureP() {
 // pRight or pEval), at the partitions' pOff offsets. Branch lengths are
 // linked across partitions; the matrices still differ because every
 // partition has its own model and category rates.
-func (e *Engine) fillP(t float64, dst [][4][4]float64) {
+func (e *Engine) fillP(t float64, dst [][16]float64) {
 	for i := range e.parts {
 		ps := &e.parts[i]
 		for c := 0; c < ps.rates.NumCats(); c++ {

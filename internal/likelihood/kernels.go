@@ -3,6 +3,7 @@ package likelihood
 import (
 	"math"
 
+	"raxml/internal/msa"
 	"raxml/internal/threads"
 )
 
@@ -26,15 +27,40 @@ import (
 // relative) pattern indices. A single-partition engine takes this path
 // with one chunk per range and zero extra per-pattern work.
 //
+// SIMD shape. All kernels are written in 4-lane form against the flat
+// [16]float64 transition matrices (docs/kernels.md): per pattern the
+// loop materializes one *[4]float64 lane block and one *[16]float64
+// matrix via slice-to-array-pointer casts — a single bounds check each —
+// and every 4-term dot product is associated pairwise,
+//
+//	(p0·c0 + p1·c1) + (p2·c2 + p3·c3)
+//
+// which is both the association the compiler can keep in two
+// independent dependency chains and exactly the reduction tree of the
+// AVX2 VHADDPD path (kernels_amd64.s), so the scalar and asm kernels
+// agree bit for bit. The rescale test is a short-circuit comparison
+// chain — `small && v < threshold && …` — whose first live lane kills
+// the rest of the chain, so the common case costs one predictable
+// branch per category (a running-maximum formulation costs four
+// data-dependent branches and mispredicts constantly; the AVX2 path
+// reaches the same decision branchlessly via VMAXPD and one compare —
+// "all lanes below threshold" ⟺ "max lane below threshold"). newview
+// processes every pattern unconditionally: the weight-zero skip is
+// lifted out of the newview inner loops entirely (zero-weight CLV lanes
+// are computed and ignored downstream — cheaper than a per-pattern
+// branch), while the log-space reduction kernels keep it (they would
+// otherwise pay a log per dead pattern).
+//
 // The newview kernels are written against the flat CLV arena: each
 // worker materializes its contiguous pattern stripe of the destination
-// and child tile segments once per (entry, chunk) (a three-index
-// subslice of the arena, so the compiler can drop bounds checks inside
-// the loop), and the child-kind combinations (tip x tip, tip x inner,
-// inner x inner) and the two rate treatments are specialized so the
-// inner loop carries no per-pattern branches beyond the weight skip.
-// Tip children cost four lookup-table loads instead of a 4x4
-// matrix-vector product.
+// and child tile segments once per (entry, chunk), and the child-kind
+// combinations (tip x tip, tip x inner, inner x inner) and the two rate
+// treatments are specialized so the inner loop carries no per-pattern
+// branches beyond the rescale test. Tip children cost four lookup-table
+// loads instead of a 4x4 matrix-vector product. The hottest shape —
+// GAMMA inner×inner at nCat == 4 — and the makenewz core loop go
+// through the engine's kernel table (kernels_dispatch.go), where an
+// AVX2 assembly implementation can replace the scalar reference.
 
 // childView describes one input of an evaluate-side kernel: either a
 // tip (flat 4-wide vector over global patterns, no scaling) or an
@@ -62,6 +88,30 @@ func (e *Engine) viewOf(node, slot int) childView {
 		stride: e.nCat * 4,
 	}
 }
+
+// viewCoeffs returns the affine coefficients of a view's lane-block
+// offset: the base of pattern k, category c is a0 + k*aStep + c*aCat.
+// Tips are flat 4-wide over global patterns (no category axis);
+// internal CLVs live in the partition's tile segment. Hoisting the
+// tip/inner selection to three ints removes the per-(pattern, category)
+// branch from every evaluate-side inner loop.
+func viewCoeffs(v *childView, ps *partState) (a0, aStep, aCat int) {
+	if v.tip {
+		return 0, 4, 0
+	}
+	return ps.fOff - ps.lo*v.stride, v.stride, 4
+}
+
+// The 4-lane P·c product against one flat matrix block is spelled out
+// inline at every hot call site rather than through a helper: its cost
+// (16 muls + 12 adds) is over the compiler's inline budget, and a real
+// call per (pattern, category) would dominate the loop. Every expansion
+// uses the same pairwise association
+//
+//	v_r = (p[4r]*c0 + p[4r+1]*c1) + (p[4r+2]*c2 + p[4r+3]*c3)
+//
+// which is exactly the VHADDPD reduction tree of the AVX2 path, so the
+// scalar and assembly kernels round identically at every step.
 
 // newviewRange combines the CLVs of one traversal entry's two children
 // across their branches into the entry's directed CLV, over one worker's
@@ -92,11 +142,11 @@ func (e *Engine) newviewRange(ent *travEntry, r threads.Range) {
 // pattern's category within the partition's matrix block.
 func (e *Engine) newviewChunkCAT(ent *travEntry, ps *partState, lo, hi int) {
 	l0, l1 := lo-ps.lo, hi-ps.lo // segment-local pattern window
+	n := l1 - l0
 	dBase := ent.dstOff + ps.fOff
 	dst := e.arena[dBase+l0*4 : dBase+l1*4 : dBase+l1*4]
 	sBase := ent.dstScaleOff + ps.sOff
 	dsc := e.scaleArena[sBase+l0 : sBase+l1 : sBase+l1]
-	w := e.weights[lo:hi]
 	pcat := ps.rates.PatternCategory[l0:l1]
 	npc := ps.rates.NumCats()
 	pL := ent.pL[ps.pOff : ps.pOff+npc]
@@ -109,15 +159,10 @@ func (e *Engine) newviewChunkCAT(ent *travEntry, ps *partState, lo, hi int) {
 		codesR := e.pat.Data[right.taxon][lo:hi]
 		lutL := ent.lutL[64*ps.pOff : 64*(ps.pOff+npc)]
 		lutR := ent.lutR[64*ps.pOff : 64*(ps.pOff+npc)]
-		for k := 0; k < len(w); k++ {
-			if w[k] == 0 {
-				continue
-			}
+		for k := 0; k < n; k++ {
 			pc := pcat[k]
-			lb := (int(codesL[k])*npc + pc) * 4
-			rb := (int(codesR[k])*npc + pc) * 4
-			l := lutL[lb : lb+4 : lb+4]
-			rr := lutR[rb : rb+4 : rb+4]
+			l := (*[4]float64)(lutL[(int(codesL[k])*npc+pc)*4:])
+			rr := (*[4]float64)(lutR[(int(codesR[k])*npc+pc)*4:])
 			v0 := l[0] * rr[0]
 			v1 := l[1] * rr[1]
 			v2 := l[2] * rr[2]
@@ -130,8 +175,7 @@ func (e *Engine) newviewChunkCAT(ent *travEntry, ps *partState, lo, hi int) {
 				v3 *= scaleFactor
 				sc = 1
 			}
-			o := k * 4
-			d := dst[o : o+4 : o+4]
+			d := (*[4]float64)(dst[k*4:])
 			d[0], d[1], d[2], d[3] = v0, v1, v2, v3
 			dsc[k] = sc
 		}
@@ -152,21 +196,16 @@ func (e *Engine) newviewChunkCAT(ent *travEntry, ps *partState, lo, hi int) {
 		iv := e.arena[iBase+l0*4 : iBase+l1*4 : iBase+l1*4]
 		isBase := inner.scaleOff + ps.sOff
 		isc := e.scaleArena[isBase+l0 : isBase+l1 : isBase+l1]
-		for k := 0; k < len(w); k++ {
-			if w[k] == 0 {
-				continue
-			}
+		for k := 0; k < n; k++ {
 			pc := pcat[k]
-			tb := (int(codes[k])*npc + pc) * 4
-			t := lut[tb : tb+4 : tb+4]
-			o := k * 4
-			c := iv[o : o+4 : o+4]
+			t := (*[4]float64)(lut[(int(codes[k])*npc+pc)*4:])
+			c := (*[4]float64)(iv[k*4:])
 			c0, c1, c2, c3 := c[0], c[1], c[2], c[3]
 			p := &pm[pc]
-			v0 := t[0] * (p[0][0]*c0 + p[0][1]*c1 + p[0][2]*c2 + p[0][3]*c3)
-			v1 := t[1] * (p[1][0]*c0 + p[1][1]*c1 + p[1][2]*c2 + p[1][3]*c3)
-			v2 := t[2] * (p[2][0]*c0 + p[2][1]*c1 + p[2][2]*c2 + p[2][3]*c3)
-			v3 := t[3] * (p[3][0]*c0 + p[3][1]*c1 + p[3][2]*c2 + p[3][3]*c3)
+			v0 := t[0] * ((p[0]*c0 + p[1]*c1) + (p[2]*c2 + p[3]*c3))
+			v1 := t[1] * ((p[4]*c0 + p[5]*c1) + (p[6]*c2 + p[7]*c3))
+			v2 := t[2] * ((p[8]*c0 + p[9]*c1) + (p[10]*c2 + p[11]*c3))
+			v3 := t[3] * ((p[12]*c0 + p[13]*c1) + (p[14]*c2 + p[15]*c3))
 			sc := isc[k]
 			if v0 < scaleThreshold && v1 < scaleThreshold && v2 < scaleThreshold && v3 < scaleThreshold {
 				v0 *= scaleFactor
@@ -175,7 +214,7 @@ func (e *Engine) newviewChunkCAT(ent *travEntry, ps *partState, lo, hi int) {
 				v3 *= scaleFactor
 				sc++
 			}
-			d := dst[o : o+4 : o+4]
+			d := (*[4]float64)(dst[k*4:])
 			d[0], d[1], d[2], d[3] = v0, v1, v2, v3
 			dsc[k] = sc
 		}
@@ -189,26 +228,21 @@ func (e *Engine) newviewChunkCAT(ent *travEntry, ps *partState, lo, hi int) {
 		rsBase := right.scaleOff + ps.sOff
 		lsc := e.scaleArena[lsBase+l0 : lsBase+l1 : lsBase+l1]
 		rsc := e.scaleArena[rsBase+l0 : rsBase+l1 : rsBase+l1]
-		for k := 0; k < len(w); k++ {
-			if w[k] == 0 {
-				continue
-			}
+		for k := 0; k < n; k++ {
 			pc := pcat[k]
-			pl := &pL[pc]
-			pr := &pR[pc]
-			o := k * 4
-			l := lv[o : o+4 : o+4]
-			rr := rv[o : o+4 : o+4]
-			l0v, l1v, l2v, l3v := l[0], l[1], l[2], l[3]
-			r0, r1, r2, r3 := rr[0], rr[1], rr[2], rr[3]
-			v0 := (pl[0][0]*l0v + pl[0][1]*l1v + pl[0][2]*l2v + pl[0][3]*l3v) *
-				(pr[0][0]*r0 + pr[0][1]*r1 + pr[0][2]*r2 + pr[0][3]*r3)
-			v1 := (pl[1][0]*l0v + pl[1][1]*l1v + pl[1][2]*l2v + pl[1][3]*l3v) *
-				(pr[1][0]*r0 + pr[1][1]*r1 + pr[1][2]*r2 + pr[1][3]*r3)
-			v2 := (pl[2][0]*l0v + pl[2][1]*l1v + pl[2][2]*l2v + pl[2][3]*l3v) *
-				(pr[2][0]*r0 + pr[2][1]*r1 + pr[2][2]*r2 + pr[2][3]*r3)
-			v3 := (pl[3][0]*l0v + pl[3][1]*l1v + pl[3][2]*l2v + pl[3][3]*l3v) *
-				(pr[3][0]*r0 + pr[3][1]*r1 + pr[3][2]*r2 + pr[3][3]*r3)
+			l := (*[4]float64)(lv[k*4:])
+			rr := (*[4]float64)(rv[k*4:])
+			c0, c1, c2, c3 := l[0], l[1], l[2], l[3]
+			e0, e1, e2, e3 := rr[0], rr[1], rr[2], rr[3]
+			pa, pb := &pL[pc], &pR[pc]
+			v0 := ((pa[0]*c0 + pa[1]*c1) + (pa[2]*c2 + pa[3]*c3)) *
+				((pb[0]*e0 + pb[1]*e1) + (pb[2]*e2 + pb[3]*e3))
+			v1 := ((pa[4]*c0 + pa[5]*c1) + (pa[6]*c2 + pa[7]*c3)) *
+				((pb[4]*e0 + pb[5]*e1) + (pb[6]*e2 + pb[7]*e3))
+			v2 := ((pa[8]*c0 + pa[9]*c1) + (pa[10]*c2 + pa[11]*c3)) *
+				((pb[8]*e0 + pb[9]*e1) + (pb[10]*e2 + pb[11]*e3))
+			v3 := ((pa[12]*c0 + pa[13]*c1) + (pa[14]*c2 + pa[15]*c3)) *
+				((pb[12]*e0 + pb[13]*e1) + (pb[14]*e2 + pb[15]*e3))
 			sc := lsc[k] + rsc[k]
 			if v0 < scaleThreshold && v1 < scaleThreshold && v2 < scaleThreshold && v3 < scaleThreshold {
 				v0 *= scaleFactor
@@ -217,7 +251,7 @@ func (e *Engine) newviewChunkCAT(ent *travEntry, ps *partState, lo, hi int) {
 				v3 *= scaleFactor
 				sc++
 			}
-			d := dst[o : o+4 : o+4]
+			d := (*[4]float64)(dst[k*4:])
 			d[0], d[1], d[2], d[3] = v0, v1, v2, v3
 			dsc[k] = sc
 		}
@@ -227,16 +261,19 @@ func (e *Engine) newviewChunkCAT(ent *travEntry, ps *partState, lo, hi int) {
 // newviewChunkGamma is the multi-category (GAMMA) newview over one
 // partition chunk: nCat 4-wide blocks per pattern, category c using the
 // partition's transition matrices pL[c]/pR[c]; rescaling considers the
-// maximum across all categories of a pattern.
+// maximum across all categories of a pattern. At nCat == 4 — the GAMMA
+// shape every search runs — all three child-kind combinations dispatch
+// through the engine's kernel table; the loops below are the generic
+// nCat fallback.
 func (e *Engine) newviewChunkGamma(ent *travEntry, ps *partState, lo, hi int) {
 	nCat := e.nCat
 	st := nCat * 4
 	l0, l1 := lo-ps.lo, hi-ps.lo
+	n := l1 - l0
 	dBase := ent.dstOff + ps.fOff
 	dst := e.arena[dBase+l0*st : dBase+l1*st : dBase+l1*st]
 	sBase := ent.dstScaleOff + ps.sOff
 	dsc := e.scaleArena[sBase+l0 : sBase+l1 : sBase+l1]
-	w := e.weights[lo:hi]
 	pL := ent.pL[ps.pOff : ps.pOff+nCat]
 	pR := ent.pR[ps.pOff : ps.pOff+nCat]
 	left, right := ent.left, ent.right
@@ -247,25 +284,25 @@ func (e *Engine) newviewChunkGamma(ent *travEntry, ps *partState, lo, hi int) {
 		codesR := e.pat.Data[right.taxon][lo:hi]
 		lutL := ent.lutL[64*ps.pOff : 64*(ps.pOff+nCat)]
 		lutR := ent.lutR[64*ps.pOff : 64*(ps.pOff+nCat)]
-		for k := 0; k < len(w); k++ {
-			if w[k] == 0 {
-				continue
-			}
+		if nCat == 4 {
+			e.kern.newviewTT4(dst, codesL, codesR, lutL, lutR, dsc)
+			return
+		}
+		for k := 0; k < n; k++ {
 			lc := int(codesL[k]) * st
 			rc := int(codesR[k]) * st
 			o := k * st
 			small := true
 			for c := 0; c < nCat; c++ {
-				l := lutL[lc+c*4 : lc+c*4+4 : lc+c*4+4]
-				rr := lutR[rc+c*4 : rc+c*4+4 : rc+c*4+4]
+				l := (*[4]float64)(lutL[lc+c*4:])
+				rr := (*[4]float64)(lutR[rc+c*4:])
 				v0 := l[0] * rr[0]
 				v1 := l[1] * rr[1]
 				v2 := l[2] * rr[2]
 				v3 := l[3] * rr[3]
 				small = small && v0 < scaleThreshold && v1 < scaleThreshold &&
 					v2 < scaleThreshold && v3 < scaleThreshold
-				ob := o + c*4
-				d := dst[ob : ob+4 : ob+4]
+				d := (*[4]float64)(dst[o+c*4:])
 				d[0], d[1], d[2], d[3] = v0, v1, v2, v3
 			}
 			var sc int32
@@ -291,26 +328,26 @@ func (e *Engine) newviewChunkGamma(ent *travEntry, ps *partState, lo, hi int) {
 		iv := e.arena[iBase+l0*st : iBase+l1*st : iBase+l1*st]
 		isBase := inner.scaleOff + ps.sOff
 		isc := e.scaleArena[isBase+l0 : isBase+l1 : isBase+l1]
-		for k := 0; k < len(w); k++ {
-			if w[k] == 0 {
-				continue
-			}
+		if nCat == 4 {
+			e.kern.newviewTI4(dst, codes, lut, iv, pm, isc, dsc)
+			return
+		}
+		for k := 0; k < n; k++ {
 			tb := int(codes[k]) * st
 			o := k * st
 			small := true
 			for c := 0; c < nCat; c++ {
-				t := lut[tb+c*4 : tb+c*4+4 : tb+c*4+4]
-				ob := o + c*4
-				cv := iv[ob : ob+4 : ob+4]
+				t := (*[4]float64)(lut[tb+c*4:])
+				cv := (*[4]float64)(iv[o+c*4:])
 				c0, c1, c2, c3 := cv[0], cv[1], cv[2], cv[3]
 				p := &pm[c]
-				v0 := t[0] * (p[0][0]*c0 + p[0][1]*c1 + p[0][2]*c2 + p[0][3]*c3)
-				v1 := t[1] * (p[1][0]*c0 + p[1][1]*c1 + p[1][2]*c2 + p[1][3]*c3)
-				v2 := t[2] * (p[2][0]*c0 + p[2][1]*c1 + p[2][2]*c2 + p[2][3]*c3)
-				v3 := t[3] * (p[3][0]*c0 + p[3][1]*c1 + p[3][2]*c2 + p[3][3]*c3)
+				v0 := t[0] * ((p[0]*c0 + p[1]*c1) + (p[2]*c2 + p[3]*c3))
+				v1 := t[1] * ((p[4]*c0 + p[5]*c1) + (p[6]*c2 + p[7]*c3))
+				v2 := t[2] * ((p[8]*c0 + p[9]*c1) + (p[10]*c2 + p[11]*c3))
+				v3 := t[3] * ((p[12]*c0 + p[13]*c1) + (p[14]*c2 + p[15]*c3))
 				small = small && v0 < scaleThreshold && v1 < scaleThreshold &&
 					v2 < scaleThreshold && v3 < scaleThreshold
-				d := dst[ob : ob+4 : ob+4]
+				d := (*[4]float64)(dst[o+c*4:])
 				d[0], d[1], d[2], d[3] = v0, v1, v2, v3
 			}
 			sc := isc[k]
@@ -332,31 +369,30 @@ func (e *Engine) newviewChunkGamma(ent *travEntry, ps *partState, lo, hi int) {
 		rsBase := right.scaleOff + ps.sOff
 		lsc := e.scaleArena[lsBase+l0 : lsBase+l1 : lsBase+l1]
 		rsc := e.scaleArena[rsBase+l0 : rsBase+l1 : rsBase+l1]
-		for k := 0; k < len(w); k++ {
-			if w[k] == 0 {
-				continue
-			}
+		if nCat == 4 {
+			e.kern.newviewII4(dst, lv, rv, pL, pR, lsc, rsc, dsc)
+			return
+		}
+		for k := 0; k < n; k++ {
 			o := k * st
 			small := true
 			for c := 0; c < nCat; c++ {
-				ob := o + c*4
-				l := lv[ob : ob+4 : ob+4]
-				rr := rv[ob : ob+4 : ob+4]
-				l0v, l1v, l2v, l3v := l[0], l[1], l[2], l[3]
-				r0, r1, r2, r3 := rr[0], rr[1], rr[2], rr[3]
-				pl := &pL[c]
-				pr := &pR[c]
-				v0 := (pl[0][0]*l0v + pl[0][1]*l1v + pl[0][2]*l2v + pl[0][3]*l3v) *
-					(pr[0][0]*r0 + pr[0][1]*r1 + pr[0][2]*r2 + pr[0][3]*r3)
-				v1 := (pl[1][0]*l0v + pl[1][1]*l1v + pl[1][2]*l2v + pl[1][3]*l3v) *
-					(pr[1][0]*r0 + pr[1][1]*r1 + pr[1][2]*r2 + pr[1][3]*r3)
-				v2 := (pl[2][0]*l0v + pl[2][1]*l1v + pl[2][2]*l2v + pl[2][3]*l3v) *
-					(pr[2][0]*r0 + pr[2][1]*r1 + pr[2][2]*r2 + pr[2][3]*r3)
-				v3 := (pl[3][0]*l0v + pl[3][1]*l1v + pl[3][2]*l2v + pl[3][3]*l3v) *
-					(pr[3][0]*r0 + pr[3][1]*r1 + pr[3][2]*r2 + pr[3][3]*r3)
+				l := (*[4]float64)(lv[o+c*4:])
+				rr := (*[4]float64)(rv[o+c*4:])
+				c0, c1, c2, c3 := l[0], l[1], l[2], l[3]
+				e0, e1, e2, e3 := rr[0], rr[1], rr[2], rr[3]
+				pa, pb := &pL[c], &pR[c]
+				v0 := ((pa[0]*c0 + pa[1]*c1) + (pa[2]*c2 + pa[3]*c3)) *
+					((pb[0]*e0 + pb[1]*e1) + (pb[2]*e2 + pb[3]*e3))
+				v1 := ((pa[4]*c0 + pa[5]*c1) + (pa[6]*c2 + pa[7]*c3)) *
+					((pb[4]*e0 + pb[5]*e1) + (pb[6]*e2 + pb[7]*e3))
+				v2 := ((pa[8]*c0 + pa[9]*c1) + (pa[10]*c2 + pa[11]*c3)) *
+					((pb[8]*e0 + pb[9]*e1) + (pb[10]*e2 + pb[11]*e3))
+				v3 := ((pa[12]*c0 + pa[13]*c1) + (pa[14]*c2 + pa[15]*c3)) *
+					((pb[12]*e0 + pb[13]*e1) + (pb[14]*e2 + pb[15]*e3))
 				small = small && v0 < scaleThreshold && v1 < scaleThreshold &&
 					v2 < scaleThreshold && v3 < scaleThreshold
-				d := dst[ob : ob+4 : ob+4]
+				d := (*[4]float64)(dst[o+c*4:])
 				d[0], d[1], d[2], d[3] = v0, v1, v2, v3
 			}
 			sc := lsc[k] + rsc[k]
@@ -368,6 +404,114 @@ func (e *Engine) newviewChunkGamma(ent *travEntry, ps *partState, lo, hi int) {
 			}
 			dsc[k] = sc
 		}
+	}
+}
+
+// newviewII4Scalar is the scalar reference of the nCat == 4 GAMMA
+// inner×inner newview: n patterns of 16 lanes each, 4 matrices per
+// child. The AVX2 implementation (kernels_amd64.s) computes the same
+// pairwise-associated products and is pinned to this function bit for
+// bit by TestKernelEquivalence.
+func newviewII4Scalar(dst, lv, rv []float64, pL, pR [][16]float64, lsc, rsc, dsc []int32) {
+	pL = pL[:4]
+	pR = pR[:4]
+	for k := 0; k < len(dsc); k++ {
+		o := k * 16
+		l := (*[16]float64)(lv[o:])
+		rr := (*[16]float64)(rv[o:])
+		d := (*[16]float64)(dst[o:])
+		small := true
+		for c := 0; c < 4; c++ {
+			cb := c * 4
+			c0, c1, c2, c3 := l[cb], l[cb+1], l[cb+2], l[cb+3]
+			e0, e1, e2, e3 := rr[cb], rr[cb+1], rr[cb+2], rr[cb+3]
+			pa, pb := &pL[c], &pR[c]
+			v0 := ((pa[0]*c0 + pa[1]*c1) + (pa[2]*c2 + pa[3]*c3)) *
+				((pb[0]*e0 + pb[1]*e1) + (pb[2]*e2 + pb[3]*e3))
+			v1 := ((pa[4]*c0 + pa[5]*c1) + (pa[6]*c2 + pa[7]*c3)) *
+				((pb[4]*e0 + pb[5]*e1) + (pb[6]*e2 + pb[7]*e3))
+			v2 := ((pa[8]*c0 + pa[9]*c1) + (pa[10]*c2 + pa[11]*c3)) *
+				((pb[8]*e0 + pb[9]*e1) + (pb[10]*e2 + pb[11]*e3))
+			v3 := ((pa[12]*c0 + pa[13]*c1) + (pa[14]*c2 + pa[15]*c3)) *
+				((pb[12]*e0 + pb[13]*e1) + (pb[14]*e2 + pb[15]*e3))
+			small = small && v0 < scaleThreshold && v1 < scaleThreshold &&
+				v2 < scaleThreshold && v3 < scaleThreshold
+			d[cb], d[cb+1], d[cb+2], d[cb+3] = v0, v1, v2, v3
+		}
+		sc := lsc[k] + rsc[k]
+		if small {
+			for i := range d {
+				d[i] *= scaleFactor
+			}
+			sc++
+		}
+		dsc[k] = sc
+	}
+}
+
+// newviewTT4Scalar is the scalar reference of the nCat == 4 GAMMA
+// tip×tip newview: each pattern is an elementwise product of one
+// 16-lane code block from each child's lookup table (lutL/lutR hold 16
+// codes × 16 lanes = 256 floats).
+func newviewTT4Scalar(dst []float64, codesL, codesR []msa.State, lutL, lutR []float64, dsc []int32) {
+	for k := 0; k < len(dsc); k++ {
+		l := (*[16]float64)(lutL[int(codesL[k])*16:])
+		rr := (*[16]float64)(lutR[int(codesR[k])*16:])
+		d := (*[16]float64)(dst[k*16:])
+		small := true
+		for c := 0; c < 4; c++ {
+			cb := c * 4
+			v0 := l[cb] * rr[cb]
+			v1 := l[cb+1] * rr[cb+1]
+			v2 := l[cb+2] * rr[cb+2]
+			v3 := l[cb+3] * rr[cb+3]
+			small = small && v0 < scaleThreshold && v1 < scaleThreshold &&
+				v2 < scaleThreshold && v3 < scaleThreshold
+			d[cb], d[cb+1], d[cb+2], d[cb+3] = v0, v1, v2, v3
+		}
+		var sc int32
+		if small {
+			for i := range d {
+				d[i] *= scaleFactor
+			}
+			sc = 1
+		}
+		dsc[k] = sc
+	}
+}
+
+// newviewTI4Scalar is the scalar reference of the nCat == 4 GAMMA
+// tip×inner newview: the inner child's lanes go through the category's
+// transition matrix (pm), the tip contributes its 16-lane lookup-table
+// block as an elementwise factor.
+func newviewTI4Scalar(dst []float64, codes []msa.State, lut, iv []float64, pm [][16]float64, isc, dsc []int32) {
+	pm = pm[:4]
+	for k := 0; k < len(dsc); k++ {
+		o := k * 16
+		t := (*[16]float64)(lut[int(codes[k])*16:])
+		cv := (*[16]float64)(iv[o:])
+		d := (*[16]float64)(dst[o:])
+		small := true
+		for c := 0; c < 4; c++ {
+			cb := c * 4
+			c0, c1, c2, c3 := cv[cb], cv[cb+1], cv[cb+2], cv[cb+3]
+			p := &pm[c]
+			v0 := t[cb] * ((p[0]*c0 + p[1]*c1) + (p[2]*c2 + p[3]*c3))
+			v1 := t[cb+1] * ((p[4]*c0 + p[5]*c1) + (p[6]*c2 + p[7]*c3))
+			v2 := t[cb+2] * ((p[8]*c0 + p[9]*c1) + (p[10]*c2 + p[11]*c3))
+			v3 := t[cb+3] * ((p[12]*c0 + p[13]*c1) + (p[14]*c2 + p[15]*c3))
+			small = small && v0 < scaleThreshold && v1 < scaleThreshold &&
+				v2 < scaleThreshold && v3 < scaleThreshold
+			d[cb], d[cb+1], d[cb+2], d[cb+3] = v0, v1, v2, v3
+		}
+		sc := isc[k]
+		if small {
+			for i := range d {
+				d[i] *= scaleFactor
+			}
+			sc++
+		}
+		dsc[k] = sc
 	}
 }
 
@@ -413,6 +557,9 @@ func (e *Engine) evaluateChunk(ps *partState, lo, hi int) float64 {
 	if e.isCAT {
 		pcat = ps.rates.PatternCategory
 	}
+	probs := ps.rates.Probs
+	a0, aStep, aCat := viewCoeffs(&va, ps)
+	b0, bStep, bCat := viewCoeffs(&vb, ps)
 
 	sum := 0.0
 	for k := lo; k < hi; k++ {
@@ -428,22 +575,22 @@ func (e *Engine) evaluateChunk(ps *partState, lo, hi int) float64 {
 				pc = pcat[lk]
 			}
 			p := &pEval[pc]
-			aBase := boolIdx(va.tip, k*4, ps.fOff+lk*va.stride+cat*4)
-			bBase := boolIdx(vb.tip, k*4, ps.fOff+lk*vb.stride+cat*4)
+			av := (*[4]float64)(va.vec[a0+k*aStep+cat*aCat:])
+			bv := (*[4]float64)(vb.vec[b0+k*bStep+cat*bCat:])
+			vb0, vb1, vb2, vb3 := bv[0], bv[1], bv[2], bv[3]
 			catL := 0.0
 			for s := 0; s < 4; s++ {
-				as := va.vec[aBase+s]
+				as := av[s]
 				if as == 0 {
 					continue
 				}
-				dot := p[s][0]*vb.vec[bBase] + p[s][1]*vb.vec[bBase+1] +
-					p[s][2]*vb.vec[bBase+2] + p[s][3]*vb.vec[bBase+3]
+				dot := (p[s*4]*vb0 + p[s*4+1]*vb1) + (p[s*4+2]*vb2 + p[s*4+3]*vb3)
 				catL += freqs[s] * as * dot
 			}
 			if e.isCAT {
 				site = catL
 			} else {
-				site += ps.rates.Probs[cat] * catL
+				site += probs[cat] * catL
 			}
 		}
 		logSite := math.Log(math.Max(site, math.SmallestNonzeroFloat64))
@@ -481,6 +628,9 @@ func (e *Engine) siteLLChunk(ps *partState, lo, hi int) {
 	if e.isCAT {
 		pcat = ps.rates.PatternCategory
 	}
+	probs := ps.rates.Probs
+	a0, aStep, aCat := viewCoeffs(&va, ps)
+	b0, bStep, bCat := viewCoeffs(&vb, ps)
 	for k := lo; k < hi; k++ {
 		if e.weights[k] == 0 {
 			dst[k] = 0
@@ -494,22 +644,22 @@ func (e *Engine) siteLLChunk(ps *partState, lo, hi int) {
 				pc = pcat[lk]
 			}
 			p := &pEval[pc]
-			aBase := boolIdx(va.tip, k*4, ps.fOff+lk*va.stride+cat*4)
-			bBase := boolIdx(vb.tip, k*4, ps.fOff+lk*vb.stride+cat*4)
+			av := (*[4]float64)(va.vec[a0+k*aStep+cat*aCat:])
+			bv := (*[4]float64)(vb.vec[b0+k*bStep+cat*bCat:])
+			vb0, vb1, vb2, vb3 := bv[0], bv[1], bv[2], bv[3]
 			catL := 0.0
 			for s := 0; s < 4; s++ {
-				as := va.vec[aBase+s]
+				as := av[s]
 				if as == 0 {
 					continue
 				}
-				dot := p[s][0]*vb.vec[bBase] + p[s][1]*vb.vec[bBase+1] +
-					p[s][2]*vb.vec[bBase+2] + p[s][3]*vb.vec[bBase+3]
+				dot := (p[s*4]*vb0 + p[s*4+1]*vb1) + (p[s*4+2]*vb2 + p[s*4+3]*vb3)
 				catL += freqs[s] * as * dot
 			}
 			if e.isCAT {
 				site = catL
 			} else {
-				site += ps.rates.Probs[cat] * catL
+				site += probs[cat] * catL
 			}
 		}
 		logSite := math.Log(math.Max(site, math.SmallestNonzeroFloat64))
@@ -582,6 +732,9 @@ func (e *Engine) derivativesChunk(ps *partState, lo, hi int) (d1, d2 float64) {
 	if e.isCAT {
 		pcat = ps.rates.PatternCategory
 	}
+	probs := ps.rates.Probs
+	a0, aStep, aCat := viewCoeffs(&va, ps)
+	b0, bStep, bCat := viewCoeffs(&vb, ps)
 
 	var s1, s2 float64
 	for k := lo; k < hi; k++ {
@@ -599,27 +752,24 @@ func (e *Engine) derivativesChunk(ps *partState, lo, hi int) (d1, d2 float64) {
 			p := &pEval[pc]
 			pd1 := &pD1[pc]
 			pd2 := &pD2[pc]
-			aBase := boolIdx(va.tip, k*4, ps.fOff+lk*va.stride+cat*4)
-			bBase := boolIdx(vb.tip, k*4, ps.fOff+lk*vb.stride+cat*4)
+			av := (*[4]float64)(va.vec[a0+k*aStep+cat*aCat:])
+			bv := (*[4]float64)(vb.vec[b0+k*bStep+cat*bCat:])
+			vb0, vb1, vb2, vb3 := bv[0], bv[1], bv[2], bv[3]
 			var catL, catD1, catD2 float64
 			for s := 0; s < 4; s++ {
-				as := va.vec[aBase+s]
+				as := av[s]
 				if as == 0 {
 					continue
 				}
 				fa := freqs[s] * as
-				b0 := vb.vec[bBase]
-				b1 := vb.vec[bBase+1]
-				b2 := vb.vec[bBase+2]
-				b3 := vb.vec[bBase+3]
-				catL += fa * (p[s][0]*b0 + p[s][1]*b1 + p[s][2]*b2 + p[s][3]*b3)
-				catD1 += fa * (pd1[s][0]*b0 + pd1[s][1]*b1 + pd1[s][2]*b2 + pd1[s][3]*b3)
-				catD2 += fa * (pd2[s][0]*b0 + pd2[s][1]*b1 + pd2[s][2]*b2 + pd2[s][3]*b3)
+				catL += fa * ((p[s*4]*vb0 + p[s*4+1]*vb1) + (p[s*4+2]*vb2 + p[s*4+3]*vb3))
+				catD1 += fa * ((pd1[s*4]*vb0 + pd1[s*4+1]*vb1) + (pd1[s*4+2]*vb2 + pd1[s*4+3]*vb3))
+				catD2 += fa * ((pd2[s*4]*vb0 + pd2[s*4+1]*vb1) + (pd2[s*4+2]*vb2 + pd2[s*4+3]*vb3))
 			}
 			if e.isCAT {
 				siteL, siteD1, siteD2 = catL, catD1, catD2
 			} else {
-				pr := ps.rates.Probs[cat]
+				pr := probs[cat]
 				siteL += pr * catL
 				siteD1 += pr * catD1
 				siteD2 += pr * catD2
@@ -628,9 +778,10 @@ func (e *Engine) derivativesChunk(ps *partState, lo, hi int) (d1, d2 float64) {
 		if siteL < math.SmallestNonzeroFloat64 {
 			continue
 		}
-		ratio := siteD1 / siteL
+		inv := 1 / siteL
+		ratio := siteD1 * inv
 		s1 += float64(wk) * ratio
-		s2 += float64(wk) * (siteD2/siteL - ratio*ratio)
+		s2 += float64(wk) * (siteD2*inv - ratio*ratio)
 	}
 	return s1, s2
 }

@@ -1,0 +1,139 @@
+//go:build amd64 && !purego
+
+package likelihood
+
+import "raxml/internal/msa"
+
+// AVX2 kernel bindings. The assembly (kernels_amd64.s) implements the
+// two hottest loops — the nCat == 4 GAMMA inner×inner newview and the
+// makenewz core reduction — with the same pairwise-associated IEEE
+// operation sequence as the scalar reference (no FMA contraction), so
+// the two paths produce bit-identical CLVs, scale counters and Newton
+// partials; TestKernelEquivalence enforces that. Availability is probed
+// once via CPUID/XGETBV: the OS must have enabled YMM state and the
+// CPU must report AVX2.
+
+var haveAVX2 = detectAVX2()
+
+var avx2Kernels = kernelTable{
+	name:       "avx2",
+	newviewII4: newviewII4Asm,
+	newviewTT4: newviewTT4Asm,
+	newviewTI4: newviewTI4Asm,
+	mkzCoreG4:  mkzCoreG4Asm,
+}
+
+func avx2Supported() bool { return haveAVX2 }
+
+func avx2KernelTable() *kernelTable {
+	if !haveAVX2 {
+		return nil
+	}
+	return &avx2Kernels
+}
+
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const (
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	if ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return false
+	}
+	xcr0, _ := xgetbv()
+	if xcr0&6 != 6 { // OS saves/restores XMM and YMM state
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2Bit = 1 << 5
+	return ebx7&avx2Bit != 0
+}
+
+// cpuid executes CPUID with the given leaf and subleaf.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads XCR0 (requires OSXSAVE).
+func xgetbv() (eax, edx uint32)
+
+// newviewII4AVX2 combines n nCat==4 inner×inner GAMMA patterns: dst,
+// lv, rv point at n contiguous 16-float lane blocks, pL and pR at four
+// contiguous [16]float64 transition matrices each, and lsc/rsc/dsc at
+// the n int32 scale counters.
+//
+//go:noescape
+func newviewII4AVX2(n int, dst, lv, rv *float64, pL, pR *[16]float64, lsc, rsc, dsc *int32)
+
+// newviewTT4AVX2 combines n nCat==4 tip×tip GAMMA patterns: each
+// child's 256-float lookup table (16 codes × 16 lanes) is indexed by
+// its per-pattern state code.
+//
+//go:noescape
+func newviewTT4AVX2(n int, dst *float64, codesL, codesR *msa.State, lutL, lutR *float64, dsc *int32)
+
+// newviewTI4AVX2 combines n nCat==4 tip×inner GAMMA patterns: the
+// inner child's lane blocks at iv go through the four matrices at pm,
+// the tip's lookup-table block is an elementwise factor.
+//
+//go:noescape
+func newviewTI4AVX2(n int, dst *float64, codes *msa.State, lut, iv *float64, pm *[16]float64, isc, dsc *int32)
+
+// mkzCoreG4AVX2 reduces the Newton d1/d2 partials of n patterns from
+// their 16-float sumtable blocks at tbl, the n pattern weights at w,
+// and the 48-float probability-folded factor block at pw.
+//
+//go:noescape
+func mkzCoreG4AVX2(n int, tbl *float64, w *int, pw *float64) (d1, d2 float64)
+
+func newviewII4Asm(dst, lv, rv []float64, pL, pR [][16]float64, lsc, rsc, dsc []int32) {
+	n := len(dsc)
+	if n == 0 {
+		return
+	}
+	// Hoist every bound the assembly relies on: 16 floats per pattern in
+	// each lane buffer, 4 matrices per child, n counters per scale slice.
+	_ = dst[n*16-1]
+	_ = lv[n*16-1]
+	_ = rv[n*16-1]
+	_, _ = pL[3], pR[3]
+	_, _ = lsc[n-1], rsc[n-1]
+	newviewII4AVX2(n, &dst[0], &lv[0], &rv[0], &pL[0], &pR[0], &lsc[0], &rsc[0], &dsc[0])
+}
+
+func newviewTT4Asm(dst []float64, codesL, codesR []msa.State, lutL, lutR []float64, dsc []int32) {
+	n := len(dsc)
+	if n == 0 {
+		return
+	}
+	_ = dst[n*16-1]
+	_, _ = codesL[n-1], codesR[n-1]
+	_, _ = lutL[255], lutR[255] // 16 codes x 16 lanes per table
+	newviewTT4AVX2(n, &dst[0], &codesL[0], &codesR[0], &lutL[0], &lutR[0], &dsc[0])
+}
+
+func newviewTI4Asm(dst []float64, codes []msa.State, lut, iv []float64, pm [][16]float64, isc, dsc []int32) {
+	n := len(dsc)
+	if n == 0 {
+		return
+	}
+	_ = dst[n*16-1]
+	_ = iv[n*16-1]
+	_ = codes[n-1]
+	_ = lut[255]
+	_ = pm[3]
+	_ = isc[n-1]
+	newviewTI4AVX2(n, &dst[0], &codes[0], &lut[0], &iv[0], &pm[0], &isc[0], &dsc[0])
+}
+
+func mkzCoreG4Asm(tbl []float64, w []int, pw *[48]float64) (d1, d2 float64) {
+	n := len(w)
+	if n == 0 {
+		return 0, 0
+	}
+	_ = tbl[n*16-1]
+	return mkzCoreG4AVX2(n, &tbl[0], &w[0], &pw[0])
+}

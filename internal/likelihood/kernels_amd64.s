@@ -1,0 +1,317 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// AVX2 implementations of the two hottest likelihood kernels (see
+// kernels_dispatch.go and docs/kernels.md). Both are written to be
+// bit-identical to their scalar references: every 4-term dot product is
+// a VMULPD followed by the VHADDPD / VPERM2F128 / VBLENDPD / VADDPD
+// combine — the same pairwise association the scalar code spells out —
+// and no FMA contraction is used anywhere, so scalar and asm round
+// identically at every step.
+
+// scaleThresh = 1e-256, scaleFact = 1e256 (engine.go constants),
+// one = 1.0, tiny = math.SmallestNonzeroFloat64.
+DATA scaleThresh<>+0(SB)/8, $0x0AC8062864AC6F43
+GLOBL scaleThresh<>(SB), RODATA, $8
+DATA scaleFact<>+0(SB)/8, $0x75154FDD7F73BF3C
+GLOBL scaleFact<>(SB), RODATA, $8
+DATA one<>+0(SB)/8, $0x3FF0000000000000
+GLOBL one<>(SB), RODATA, $8
+DATA tiny<>+0(SB)/8, $0x0000000000000001
+GLOBL tiny<>(SB), RODATA, $8
+
+// func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// matvec4(matrix at mbase, lane vector in Y0) -> dot vector in Ydst.
+// t_r = P[r] .* c (VMULPD); h01 = [t0lo t1lo t0hi t1hi],
+// h23 = [t2lo t3lo t2hi t3hi] (VHADDPD); perm = [t0hi t1hi t2lo t3lo],
+// blend = [t0lo t1lo t2hi t3hi]; dst = perm + blend = row dots.
+#define MATVEC4(mbase, moff, dst) \
+	VMULPD  moff+0(mbase), Y0, Y1  \
+	VMULPD  moff+32(mbase), Y0, Y2 \
+	VMULPD  moff+64(mbase), Y0, Y3 \
+	VMULPD  moff+96(mbase), Y0, Y4 \
+	VHADDPD Y2, Y1, Y5             \
+	VHADDPD Y4, Y3, Y6             \
+	VPERM2F128 $0x21, Y6, Y5, Y7   \
+	VBLENDPD $12, Y6, Y5, Y8       \
+	VADDPD  Y8, Y7, dst
+
+// One GAMMA category of the inner×inner newview: lane block c of the
+// left/right child CLVs through matrices c of pL/pR, product stored to
+// dst, running max in Y12.
+#define NVCAT(c) \
+	VMOVUPD (c*32)(SI), Y0   \
+	MATVEC4(R8, c*128, Y9)   \
+	VMOVUPD (c*32)(DX), Y0   \
+	MATVEC4(R9, c*128, Y10)  \
+	VMULPD  Y10, Y9, Y11     \
+	VMOVUPD Y11, (c*32)(DI)  \
+	VMAXPD  Y11, Y12, Y12
+
+// func newviewII4AVX2(n int, dst, lv, rv *float64, pL, pR *[16]float64, lsc, rsc, dsc *int32)
+TEXT ·newviewII4AVX2(SB), NOSPLIT, $0-72
+	MOVQ n+0(FP), CX
+	MOVQ dst+8(FP), DI
+	MOVQ lv+16(FP), SI
+	MOVQ rv+24(FP), DX
+	MOVQ pL+32(FP), R8
+	MOVQ pR+40(FP), R9
+	MOVQ lsc+48(FP), R10
+	MOVQ rsc+56(FP), R11
+	MOVQ dsc+64(FP), R12
+	VBROADCASTSD scaleFact<>(SB), Y13
+	VMOVSD scaleThresh<>(SB), X15
+
+nvloop:
+	VXORPD Y12, Y12, Y12
+	NVCAT(0)
+	NVCAT(1)
+	NVCAT(2)
+	NVCAT(3)
+
+	// dsc = lsc + rsc (+1 on rescale)
+	MOVL (R10), AX
+	ADDL (R11), AX
+
+	// horizontal max of the 16 lanes, compare against the threshold
+	VEXTRACTF128 $1, Y12, X0
+	VMAXPD X0, X12, X1
+	VPERMILPD $1, X1, X2
+	VMAXSD X2, X1, X1
+	VUCOMISD X15, X1
+	JAE nvstore
+
+	// rare path: every lane below threshold, multiply block by 1e256
+	VMULPD 0(DI), Y13, Y0
+	VMOVUPD Y0, 0(DI)
+	VMULPD 32(DI), Y13, Y0
+	VMOVUPD Y0, 32(DI)
+	VMULPD 64(DI), Y13, Y0
+	VMOVUPD Y0, 64(DI)
+	VMULPD 96(DI), Y13, Y0
+	VMOVUPD Y0, 96(DI)
+	INCL AX
+
+nvstore:
+	MOVL AX, (R12)
+	ADDQ $128, SI
+	ADDQ $128, DX
+	ADDQ $128, DI
+	ADDQ $4, R10
+	ADDQ $4, R11
+	ADDQ $4, R12
+	DECQ CX
+	JNZ nvloop
+	VZEROUPPER
+	RET
+
+// func newviewTT4AVX2(n int, dst *float64, codesL, codesR *msa.State, lutL, lutR *float64, dsc *int32)
+TEXT ·newviewTT4AVX2(SB), NOSPLIT, $0-56
+	MOVQ n+0(FP), CX
+	MOVQ dst+8(FP), DI
+	MOVQ codesL+16(FP), R8
+	MOVQ codesR+24(FP), R9
+	MOVQ lutL+32(FP), SI
+	MOVQ lutR+40(FP), DX
+	MOVQ dsc+48(FP), R12
+	VBROADCASTSD scaleFact<>(SB), Y13
+	VMOVSD scaleThresh<>(SB), X15
+
+tt4loop:
+	// code block offsets: state * 16 lanes * 8 bytes
+	MOVBLZX (R8), AX
+	SHLQ $7, AX
+	MOVBLZX (R9), BX
+	SHLQ $7, BX
+	VXORPD Y12, Y12, Y12
+	VMOVUPD (SI)(AX*1), Y0
+	VMULPD  (DX)(BX*1), Y0, Y1
+	VMOVUPD Y1, (DI)
+	VMAXPD  Y1, Y12, Y12
+	VMOVUPD 32(SI)(AX*1), Y0
+	VMULPD  32(DX)(BX*1), Y0, Y1
+	VMOVUPD Y1, 32(DI)
+	VMAXPD  Y1, Y12, Y12
+	VMOVUPD 64(SI)(AX*1), Y0
+	VMULPD  64(DX)(BX*1), Y0, Y1
+	VMOVUPD Y1, 64(DI)
+	VMAXPD  Y1, Y12, Y12
+	VMOVUPD 96(SI)(AX*1), Y0
+	VMULPD  96(DX)(BX*1), Y0, Y1
+	VMOVUPD Y1, 96(DI)
+	VMAXPD  Y1, Y12, Y12
+
+	XORL R13, R13
+	VEXTRACTF128 $1, Y12, X0
+	VMAXPD X0, X12, X1
+	VPERMILPD $1, X1, X2
+	VMAXSD X2, X1, X1
+	VUCOMISD X15, X1
+	JAE tt4store
+
+	VMULPD 0(DI), Y13, Y0
+	VMOVUPD Y0, 0(DI)
+	VMULPD 32(DI), Y13, Y0
+	VMOVUPD Y0, 32(DI)
+	VMULPD 64(DI), Y13, Y0
+	VMOVUPD Y0, 64(DI)
+	VMULPD 96(DI), Y13, Y0
+	VMOVUPD Y0, 96(DI)
+	MOVL $1, R13
+
+tt4store:
+	MOVL R13, (R12)
+	ADDQ $128, DI
+	INCQ R8
+	INCQ R9
+	ADDQ $4, R12
+	DECQ CX
+	JNZ tt4loop
+	VZEROUPPER
+	RET
+
+// One GAMMA category of the tip×inner newview: the inner child's lane
+// block through matrix c of pm, scaled elementwise by the tip's lookup
+// block (base SI + code offset AX), running max in Y12.
+#define TICAT(c) \
+	VMOVUPD (c*32)(DX), Y0          \
+	MATVEC4(R9, c*128, Y9)          \
+	VMULPD  (c*32)(SI)(AX*1), Y9, Y11 \
+	VMOVUPD Y11, (c*32)(DI)         \
+	VMAXPD  Y11, Y12, Y12
+
+// func newviewTI4AVX2(n int, dst *float64, codes *msa.State, lut, iv *float64, pm *[16]float64, isc, dsc *int32)
+TEXT ·newviewTI4AVX2(SB), NOSPLIT, $0-64
+	MOVQ n+0(FP), CX
+	MOVQ dst+8(FP), DI
+	MOVQ codes+16(FP), R8
+	MOVQ lut+24(FP), SI
+	MOVQ iv+32(FP), DX
+	MOVQ pm+40(FP), R9
+	MOVQ isc+48(FP), R10
+	MOVQ dsc+56(FP), R12
+	VBROADCASTSD scaleFact<>(SB), Y13
+	VMOVSD scaleThresh<>(SB), X15
+
+ti4loop:
+	MOVBLZX (R8), AX
+	SHLQ $7, AX
+	VXORPD Y12, Y12, Y12
+	TICAT(0)
+	TICAT(1)
+	TICAT(2)
+	TICAT(3)
+
+	MOVL (R10), BX
+	VEXTRACTF128 $1, Y12, X0
+	VMAXPD X0, X12, X1
+	VPERMILPD $1, X1, X2
+	VMAXSD X2, X1, X1
+	VUCOMISD X15, X1
+	JAE ti4store
+
+	VMULPD 0(DI), Y13, Y0
+	VMOVUPD Y0, 0(DI)
+	VMULPD 32(DI), Y13, Y0
+	VMOVUPD Y0, 32(DI)
+	VMULPD 64(DI), Y13, Y0
+	VMOVUPD Y0, 64(DI)
+	VMULPD 96(DI), Y13, Y0
+	VMOVUPD Y0, 96(DI)
+	INCL BX
+
+ti4store:
+	MOVL BX, (R12)
+	ADDQ $128, DI
+	ADDQ $128, DX
+	INCQ R8
+	ADDQ $4, R10
+	ADDQ $4, R12
+	DECQ CX
+	JNZ ti4loop
+	VZEROUPPER
+	RET
+
+// One derivative order of the makenewz core: 16-term dot of the
+// sumtable block (Y0..Y3) against the factor block at foff(R11),
+// reduced (s0+s1)+(s2+s3) into the low lane of dst (an X register).
+#define MKZDOT(foff, dst) \
+	VMULPD  foff+0(R11), Y0, Y4  \
+	VMULPD  foff+32(R11), Y1, Y5 \
+	VMULPD  foff+64(R11), Y2, Y6 \
+	VMULPD  foff+96(R11), Y3, Y7 \
+	VHADDPD Y5, Y4, Y8           \
+	VHADDPD Y7, Y6, Y9           \
+	VPERM2F128 $0x21, Y9, Y8, Y10 \
+	VBLENDPD $12, Y9, Y8, Y11    \
+	VADDPD  Y11, Y10, Y8         \
+	VHADDPD Y8, Y8, Y9           \
+	VEXTRACTF128 $1, Y9, X10     \
+	VADDSD  X10, X9, dst
+
+// func mkzCoreG4AVX2(n int, tbl *float64, w *int, pw *float64) (d1, d2 float64)
+TEXT ·mkzCoreG4AVX2(SB), NOSPLIT, $0-48
+	MOVQ n+0(FP), CX
+	MOVQ tbl+8(FP), SI
+	MOVQ w+16(FP), R10
+	MOVQ pw+24(FP), R11
+	VXORPD X12, X12, X12 // s1
+	VXORPD X13, X13, X13 // s2
+
+mkzloop:
+	MOVQ (R10), BX
+	ADDQ $8, R10
+	TESTQ BX, BX
+	JEQ mkznext
+
+	VMOVUPD 0(SI), Y0
+	VMOVUPD 32(SI), Y1
+	VMOVUPD 64(SI), Y2
+	VMOVUPD 96(SI), Y3
+
+	MKZDOT(0, X14)   // siteL
+	VUCOMISD tiny<>(SB), X14
+	JB mkznext       // siteL < SmallestNonzeroFloat64: dead pattern
+
+	MKZDOT(128, X15) // siteD1
+	MKZDOT(256, X11) // siteD2
+
+	VMOVSD one<>(SB), X10
+	VDIVSD X14, X10, X10     // inv = 1 / siteL (the only division)
+	VMULSD X10, X15, X9      // ratio = siteD1 * inv
+	VCVTSI2SDQ BX, X8, X8    // wk as float64
+	VMULSD X9, X8, X7        // wk * ratio
+	VADDSD X7, X12, X12      // s1 += wk * ratio
+	VMULSD X10, X11, X6      // siteD2 * inv
+	VMULSD X9, X9, X5        // ratio^2
+	VSUBSD X5, X6, X6        // siteD2*inv - ratio^2
+	VMULSD X6, X8, X6        // * wk
+	VADDSD X6, X13, X13      // s2 += ...
+
+mkznext:
+	ADDQ $128, SI
+	DECQ CX
+	JNZ mkzloop
+	VMOVSD X12, d1+32(FP)
+	VMOVSD X13, d2+40(FP)
+	VZEROUPPER
+	RET

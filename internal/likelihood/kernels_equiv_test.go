@@ -1,0 +1,252 @@
+package likelihood
+
+import (
+	"math"
+	"testing"
+
+	"raxml/internal/msa"
+	"raxml/internal/rng"
+)
+
+// TestKernelEquivalence is the property test pinning every non-scalar
+// kernel set to the scalar reference: randomized inputs — wide magnitude
+// spread, values parked just above and below scaleThreshold, zero
+// pattern weights, all 16 tip codes — go through both implementations
+// of each kernel-table entry, and the outputs must agree to 1e-12
+// relative with IDENTICAL scale counters. The asm is designed
+// bit-identical (same pairwise association, no FMA), so in practice the
+// comparison is exact; the 1e-12 band is the contract docs/kernels.md
+// promises. All generated values are finite: the rescale decision of
+// the scalar short-circuit chain and the asm VMAXPD reduction agree on
+// every finite input but may differ on NaN lanes, which no engine path
+// produces.
+func TestKernelEquivalence(t *testing.T) {
+	alt := make([]*kernelTable, 0, 1)
+	if avx2Supported() {
+		alt = append(alt, avx2KernelTable())
+	}
+	if len(alt) == 0 {
+		t.Log("no accelerated kernel table on this platform/build; scalar reference runs unchallenged")
+	}
+
+	// magnitudes spreads CLV-like inputs across the dynamic range the
+	// engine actually visits, weighted toward the interesting edges: a
+	// lane product of two ~1e-129 values or one matrix-propagated
+	// ~1e-258 value lands within a few decades of scaleThreshold
+	// (1e-256), exercising both sides of the rescale branch.
+	magnitudes := []float64{1.0, 1e-3, 1e-60, 1e-129, 1e-140, 1e-250, 1e-258, 1e-300}
+	randVals := func(r *rng.RNG, n int) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = (0.05 + r.Float64()) * magnitudes[r.Intn(len(magnitudes))]
+		}
+		return out
+	}
+	randBlocks := func(r *rng.RNG, n int) []float64 {
+		// One shared magnitude per 16-lane pattern block so whole
+		// patterns sink below scaleThreshold together — the only way
+		// the rescale branch fires with real CLVs.
+		out := make([]float64, n*16)
+		for k := 0; k < n; k++ {
+			m := magnitudes[r.Intn(len(magnitudes))]
+			for i := 0; i < 16; i++ {
+				out[k*16+i] = (0.05 + r.Float64()) * m
+			}
+		}
+		return out
+	}
+	randMats := func(r *rng.RNG) [][16]float64 {
+		pm := make([][16]float64, 4)
+		for c := range pm {
+			for i := range pm[c] {
+				pm[c][i] = r.Float64()
+			}
+		}
+		return pm
+	}
+	randCodes := func(r *rng.RNG, n int) []msa.State {
+		out := make([]msa.State, n)
+		for i := range out {
+			out[i] = msa.State(r.Intn(16))
+		}
+		return out
+	}
+	randScales := func(r *rng.RNG, n int) []int32 {
+		out := make([]int32, n)
+		for i := range out {
+			out[i] = int32(r.Intn(4))
+		}
+		return out
+	}
+	checkClose := func(t *testing.T, name string, trial int, what string, idx int, ref, got float64) {
+		t.Helper()
+		if ref == got {
+			return
+		}
+		denom := math.Abs(ref)
+		if denom < 1 {
+			denom = 1
+		}
+		if math.Abs(ref-got)/denom > 1e-12 {
+			t.Fatalf("trial %d: %s[%d]: scalar %g vs %s %g", trial, what, idx, ref, name, got)
+		}
+	}
+
+	t.Run("newviewII4", func(t *testing.T) {
+		r := rng.New(0x11)
+		for trial := 0; trial < 300; trial++ {
+			n := 1 + r.Intn(48)
+			lv, rv := randBlocks(r, n), randBlocks(r, n)
+			pL, pR := randMats(r), randMats(r)
+			lsc, rsc := randScales(r, n), randScales(r, n)
+			ref := make([]float64, n*16)
+			refSC := make([]int32, n)
+			scalarKernels.newviewII4(ref, lv, rv, pL, pR, lsc, rsc, refSC)
+			for _, kt := range alt {
+				got := make([]float64, n*16)
+				gotSC := make([]int32, n)
+				kt.newviewII4(got, lv, rv, pL, pR, lsc, rsc, gotSC)
+				for k := 0; k < n; k++ {
+					if refSC[k] != gotSC[k] {
+						t.Fatalf("trial %d: pattern %d scale count: scalar %d vs %s %d", trial, k, refSC[k], kt.name, gotSC[k])
+					}
+				}
+				for i := range ref {
+					checkClose(t, kt.name, trial, "clv", i, ref[i], got[i])
+				}
+			}
+		}
+	})
+
+	t.Run("newviewTT4", func(t *testing.T) {
+		r := rng.New(0x22)
+		for trial := 0; trial < 300; trial++ {
+			n := 1 + r.Intn(48)
+			lutL, lutR := randVals(r, 256), randVals(r, 256)
+			codesL, codesR := randCodes(r, n), randCodes(r, n)
+			ref := make([]float64, n*16)
+			refSC := make([]int32, n)
+			scalarKernels.newviewTT4(ref, codesL, codesR, lutL, lutR, refSC)
+			for _, kt := range alt {
+				got := make([]float64, n*16)
+				gotSC := make([]int32, n)
+				kt.newviewTT4(got, codesL, codesR, lutL, lutR, gotSC)
+				for k := 0; k < n; k++ {
+					if refSC[k] != gotSC[k] {
+						t.Fatalf("trial %d: pattern %d scale count: scalar %d vs %s %d", trial, k, refSC[k], kt.name, gotSC[k])
+					}
+				}
+				for i := range ref {
+					checkClose(t, kt.name, trial, "clv", i, ref[i], got[i])
+				}
+			}
+		}
+	})
+
+	t.Run("newviewTI4", func(t *testing.T) {
+		r := rng.New(0x33)
+		for trial := 0; trial < 300; trial++ {
+			n := 1 + r.Intn(48)
+			lut := randVals(r, 256)
+			iv := randBlocks(r, n)
+			pm := randMats(r)
+			codes := randCodes(r, n)
+			isc := randScales(r, n)
+			ref := make([]float64, n*16)
+			refSC := make([]int32, n)
+			scalarKernels.newviewTI4(ref, codes, lut, iv, pm, isc, refSC)
+			for _, kt := range alt {
+				got := make([]float64, n*16)
+				gotSC := make([]int32, n)
+				kt.newviewTI4(got, codes, lut, iv, pm, isc, gotSC)
+				for k := 0; k < n; k++ {
+					if refSC[k] != gotSC[k] {
+						t.Fatalf("trial %d: pattern %d scale count: scalar %d vs %s %d", trial, k, refSC[k], kt.name, gotSC[k])
+					}
+				}
+				for i := range ref {
+					checkClose(t, kt.name, trial, "clv", i, ref[i], got[i])
+				}
+			}
+		}
+	})
+
+	t.Run("mkzCoreG4", func(t *testing.T) {
+		r := rng.New(0x44)
+		for trial := 0; trial < 300; trial++ {
+			n := 1 + r.Intn(48)
+			tbl := randBlocks(r, n)
+			w := make([]int, n)
+			for i := range w {
+				// Zero weights (invariant-site columns folded elsewhere,
+				// rank stripes padding their tail) must be skipped by
+				// both paths without touching the sums.
+				if r.Intn(4) == 0 {
+					w[i] = 0
+				} else {
+					w[i] = 1 + r.Intn(50)
+				}
+			}
+			var pw [48]float64
+			for i := range pw {
+				pw[i] = (0.05 + r.Float64()) * magnitudes[r.Intn(3)]
+			}
+			refD1, refD2 := scalarKernels.mkzCoreG4(tbl, w, &pw)
+			for _, kt := range alt {
+				gotD1, gotD2 := kt.mkzCoreG4(tbl, w, &pw)
+				checkClose(t, kt.name, trial, "d1", 0, refD1, gotD1)
+				checkClose(t, kt.name, trial, "d2", 0, refD2, gotD2)
+			}
+		}
+	})
+}
+
+// TestKernelEquivalenceAtThreshold parks lane values deliberately on a
+// narrow band around scaleThreshold — the branch the two rescale idioms
+// (scalar short-circuit chain, asm VMAXPD + single compare) must decide
+// identically — and checks the CLVs and counters still match. The
+// knife-edge is safe to probe because both paths compare the SAME
+// computed values against the same constant; only the control-flow
+// shape differs.
+func TestKernelEquivalenceAtThreshold(t *testing.T) {
+	if !avx2Supported() {
+		t.Skip("no accelerated kernel table on this platform/build")
+	}
+	kt := avx2KernelTable()
+	r := rng.New(0x55)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(16)
+		lv := make([]float64, n*16)
+		rv := make([]float64, n*16)
+		for i := range lv {
+			// Products of two ~sqrt(threshold) factors straddle the
+			// threshold within a few ulps-to-decades.
+			s := math.Sqrt(scaleThreshold) * (0.9 + 0.2*r.Float64())
+			lv[i] = s
+			rv[i] = s * (0.9 + 0.2*r.Float64())
+		}
+		pm := make([][16]float64, 4)
+		for c := range pm {
+			for i := range pm[c] {
+				pm[c][i] = 0.9 + 0.1*r.Float64()
+			}
+		}
+		lsc, rsc := make([]int32, n), make([]int32, n)
+		ref := make([]float64, n*16)
+		refSC := make([]int32, n)
+		scalarKernels.newviewII4(ref, lv, rv, pm, pm, lsc, rsc, refSC)
+		got := make([]float64, n*16)
+		gotSC := make([]int32, n)
+		kt.newviewII4(got, lv, rv, pm, pm, lsc, rsc, gotSC)
+		for k := 0; k < n; k++ {
+			if refSC[k] != gotSC[k] {
+				t.Fatalf("trial %d: pattern %d scale count at threshold: scalar %d vs %s %d", trial, k, refSC[k], kt.name, gotSC[k])
+			}
+		}
+		for i := range ref {
+			if ref[i] != got[i] {
+				t.Fatalf("trial %d: clv[%d] at threshold: scalar %g vs %s %g", trial, i, ref[i], kt.name, got[i])
+			}
+		}
+	}
+}

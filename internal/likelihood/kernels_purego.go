@@ -1,0 +1,11 @@
+//go:build !amd64 || purego
+
+package likelihood
+
+// Portable builds (non-amd64 targets, or -tags=purego anywhere) carry
+// no assembly kernels: auto resolves to the scalar reference and an
+// explicit avx2 request is rejected by SetKernelMode.
+
+func avx2Supported() bool { return false }
+
+func avx2KernelTable() *kernelTable { return nil }

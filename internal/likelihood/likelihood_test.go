@@ -2,6 +2,7 @@ package likelihood
 
 import (
 	"math"
+	"runtime"
 	"testing"
 
 	"raxml/internal/gtr"
@@ -98,7 +99,7 @@ func bruteForceLL(tr *tree.Tree, pat *msa.Patterns, model *gtr.Model, rates *gtr
 
 	patternLike := func(pattern int, rate float64) float64 {
 		// precompute P per edge for this rate
-		ps := make([][4][4]float64, len(edges))
+		ps := make([][16]float64, len(edges))
 		for i, e := range edges {
 			model.P(e.length, rate, &ps[i])
 		}
@@ -108,7 +109,7 @@ func bruteForceLL(tr *tree.Tree, pat *msa.Patterns, model *gtr.Model, rates *gtr
 			if pos == len(nodeIDs) {
 				l := model.Freqs[states[0]]
 				for i, e := range edges {
-					l *= ps[i][states[idxOf[e.parent]]][states[idxOf[e.child]]]
+					l *= ps[i][states[idxOf[e.parent]]*4+states[idxOf[e.child]]]
 				}
 				return l
 			}
@@ -709,6 +710,9 @@ func BenchmarkLogLikelihood(b *testing.B) {
 	tr := tree.Random(pat.Names, rng.New(2))
 	for _, workers := range []int{1, 2, 4} {
 		b.Run("workers="+string(rune('0'+workers)), func(b *testing.B) {
+			if workers > runtime.NumCPU() {
+				b.Skipf("%d workers oversubscribe %d CPUs: timings would measure the scheduler", workers, runtime.NumCPU())
+			}
 			pool := threads.NewPool(workers, pat.NumPatterns())
 			defer pool.Close()
 			e, err := New(pat, gtr.Default(), gtr.NewUniform(pat.NumPatterns()), Config{Pool: pool})

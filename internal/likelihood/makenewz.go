@@ -137,25 +137,23 @@ func (e *Engine) makenewzSetupChunk(ps *partState, lo, hi int) {
 	l0, l1 := lo-ps.lo, hi-ps.lo // segment-local pattern window
 	base := ps.fOff
 	dst := e.sumtable[base+l0*st : base+l1*st : base+l1*st]
-	w := e.weights[lo:hi]
-	for k := 0; k < len(w); k++ {
-		if w[k] == 0 {
-			continue // the core kernel skips the same patterns
-		}
+	n := l1 - l0
+	aOff, aStep, aCat := viewCoeffs(&va, ps)
+	bOff, bStep, bCat := viewCoeffs(&vb, ps)
+	// Every pattern is projected unconditionally — the weight-zero skip
+	// lives in the core kernel, which never reads those entries; a
+	// branch-free setup loop is cheaper than the per-pattern test.
+	for k := 0; k < n; k++ {
 		gk := lo + k // global pattern index (tip vectors are global)
-		lk := l0 + k
 		for cat := 0; cat < nCat; cat++ {
-			aBase := boolIdx(va.tip, gk*4, ps.fOff+lk*va.stride+cat*4)
-			bBase := boolIdx(vb.tip, gk*4, ps.fOff+lk*vb.stride+cat*4)
-			av := va.vec[aBase : aBase+4 : aBase+4]
-			bv := vb.vec[bBase : bBase+4 : bBase+4]
+			av := (*[4]float64)(va.vec[aOff+gk*aStep+cat*aCat:])
+			bv := (*[4]float64)(vb.vec[bOff+gk*bStep+cat*bCat:])
 			a0, a1, a2, a3 := av[0], av[1], av[2], av[3]
 			b0, b1, b2, b3 := bv[0], bv[1], bv[2], bv[3]
-			o := k*st + cat*4
-			d := dst[o : o+4 : o+4]
+			d := (*[4]float64)(dst[k*st+cat*4:])
 			for kk := 0; kk < 4; kk++ {
-				lz := left[0][kk]*a0 + left[1][kk]*a1 + left[2][kk]*a2 + left[3][kk]*a3
-				rz := right[kk][0]*b0 + right[kk][1]*b1 + right[kk][2]*b2 + right[kk][3]*b3
+				lz := (left[0*4+kk]*a0 + left[1*4+kk]*a1) + (left[2*4+kk]*a2 + left[3*4+kk]*a3)
+				rz := (right[kk*4+0]*b0 + right[kk*4+1]*b1) + (right[kk*4+2]*b2 + right[kk*4+3]*b3)
 				d[kk] = lz * rz
 			}
 		}
@@ -198,24 +196,40 @@ func (e *Engine) makenewzCoreChunk(ps *partState, lo, hi int) (d1, d2 float64) {
 			if wk == 0 {
 				continue
 			}
-			o := k * 4
-			t := tbl[o : o+4 : o+4]
+			t := (*[4]float64)(tbl[k*4:])
 			t0, t1, t2, t3 := t[0], t[1], t[2], t[3]
 			c := pcat[k] * 4
-			siteL := wE[c]*t0 + wE[c+1]*t1 + wE[c+2]*t2 + wE[c+3]*t3
-			siteD1 := w1[c]*t0 + w1[c+1]*t1 + w1[c+2]*t2 + w1[c+3]*t3
-			siteD2 := w2[c]*t0 + w2[c+1]*t1 + w2[c+2]*t2 + w2[c+3]*t3
+			siteL := (wE[c]*t0 + wE[c+1]*t1) + (wE[c+2]*t2 + wE[c+3]*t3)
 			if siteL < math.SmallestNonzeroFloat64 {
 				continue
 			}
-			ratio := siteD1 / siteL
+			siteD1 := (w1[c]*t0 + w1[c+1]*t1) + (w1[c+2]*t2 + w1[c+3]*t3)
+			siteD2 := (w2[c]*t0 + w2[c+1]*t1) + (w2[c+2]*t2 + w2[c+3]*t3)
+			inv := 1 / siteL
+			ratio := siteD1 * inv
 			s1 += float64(wk) * ratio
-			s2 += float64(wk) * (siteD2/siteL - ratio*ratio)
+			s2 += float64(wk) * (siteD2*inv - ratio*ratio)
 		}
 		return s1, s2
 	}
 
 	probs := ps.rates.Probs
+	if nCat == 4 {
+		// Fold the category probabilities into the factor block once per
+		// chunk, then hand the branch-light 16-wide reduction to the
+		// bound kernel (scalar reference or AVX2 asm).
+		var pw [48]float64
+		for c := 0; c < 4; c++ {
+			pr := probs[c]
+			for j := 0; j < 4; j++ {
+				pw[c*4+j] = pr * wE[c*4+j]
+				pw[16+c*4+j] = pr * w1[c*4+j]
+				pw[32+c*4+j] = pr * w2[c*4+j]
+			}
+		}
+		return e.kern.mkzCoreG4(tbl, w, &pw)
+	}
+
 	for k := 0; k < len(w); k++ {
 		wk := w[k]
 		if wk == 0 {
@@ -224,21 +238,21 @@ func (e *Engine) makenewzCoreChunk(ps *partState, lo, hi int) (d1, d2 float64) {
 		o := k * st
 		var siteL, siteD1, siteD2 float64
 		for cat := 0; cat < nCat; cat++ {
-			ob := o + cat*4
-			t := tbl[ob : ob+4 : ob+4]
+			t := (*[4]float64)(tbl[o+cat*4:])
 			t0, t1, t2, t3 := t[0], t[1], t[2], t[3]
 			c := cat * 4
 			pr := probs[cat]
-			siteL += pr * (wE[c]*t0 + wE[c+1]*t1 + wE[c+2]*t2 + wE[c+3]*t3)
-			siteD1 += pr * (w1[c]*t0 + w1[c+1]*t1 + w1[c+2]*t2 + w1[c+3]*t3)
-			siteD2 += pr * (w2[c]*t0 + w2[c+1]*t1 + w2[c+2]*t2 + w2[c+3]*t3)
+			siteL += pr * ((wE[c]*t0 + wE[c+1]*t1) + (wE[c+2]*t2 + wE[c+3]*t3))
+			siteD1 += pr * ((w1[c]*t0 + w1[c+1]*t1) + (w1[c+2]*t2 + w1[c+3]*t3))
+			siteD2 += pr * ((w2[c]*t0 + w2[c+1]*t1) + (w2[c+2]*t2 + w2[c+3]*t3))
 		}
 		if siteL < math.SmallestNonzeroFloat64 {
 			continue
 		}
-		ratio := siteD1 / siteL
+		inv := 1 / siteL
+		ratio := siteD1 * inv
 		s1 += float64(wk) * ratio
-		s2 += float64(wk) * (siteD2/siteL - ratio*ratio)
+		s2 += float64(wk) * (siteD2*inv - ratio*ratio)
 	}
 	return s1, s2
 }

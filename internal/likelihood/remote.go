@@ -673,7 +673,7 @@ func (e *Engine) prepareWireTraversal(entries []WireEntry) {
 	nc := e.totalCats
 	need := 2 * nc * n
 	if cap(e.travP) < need {
-		e.travP = make([][4][4]float64, need)
+		e.travP = make([][16]float64, need)
 	}
 	e.travP = e.travP[:need]
 	lutSize := 16 * nc * 4

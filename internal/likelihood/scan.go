@@ -82,6 +82,10 @@ func (e *Engine) insertScanChunk(ps *partState, lo, hi int) float64 {
 	if e.isCAT {
 		pcat = ps.rates.PatternCategory
 	}
+	probs := ps.rates.Probs
+	x0, xStep, xCat := viewCoeffs(&vx, ps)
+	y0, yStep, yCat := viewCoeffs(&vy, ps)
+	s0, sStep, sCat := viewCoeffs(&vs, ps)
 
 	sum := 0.0
 	for k := lo; k < hi; k++ {
@@ -96,26 +100,25 @@ func (e *Engine) insertScanChunk(ps *partState, lo, hi int) float64 {
 			if pcat != nil {
 				pc = pcat[lk]
 			}
-			px := &pLeft[pc]
-			py := &pRight[pc]
-			pss := &pEval[pc]
-			xB := boolIdx(vx.tip, k*4, ps.fOff+lk*vx.stride+cat*4)
-			yB := boolIdx(vy.tip, k*4, ps.fOff+lk*vy.stride+cat*4)
-			sB := boolIdx(vs.tip, k*4, ps.fOff+lk*vs.stride+cat*4)
+			xv := (*[4]float64)(vx.vec[x0+k*xStep+cat*xCat:])
+			yv := (*[4]float64)(vy.vec[y0+k*yStep+cat*yCat:])
+			sv := (*[4]float64)(vs.vec[s0+k*sStep+cat*sCat:])
+			x1, x2, x3, x4 := xv[0], xv[1], xv[2], xv[3]
+			y1, y2, y3, y4 := yv[0], yv[1], yv[2], yv[3]
+			s1, s2, s3, s4 := sv[0], sv[1], sv[2], sv[3]
+			px, py, pe := &pLeft[pc], &pRight[pc], &pEval[pc]
 			catL := 0.0
 			for s := 0; s < 4; s++ {
-				ax := px[s][0]*vx.vec[xB] + px[s][1]*vx.vec[xB+1] +
-					px[s][2]*vx.vec[xB+2] + px[s][3]*vx.vec[xB+3]
-				ay := py[s][0]*vy.vec[yB] + py[s][1]*vy.vec[yB+1] +
-					py[s][2]*vy.vec[yB+2] + py[s][3]*vy.vec[yB+3]
-				ac := pss[s][0]*vs.vec[sB] + pss[s][1]*vs.vec[sB+1] +
-					pss[s][2]*vs.vec[sB+2] + pss[s][3]*vs.vec[sB+3]
+				sb := s * 4
+				ax := (px[sb]*x1 + px[sb+1]*x2) + (px[sb+2]*x3 + px[sb+3]*x4)
+				ay := (py[sb]*y1 + py[sb+1]*y2) + (py[sb+2]*y3 + py[sb+3]*y4)
+				ac := (pe[sb]*s1 + pe[sb+1]*s2) + (pe[sb+2]*s3 + pe[sb+3]*s4)
 				catL += freqs[s] * ax * ay * ac
 			}
 			if e.isCAT {
 				site = catL
 			} else {
-				site += ps.rates.Probs[cat] * catL
+				site += probs[cat] * catL
 			}
 		}
 		logSite := math.Log(math.Max(site, math.SmallestNonzeroFloat64))

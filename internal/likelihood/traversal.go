@@ -76,7 +76,7 @@ type travEntry struct {
 	// [partition.pOff + category] (subslices of the engine's arena):
 	// branch lengths are linked, but every partition's model produces
 	// its own matrices.
-	pL, pR [][4][4]float64
+	pL, pR [][16]float64
 	// lutL, lutR are the tip lookup tables, one 16-code block per
 	// partition at [64*partition.pOff] (subslices of e.travLUT); nil
 	// for internal children.
@@ -155,7 +155,7 @@ func (e *Engine) childOf(node, slot int) travChild {
 // unambiguous codes (the overwhelming majority) are straight P-column
 // copies. For partitioned engines this is called once per partition
 // with that partition's matrix and LUT blocks.
-func fillTipLUT(lut []float64, pm [][4][4]float64, mask uint16) {
+func fillTipLUT(lut []float64, pm [][16]float64, mask uint16) {
 	nc := len(pm)
 	for c := 0; c < nc; c++ {
 		p := &pm[c]
@@ -170,17 +170,17 @@ func fillTipLUT(lut []float64, pm [][4][4]float64, mask uint16) {
 				for code>>uint(j+1) != 0 {
 					j++
 				}
-				lut[base+0] = p[0][j]
-				lut[base+1] = p[1][j]
-				lut[base+2] = p[2][j]
-				lut[base+3] = p[3][j]
+				lut[base+0] = p[0*4+j]
+				lut[base+1] = p[1*4+j]
+				lut[base+2] = p[2*4+j]
+				lut[base+3] = p[3*4+j]
 				continue
 			}
 			for s := 0; s < 4; s++ {
 				sum := 0.0
 				for j := 0; j < 4; j++ {
 					if code&(1<<uint(j)) != 0 {
-						sum += p[s][j]
+						sum += p[s*4+j]
 					}
 				}
 				lut[base+s] = sum
@@ -209,7 +209,7 @@ func (e *Engine) prepareTraversal() {
 	nc := e.totalCats
 	need := 2 * nc * n
 	if cap(e.travP) < need {
-		e.travP = make([][4][4]float64, need)
+		e.travP = make([][16]float64, need)
 	}
 	e.travP = e.travP[:need]
 

@@ -112,7 +112,7 @@ func Generate(cfg Config) (*msa.Alignment, *tree.Tree, error) {
 	}
 	states[root] = rootStates
 
-	ps := make([][4][4]float64, rateClasses)
+	ps := make([][16]float64, rateClasses)
 	var walk func(node, parent int)
 	walk = func(node, parent int) {
 		for _, v := range t.Nodes[node].Neighbors {
@@ -131,7 +131,7 @@ func Generate(cfg Config) (*msa.Alignment, *tree.Tree, error) {
 					child[site] = parentStates[site]
 					continue
 				}
-				child[site] = sampleIndex(r, ps[cls][parentStates[site]][:])
+				child[site] = sampleIndex(r, ps[cls][int(parentStates[site])*4:int(parentStates[site])*4+4])
 			}
 			states[v] = child
 			walk(v, node)

@@ -7,10 +7,15 @@
 //
 // Usage:
 //
-//	go test -run '^$' -bench . ./internal/likelihood/ | \
+//	go test -run '^$' -bench . -count=3 ./internal/likelihood/ | \
 //	    go run ./scripts/benchdiff.go -baseline BENCH_BASELINE.json
 //
 //	go run ./scripts/benchdiff.go -bench out.txt -baseline BENCH_BASELINE.json -update
+//
+// Run the sweep with -count=3 (or more): every sample of a benchmark is
+// collected and the per-key MEDIAN is what gets compared — and, with
+// -update, written to the baseline — so one descheduled sample on a
+// noisy machine neither fails the gate nor poisons the recorded value.
 //
 // Benchmarks are keyed as "<import path>/<benchmark name>" (the
 // GOMAXPROCS "-N" suffix is stripped), and only keys matching the -gate
@@ -55,9 +60,12 @@ var (
 	procsTail = regexp.MustCompile(`-\d+$`)
 )
 
-// parseBench extracts "<pkg>/<name>" → ns/op from go test -bench output.
+// parseBench extracts "<pkg>/<name>" → median ns/op from go test -bench
+// output. Repeated samples of one benchmark (-count=N) are collected
+// per key and reduced to their median, so a single outlier sample does
+// not decide a gate.
 func parseBench(r io.Reader) (map[string]float64, string, error) {
-	out := map[string]float64{}
+	samples := map[string][]float64{}
 	cpu := ""
 	pkg := ""
 	buf, err := io.ReadAll(r)
@@ -87,9 +95,24 @@ func parseBench(r io.Reader) (map[string]float64, string, error) {
 		if pkg != "" {
 			key = pkg + "/" + name
 		}
-		out[key] = ns
+		samples[key] = append(samples[key], ns)
+	}
+	out := make(map[string]float64, len(samples))
+	for k, s := range samples {
+		out[k] = median(s)
 	}
 	return out, cpu, nil
+}
+
+// median returns the middle sample (mean of the middle two for even
+// counts). s must be non-empty; it is sorted in place.
+func median(s []float64) float64 {
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
 }
 
 func main() {
