@@ -64,6 +64,15 @@ func Raxml(args []string, stdout io.Writer) error {
 		fgConn   = fs.String("fine-connect", "", "internal: master address a fine-grain worker dials")
 		fgRank   = fs.Int("fine-rank", 0, "internal: this fine-grain worker's rank")
 		fgRanks  = fs.Int("fine-ranks", 0, "internal: fine-grain world size")
+
+		gridN        = fs.Int("grid", -1, "run the comprehensive analysis on the elastic grid scheduler over this many worker ranks (0 = master-local serial reference)")
+		gridNet      = fs.String("grid-transport", "chan", "grid fleet fabric: chan (in-process workers) or tcp (spawned worker processes)")
+		gridStarts   = fs.Int("starts", 1, "grid: independent ML searches (-grid mode; -N sets the bootstrap replicates)")
+		gridBatch    = fs.Int("grid-batch", 5, "grid: bootstrap replicates per job — the unit of coarse parallelism and checkpointing")
+		gridBootstop = fs.Bool("grid-bootstop", false, "grid: treat -N as the per-round increment and add rounds until the WC test converges")
+		gridKill     = fs.Int("grid-kill-after", 0, "grid chaos: kill one worker at this checkpoint ordinal (0 = never)")
+		gridWorker   = fs.Bool("grid-worker", false, "internal: run as a spawned grid worker process")
+		gridConn     = fs.String("grid-connect", "", "internal: star listener address a grid worker dials")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,6 +87,9 @@ func Raxml(args []string, stdout io.Writer) error {
 		// Spawned worker mode: everything arrives over the wire; the
 		// usual input-file flags are neither needed nor read.
 		return RaxmlWorker(*fgConn, *fgRank, *fgRanks, os.Stderr)
+	}
+	if *gridWorker {
+		return RaxmlGridWorker(*gridConn, os.Stderr)
 	}
 	if *alignFile == "" {
 		fs.Usage()
@@ -178,6 +190,17 @@ func Raxml(args []string, stdout io.Writer) error {
 		EmpiricalFreqs: true,
 	}
 
+	if *gridN >= 0 {
+		return runGrid(pat, opts, gridParams{
+			workers:   *gridN,
+			transport: *gridNet,
+			starts:    *gridStarts,
+			batch:     *gridBatch,
+			bootstop:  *gridBootstop,
+			killAfter: *gridKill,
+			kernels:   *kernels,
+		}, *runName, *outDir, stdout)
+	}
 	if *fine {
 		switch *analysis {
 		case "e":

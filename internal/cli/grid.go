@@ -1,0 +1,244 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"raxml/internal/core"
+	"raxml/internal/fabric"
+	"raxml/internal/finegrain"
+	"raxml/internal/grid"
+	"raxml/internal/msa"
+	"raxml/internal/tree"
+)
+
+// This file wires the elastic grid scheduler (-grid) into the raxml
+// tool: one comprehensive analysis — ML starts, rapid-bootstrap
+// replicate batches, bootstopping, consensus — scheduled as a job DAG
+// over a fleet of R fine-grain worker ranks. With -grid-transport chan
+// the fleet is in-process goroutines; with tcp the master spawns R
+// copies of its own binary in grid-worker mode, each dialing back and
+// announcing its PID — real OS processes that chaos runs can SIGKILL
+// (-grid-kill-after) to exercise checkpoint/re-stripe recovery.
+
+// gridParams carries the -grid* flag values into runGrid.
+type gridParams struct {
+	workers   int    // fleet size R (0: every job runs master-local)
+	transport string // chan or tcp
+	starts    int    // independent ML searches
+	batch     int    // replicates per bootstrap job
+	bootstop  bool   // adaptive rounds under the WC test
+	killAfter int    // chaos: kill one worker at this checkpoint ordinal
+	kernels   string // propagated to spawned workers
+}
+
+// RaxmlGridWorker runs one spawned grid worker process: dial the
+// master's star listener announcing our PID, then serve fine-grain
+// sessions — init/job/release cycles from whichever grid job leases
+// this rank — until shutdown or the master goes away.
+func RaxmlGridWorker(connect string, stderr io.Writer) error {
+	link, err := fabric.DialStar(connect, os.Getpid())
+	if err != nil {
+		return fmt.Errorf("grid worker: %w", err)
+	}
+	if err := finegrain.ServeSessions(fabric.WorkerTransport(link)); err != nil {
+		fmt.Fprintf(stderr, "raxml grid worker pid %d: %v\n", os.Getpid(), err)
+		return err
+	}
+	return nil
+}
+
+// runGrid executes the comprehensive analysis as a grid workload and
+// writes the standard output files plus the JSONL event trace.
+func runGrid(pat *msa.Patterns, opts core.Options, p gridParams, runName, outDir string, stdout io.Writer) error {
+	tracePath := filepath.Join(outDir, "RAxML_gridTrace."+runName+".jsonl")
+	traceFile, err := os.Create(tracePath)
+	if err != nil {
+		return err
+	}
+	defer traceFile.Close()
+	tracer := grid.NewTracer(traceFile)
+
+	fleet := grid.NewFleet(tracer)
+	switch p.transport {
+	case "", "chan":
+		fleet.SpawnLocal(p.workers)
+	case "tcp":
+		stop, err := spawnGridWorkers(fleet, p.workers, p.kernels, stdout)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	default:
+		return fmt.Errorf("unknown -grid-transport %q (want chan or tcp)", p.transport)
+	}
+
+	fmt.Fprintf(stdout, "Grid analysis: %d ML starts + %d bootstrap replicates over %d worker ranks (%s), %d threads/rank\n",
+		p.starts, opts.Bootstraps, p.workers, orChan(p.transport), opts.Workers)
+	cfg := grid.Config{
+		Fleet:          fleet,
+		Tracer:         tracer,
+		ThreadsPerRank: opts.Workers,
+	}
+	if p.killAfter > 0 {
+		killed := false
+		cfg.OnCheckpoint = func(job string, ordinal int) {
+			if ordinal == p.killAfter && !killed {
+				killed = true
+				if victim, ok := fleet.Kill(job); ok {
+					fmt.Fprintf(stdout, "chaos: killed worker %d at checkpoint %d\n", victim, ordinal)
+				}
+			}
+		}
+	}
+	g := grid.New(cfg)
+	analysis := &grid.Analysis{
+		Pat:        pat,
+		Opts:       opts,
+		Starts:     p.starts,
+		Replicates: opts.Bootstraps,
+		Batch:      p.batch,
+		Bootstop:   p.bootstop,
+	}
+	start := time.Now()
+	res, err := analysis.Build(g)
+	if err != nil {
+		return err
+	}
+	if err := g.Run(); err != nil {
+		return fmt.Errorf("grid run (trace: %s): %w", tracePath, err)
+	}
+	fleet.Shutdown()
+	elapsed := time.Since(start)
+	return writeGridResult(res, analysis, p, tracePath, runName, outDir, elapsed, stdout)
+}
+
+// spawnGridWorkers starts n worker processes dialing back over TCP and
+// blocks until the fleet has admitted them all. The returned stop
+// function closes the listener and reaps the processes; worker exit
+// status is deliberately ignored — chaos runs SIGKILL workers
+// mid-flight, and a clean grid run shuts its workers down explicitly.
+func spawnGridWorkers(fleet *grid.Fleet, n int, kernels string, stdout io.Writer) (stop func(), err error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("locating own binary for worker spawn: %w", err)
+	}
+	ln, err := fabric.ListenStar("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	fleet.AcceptFrom(ln)
+	fmt.Fprintf(stdout, "grid: spawning %d worker processes (transport tcp, %s)\n", n, ln.Addr())
+	procs := make([]*exec.Cmd, 0, n)
+	stop = func() {
+		ln.Close()
+		for _, cmd := range procs {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(exe,
+			"-grid-worker",
+			"-kernels", kernels,
+			"-grid-connect", ln.Addr(),
+		)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			stop()
+			return nil, fmt.Errorf("spawning grid worker %d: %w", i, err)
+		}
+		procs = append(procs, cmd)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for fleet.NumAlive() < n {
+		if time.Now().After(deadline) {
+			stop()
+			return nil, fmt.Errorf("grid: only %d of %d workers joined within 30s", fleet.NumAlive(), n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return stop, nil
+}
+
+func orChan(transport string) string {
+	if transport == "" {
+		return "chan"
+	}
+	return transport
+}
+
+// writeGridResult writes the comprehensive-analysis output files from a
+// grid result: best tree, support-annotated best tree, replicate trees,
+// greedy consensus, and the info summary.
+func writeGridResult(res *grid.Result, a *grid.Analysis, p gridParams, tracePath, runName, outDir string, elapsed time.Duration, stdout io.Writer) error {
+	var paths []string
+	write := func(name, content string) error {
+		path := filepath.Join(outDir, name+"."+runName)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			return err
+		}
+		paths = append(paths, path)
+		return nil
+	}
+	if len(res.Starts) > 0 {
+		if err := write("RAxML_bestTree", res.Best.Newick+"\n"); err != nil {
+			return err
+		}
+		if res.BestAnnotated != "" {
+			if err := write("RAxML_bipartitions", res.BestAnnotated+"\n"); err != nil {
+				return err
+			}
+		}
+	}
+	if len(res.Replicates) > 0 {
+		var all strings.Builder
+		for _, r := range res.Replicates {
+			nw, err := tree.FormatNewick(r.Tree, nil)
+			if err != nil {
+				return err
+			}
+			all.WriteString(nw)
+			all.WriteByte('\n')
+		}
+		if err := write("RAxML_bootstrap", all.String()); err != nil {
+			return err
+		}
+		if err := write("RAxML_GreedyConsensusTree", res.ConsensusNewick+"\n"); err != nil {
+			return err
+		}
+	}
+	var info strings.Builder
+	fmt.Fprintf(&info, `grid comprehensive analysis (%s)
+alignment: %d taxa, %d patterns
+worker ranks: %d (%s)  threads/rank: %d
+ML starts: %d  bootstrap replicates: %d (batch %d, %d rounds)
+bootstop: converged=%v WC-distance=%.6f
+best final log-likelihood: %.6f (start %d)
+elapsed: %s
+trace: %s
+`, a.Opts.Model, a.Pat.NumTaxa(), a.Pat.NumPatterns(),
+		p.workers, orChan(p.transport), a.Opts.Workers,
+		len(res.Starts), len(res.Replicates), a.Batch, res.Rounds,
+		res.Converged, res.WCDistance,
+		res.Best.LogLikelihood, res.Best.Index,
+		elapsed.Round(time.Millisecond), tracePath)
+	if err := write("RAxML_info", info.String()); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "Grid run done in %s: %d rounds, %d replicates, converged=%v\n",
+		elapsed.Round(time.Millisecond), res.Rounds, len(res.Replicates), res.Converged)
+	if len(res.Starts) > 0 {
+		fmt.Fprintf(stdout, "Best log-likelihood: %.6f (start %d)\n", res.Best.LogLikelihood, res.Best.Index)
+	}
+	for _, path := range paths {
+		fmt.Fprintf(stdout, "Wrote %s\n", path)
+	}
+	fmt.Fprintf(stdout, "Event trace:         %s\n", tracePath)
+	return nil
+}

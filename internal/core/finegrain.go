@@ -6,6 +6,7 @@ import (
 
 	"raxml/internal/fabric"
 	"raxml/internal/finegrain"
+	"raxml/internal/gtr"
 	"raxml/internal/likelihood"
 	"raxml/internal/msa"
 	"raxml/internal/parsimony"
@@ -57,6 +58,34 @@ func WithFineEngine(pat *msa.Patterns, opts Options, tr fabric.Transport, body f
 		return err
 	}
 	return run(eng)
+}
+
+// NewPartitionSet builds the per-partition model set the options
+// describe — exported for the grid scheduler, whose jobs rebuild their
+// model set from the origin on every re-stripe attempt (model state
+// mutates during a run; a resumed attempt must not inherit a
+// half-optimized set).
+func NewPartitionSet(pat *msa.Patterns, opts Options) (*gtr.PartitionSet, error) {
+	opts = opts.withDefaults()
+	return buildPartitionSet(pat, opts)
+}
+
+// SearchOn runs ONE thorough ML search on an existing engine: stepwise-
+// addition parsimony start from parsRNG, then the thorough SPR search —
+// the per-job unit of RunFineSearches, exposed so the grid scheduler
+// can run each start as its own DAG job with its own seed stream. The
+// parsimony start tree is built master-side on a temporary full-axis
+// crew of opts.Workers threads, exactly as in RunFineSearches.
+func SearchOn(eng *likelihood.Engine, pat *msa.Patterns, opts Options, parsRNG *rng.RNG) (*search.Result, error) {
+	opts = opts.withDefaults()
+	parsPool := newPool(pat, opts.Workers)
+	defer parsPool.Close()
+	pars := parsimony.New(pat, parsPool)
+	settings := search.Thorough()
+	if opts.ThoroughSettings != nil {
+		settings = *opts.ThoroughSettings
+	}
+	return search.Run(eng, pars.StepwiseAddition(parsRNG), settings)
 }
 
 // EvaluateTreeFine is EvaluateTree (-f e) over the distributed fine

@@ -1,0 +1,171 @@
+package fabric
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// exerciseLink round-trips frames both ways over a master/worker link
+// pair and checks close semantics kill both ends.
+func exerciseLink(t *testing.T, master, worker Link) {
+	t.Helper()
+	if err := master.Send(3, []byte("job")); err != nil {
+		t.Fatal(err)
+	}
+	tag, payload, err := worker.Recv()
+	if err != nil || tag != 3 || string(payload) != "job" {
+		t.Fatalf("worker got (%d, %q, %v), want (3, job, nil)", tag, payload, err)
+	}
+	if err := worker.Send(4, []byte("partial")); err != nil {
+		t.Fatal(err)
+	}
+	tag, payload, err = master.Recv()
+	if err != nil || tag != 4 || string(payload) != "partial" {
+		t.Fatalf("master got (%d, %q, %v), want (4, partial, nil)", tag, payload, err)
+	}
+	// Sent-before-close frames are still delivered (drain-first).
+	if err := master.Send(5, nil); err != nil {
+		t.Fatal(err)
+	}
+	master.Close()
+	if tag, _, err := worker.Recv(); err != nil || tag != 5 {
+		t.Fatalf("post-close drain got (%d, %v), want (5, nil)", tag, err)
+	}
+	if _, _, err := worker.Recv(); err == nil {
+		t.Fatal("Recv on killed link succeeded")
+	}
+	// Sends fail too — eventually, on TCP, where the kernel may buffer
+	// writes until the peer's reset surfaces.
+	for i := 0; ; i++ {
+		if err := worker.Send(6, make([]byte, 1<<16)); err != nil {
+			break
+		}
+		if i > 100 {
+			t.Fatal("Send on killed link never failed")
+		}
+	}
+}
+
+func TestLinkPair(t *testing.T) {
+	m, w := LinkPair()
+	exerciseLink(t, m, w)
+}
+
+func TestTCPLinkAndStarListener(t *testing.T) {
+	ln, err := ListenStar("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var worker Link
+	var dialErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		worker, dialErr = DialStar(ln.Addr(), 4242)
+	}()
+	master, pid, err := ln.AcceptLink()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if dialErr != nil {
+		t.Fatal(dialErr)
+	}
+	if pid != 4242 {
+		t.Fatalf("announced pid %d, want 4242", pid)
+	}
+	exerciseLink(t, master, worker)
+}
+
+// TestWorkerTransportMasterGone pins the worker-side view: ANY broken
+// master link — not just a polite local Close — reads as
+// ErrTransportClosed, the serve loops' clean-exit signal.
+func TestWorkerTransportMasterGone(t *testing.T) {
+	m, w := LinkPair()
+	wt := WorkerTransport(w)
+	if err := m.Send(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if tag, _, err := wt.Recv(0); err != nil || tag != 1 {
+		t.Fatalf("Recv got (%d, %v)", tag, err)
+	}
+	m.Close() // master vanishes
+	if _, _, err := wt.Recv(0); !errors.Is(err, ErrTransportClosed) {
+		t.Fatalf("Recv after master death got %v, want ErrTransportClosed", err)
+	}
+	if err := wt.Send(0, 2, nil); !errors.Is(err, ErrTransportClosed) {
+		t.Fatalf("Send after master death got %v, want ErrTransportClosed", err)
+	}
+	if _, _, err := wt.Recv(1); err == nil {
+		t.Fatal("Recv from a non-master rank succeeded on a worker link")
+	}
+}
+
+// TestTCPTransportRankDead pins the satellite fix: a worker process
+// vanishing mid-run surfaces to the master as a typed *RankDeadError
+// carrying the rank id — not a bare EOF and not a process-fatal
+// condition — while the worker's own view of a closed master stays
+// ErrTransportClosed.
+func TestTCPTransportRankDead(t *testing.T) {
+	master, err := ListenTCP("127.0.0.1:0", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer master.Close()
+	workers := make([]*TCPTransport, 2)
+	var wg sync.WaitGroup
+	for r := 1; r <= 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			w, err := DialTCP(master.Addr(), r, 3)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			workers[r-1] = w
+		}(r)
+	}
+	if err := master.Accept(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	defer workers[1].Close()
+
+	// Rank 1 "dies" (its endpoint closes both directions, like a killed
+	// process). The master's blocked Recv must name rank 1.
+	workers[0].Close()
+	_, _, err = master.Recv(1)
+	rde := AsRankDead(err)
+	if rde == nil {
+		t.Fatalf("Recv from dead rank got %v, want *RankDeadError", err)
+	}
+	if rde.Rank != 1 {
+		t.Fatalf("RankDeadError names rank %d, want 1", rde.Rank)
+	}
+	// Sends to the dead rank eventually fail typed too (the first write
+	// after the peer reset may be buffered by the kernel, so push until
+	// the error surfaces).
+	for i := 0; ; i++ {
+		err := master.Send(1, 9, make([]byte, 1<<16))
+		if err != nil {
+			if rde := AsRankDead(err); rde == nil || rde.Rank != 1 {
+				t.Fatalf("Send to dead rank got %v, want *RankDeadError{Rank: 1}", err)
+			}
+			break
+		}
+		if i > 100 {
+			t.Fatal("Send to dead rank never failed")
+		}
+	}
+	// Rank 2 is untouched: traffic still flows.
+	if err := master.Send(2, 7, []byte("alive")); err != nil {
+		t.Fatal(err)
+	}
+	if tag, payload, err := workers[1].Recv(0); err != nil || tag != 7 || string(payload) != "alive" {
+		t.Fatalf("surviving rank got (%d, %q, %v)", tag, payload, err)
+	}
+}

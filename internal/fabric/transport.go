@@ -33,9 +33,39 @@ import (
 // counters make the paper's "one broadcast + one reduction per
 // dispatch" claim a testable quantity rather than a comment.
 
-// ErrTransportClosed is returned from transport calls after Close, or
-// when the peer's connection is gone.
+// ErrTransportClosed is returned from transport calls after this
+// endpoint's own Close.
 var ErrTransportClosed = errors.New("fabric: transport closed")
+
+// RankDeadError reports that one specific peer rank is unreachable —
+// its connection broke or its process died — while this endpoint is
+// still healthy. It is the typed signal the grid scheduler reacts to
+// (mark the rank dead, re-stripe the job's pool over survivors) where
+// the pre-grid code could only fail the whole process. Rank is the
+// dead peer's rank in whatever rank space the failing endpoint speaks
+// (a job-local rank for a job's sub-transport, a world rank for a
+// plain TCPTransport).
+type RankDeadError struct {
+	Rank int
+	Err  error
+}
+
+// Error implements error.
+func (e *RankDeadError) Error() string {
+	return fmt.Sprintf("fabric: rank %d is dead: %v", e.Rank, e.Err)
+}
+
+// Unwrap exposes the underlying transport error.
+func (e *RankDeadError) Unwrap() error { return e.Err }
+
+// AsRankDead extracts a RankDeadError from err's chain (nil if none).
+func AsRankDead(err error) *RankDeadError {
+	var rde *RankDeadError
+	if errors.As(err, &rde) {
+		return rde
+	}
+	return nil
+}
 
 // Transport moves tagged byte frames between the ranks of one worker
 // group. Rank 0 is the master; implementations must deliver frames
@@ -236,11 +266,12 @@ const tcpHello byte = 0xFF
 // its single connection to the master. Workers can only exchange frames
 // with rank 0 — the star topology is all the finegrain protocol needs.
 type TCPTransport struct {
-	rank  int
-	size  int
-	conns []*tcpConn // indexed by peer rank; nil where no link exists
-	ln    net.Listener
-	stats TransportStats
+	rank   int
+	size   int
+	conns  []*tcpConn // indexed by peer rank; nil where no link exists
+	ln     net.Listener
+	closed atomic.Bool
+	stats  TransportStats
 }
 
 type tcpConn struct {
@@ -345,21 +376,44 @@ func (t *TCPTransport) conn(peer int) (*tcpConn, error) {
 	return c, nil
 }
 
-// Send delivers one frame to rank `to`.
+// peerError types a failed read/write on the link to `peer`: the
+// endpoint's own Close yields ErrTransportClosed (the deliberate
+// teardown every serve loop treats as a clean exit), and so does a
+// vanished *master* seen from a worker — rank 0 dying IS the end of a
+// star world. Everything else — EOF, connection reset, a killed worker
+// process — becomes a typed RankDeadError the master can react to
+// (mark the rank dead, re-stripe) instead of dying.
+func (t *TCPTransport) peerError(peer int, err error) error {
+	if t.closed.Load() || errors.Is(err, net.ErrClosed) {
+		// Our own socket object was closed under a blocked call —
+		// teardown, not peer death.
+		return ErrTransportClosed
+	}
+	if t.rank != 0 && peer == 0 {
+		return ErrTransportClosed
+	}
+	return &RankDeadError{Rank: peer, Err: err}
+}
+
+// Send delivers one frame to rank `to`. A broken link surfaces as a
+// *RankDeadError carrying the peer's rank, not a process-fatal
+// condition: the sender decides whether the rank's death is fatal.
 func (t *TCPTransport) Send(to int, tag byte, payload []byte) error {
 	c, err := t.conn(to)
 	if err != nil {
 		return err
 	}
 	if err := c.write(tag, payload); err != nil {
-		return err
+		return t.peerError(to, err)
 	}
 	t.stats.MessagesSent.Add(1)
 	t.stats.BytesSent.Add(int64(len(payload)))
 	return nil
 }
 
-// Recv blocks for the next frame from rank `from`.
+// Recv blocks for the next frame from rank `from`. Peer death (EOF,
+// reset) surfaces as *RankDeadError; this endpoint's own Close as
+// ErrTransportClosed.
 func (t *TCPTransport) Recv(from int) (byte, []byte, error) {
 	c, err := t.conn(from)
 	if err != nil {
@@ -367,10 +421,7 @@ func (t *TCPTransport) Recv(from int) (byte, []byte, error) {
 	}
 	tag, payload, err := c.read()
 	if err != nil {
-		if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
-			return 0, nil, ErrTransportClosed
-		}
-		return 0, nil, err
+		return 0, nil, t.peerError(from, err)
 	}
 	t.stats.MessagesRecv.Add(1)
 	t.stats.BytesRecv.Add(int64(len(payload)))
@@ -379,6 +430,7 @@ func (t *TCPTransport) Recv(from int) (byte, []byte, error) {
 
 // Close shuts every connection (and the master's listener) down.
 func (t *TCPTransport) Close() error {
+	t.closed.Store(true)
 	var first error
 	if t.ln != nil {
 		first = t.ln.Close()

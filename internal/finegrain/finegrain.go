@@ -56,6 +56,16 @@ const (
 	TagShutdown
 	// TagErr carries a worker-side error message (worker -> master).
 	TagErr
+	// TagRelease ends a worker's current session, returning it to the
+	// grid's free pool instead of terminating it (master -> worker).
+	TagRelease
+	// TagReleased acks a release; the master discards every frame ahead
+	// of it, flushing stale partials of an abandoned job (worker -> master).
+	TagReleased
+	// TagPing probes an idle worker's liveness (master -> worker).
+	TagPing
+	// TagPong answers a ping (worker -> master).
+	TagPong
 )
 
 // stripeQuantum is the pattern quantum rank stripes snap to, relative
@@ -155,9 +165,14 @@ func (p *Pool) LocalPool() *threads.Pool { return p.local }
 // Post implements likelihood.Dispatcher: broadcast the encoded job to
 // every remote rank, execute the master's stripe locally, collect and
 // retain the rank partials. The runner must be the master's likelihood
-// engine (it implements likelihood.WireMaster). Transport failures
-// panic: like a dead worker thread, a dead worker rank is not a
-// recoverable per-job condition.
+// engine (it implements likelihood.WireMaster).
+//
+// Transport failures panic — the Dispatcher contract has no error
+// return — but the panic value is the wrapped *error*, so a supervisor
+// that recovers it can errors.As out a fabric.RankDeadError and react
+// (the grid scheduler re-stripes the pool over survivors and resumes
+// from checkpoint). Without a supervisor the behavior is the pre-grid
+// fail-fast: a dead rank kills the run.
 func (p *Pool) Post(runner threads.JobRunner, code threads.JobCode) {
 	wm, ok := runner.(likelihood.WireMaster)
 	if !ok {
@@ -168,7 +183,7 @@ func (p *Pool) Post(runner threads.JobRunner, code threads.JobCode) {
 	reset := topoEpoch != p.shippedTopo
 	frame := wm.EncodeWireJob(code, includeModel, reset)
 	if err := fabric.Broadcast(p.tr, TagJob, frame); err != nil {
-		panic(fmt.Sprintf("finegrain: job broadcast: %v", err))
+		panic(fmt.Errorf("finegrain: job broadcast: %w", err))
 	}
 	p.shippedModel, p.shippedTopo = modelEpoch, topoEpoch
 
@@ -176,7 +191,7 @@ func (p *Pool) Post(runner threads.JobRunner, code threads.JobCode) {
 
 	payloads, err := fabric.Collect(p.tr, TagPartial, TagErr)
 	if err != nil {
-		panic(fmt.Sprintf("finegrain: partial collection: %v", err))
+		panic(fmt.Errorf("finegrain: partial collection: %w", err))
 	}
 	for r, pl := range payloads {
 		if pl == nil {
@@ -184,7 +199,7 @@ func (p *Pool) Post(runner threads.JobRunner, code threads.JobCode) {
 		}
 		part, err := likelihood.DecodeWirePartial(pl)
 		if err != nil {
-			panic(fmt.Sprintf("finegrain: rank %d partial: %v", r, err))
+			panic(fmt.Errorf("finegrain: rank %d partial: %w", r, err))
 		}
 		p.remote[r] = part
 		if code == threads.JobSiteLL {
@@ -273,6 +288,51 @@ func (p *Pool) AbortJob() { p.local.AbortJob() }
 
 // Aborted reports whether the local job was asked to stop.
 func (p *Pool) Aborted() bool { return p.local.Aborted() }
+
+// Release ends the pool's lease on its remote ranks without
+// terminating them: each rank gets a TagRelease frame and the master
+// drains its link — discarding partials of any abandoned in-flight job
+// — until the TagReleased ack, after which the rank is provably idle
+// and safe to lease to another coarse job. The local crew is closed.
+//
+// Ranks that fail the handshake (broken link, no ack) are returned so
+// the caller can mark them dead; a failed rank never blocks the
+// release of the ranks after it.
+func (p *Pool) Release() (dead []int) {
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	for r := 1; r < p.tr.Size(); r++ {
+		if !releaseRank(p.tr, r) {
+			dead = append(dead, r)
+		}
+	}
+	p.local.Close()
+	return dead
+}
+
+// releaseRank runs the release handshake with one rank: send
+// TagRelease, discard frames until the TagReleased ack. Reports
+// whether the rank acked (is alive and idle).
+func releaseRank(tr fabric.Transport, r int) bool {
+	if err := tr.Send(r, TagRelease, nil); err != nil {
+		return false
+	}
+	// Bounded drain: a sane worker has at most a handful of frames in
+	// flight (one partial per abandoned job frame); a stream that keeps
+	// producing non-ack frames is broken.
+	for i := 0; i < 1024; i++ {
+		tag, _, err := tr.Recv(r)
+		if err != nil {
+			return false
+		}
+		if tag == TagReleased {
+			return true
+		}
+	}
+	return false
+}
 
 // Close shuts the grid down: remote serve loops get a shutdown frame,
 // the local crew is closed. The transport itself stays open (its owner

@@ -562,3 +562,70 @@ func TestMakenewzWireTraffic(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestWorkerSessionsReuseAndRelease exercises the grid lease protocol:
+// one ServeSessions worker serves two successive pools — different
+// data, different stripe geometry — with a Release (not a shutdown)
+// between them, plus the idle-loop liveness probe and the idempotent
+// stray-release ack.
+func TestWorkerSessionsReuseAndRelease(t *testing.T) {
+	trs := fabric.NewChanTransports(2)
+	served := make(chan error, 1)
+	go func() { served <- ServeSessions(trs[1]) }()
+
+	lease := func(seed int64, chars int) {
+		pat := makeData(t, 10, chars, 2, seed)
+		topo := tree.Random(pat.Names, rng.New(seed))
+		ref := refEngine(t, pat, true)
+		if err := ref.AttachTree(topo.Clone()); err != nil {
+			t.Fatal(err)
+		}
+		want := ref.LogLikelihood()
+
+		set := makeSet(t, pat, true)
+		pool, err := NewPool(trs[0], pat, set, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := likelihood.NewPartitioned(pat, set, likelihood.Config{Pool: pool})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.AttachTree(topo.Clone()); err != nil {
+			t.Fatal(err)
+		}
+		if got := eng.LogLikelihood(); relDiff(got, want) > 1e-10 {
+			t.Errorf("session (seed %d): distributed %.12f vs reference %.12f", seed, got, want)
+		}
+		if dead := pool.Release(); len(dead) != 0 {
+			t.Fatalf("Release reported dead ranks %v on a healthy worker", dead)
+		}
+	}
+
+	// Idle-loop probe before any lease.
+	if err := trs[0].Send(1, TagPing, nil); err != nil {
+		t.Fatal(err)
+	}
+	if tag, _, err := trs[0].Recv(1); err != nil || tag != TagPong {
+		t.Fatalf("ping got (%d, %v), want TagPong", tag, err)
+	}
+	// Stray release (lease whose init never happened) acks idempotently.
+	if err := trs[0].Send(1, TagRelease, nil); err != nil {
+		t.Fatal(err)
+	}
+	if tag, _, err := trs[0].Recv(1); err != nil || tag != TagReleased {
+		t.Fatalf("stray release got (%d, %v), want TagReleased", tag, err)
+	}
+
+	lease(101, 500) // first session
+	lease(202, 700) // reuse: new geometry over the same worker
+
+	// Terminal shutdown ends the idle loop cleanly.
+	if err := trs[0].Send(1, TagShutdown, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("worker exited with %v", err)
+	}
+	trs[0].Close()
+}

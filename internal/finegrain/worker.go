@@ -12,30 +12,89 @@ import (
 // Serve runs one remote worker rank to completion: receive the init
 // frame, build the stripe engine (stripe pattern data, stripe CLV
 // arena, local t-thread crew), then execute job frames until a
-// shutdown frame — or a closed transport — ends the loop.
-//
-// The worker is stateless beyond its engine: every job frame carries
-// the node capacity, carries a tile-reset marker when the master
-// re-attached a tree, and carries a model-sync block when model state
-// changed, so a worker that just replays frames in order is always
-// consistent with the master's planning. Errors are reported to the
-// master as TagErr frames (surfaced from the master's Collect) and
-// returned here.
+// shutdown frame — or a closed transport — ends the loop. This is the
+// one-shot entry point of a `-fine` worker, whose whole life is a
+// single session.
 func Serve(tr fabric.Transport) error {
-	tag, payload, err := tr.Recv(0)
-	if err != nil {
-		return fmt.Errorf("finegrain: worker init recv: %w", err)
+	return ServeSessions(tr)
+}
+
+// ServeSessions runs a grid worker rank: an idle loop that the master
+// leases into finegrain *sessions* and returns to the free pool
+// between them. One worker process thus serves many coarse jobs over
+// its lifetime, each with its own stripe geometry and engine:
+//
+//	idle:    TagPing -> TagPong (the scheduler's liveness probe)
+//	         TagRelease -> TagReleased (idempotent; stray release)
+//	         TagInit -> build engine, enter session
+//	         TagShutdown / closed transport -> exit
+//	session: TagJob -> execute, send TagPartial
+//	         TagRelease -> send TagReleased, drop engine, back to idle
+//	         TagShutdown / closed transport -> exit
+//
+// The release handshake is what makes worker reuse safe after a
+// failure: the master discards every frame ahead of the TagReleased
+// ack, so partials of an abandoned job can never be mistaken for the
+// next session's traffic.
+//
+// A worker is stateless beyond its session engine: every job frame
+// carries the node capacity, carries a tile-reset marker when the
+// master re-attached a tree, and carries a model-sync block when model
+// state changed, so a worker that just replays frames in order is
+// always consistent with the master's planning. Errors are reported to
+// the master as TagErr frames (surfaced from the master's Collect) and
+// returned here.
+func ServeSessions(tr fabric.Transport) error {
+	for {
+		tag, payload, err := tr.Recv(0)
+		if err != nil {
+			if errors.Is(err, fabric.ErrTransportClosed) {
+				return nil // master tore the world down
+			}
+			return fmt.Errorf("finegrain: worker idle recv: %w", err)
+		}
+		switch tag {
+		case TagShutdown:
+			return nil
+		case TagPing:
+			if err := tr.Send(0, TagPong, nil); err != nil {
+				return nil
+			}
+		case TagRelease:
+			// Stray release of a lease that never got its init (the
+			// master's pool construction failed partway): ack and stay
+			// idle.
+			if err := tr.Send(0, TagReleased, nil); err != nil {
+				return nil
+			}
+		case TagInit:
+			done, err := serveSession(tr, payload)
+			if err != nil {
+				return err
+			}
+			if done {
+				return nil
+			}
+		default:
+			err := fmt.Errorf("finegrain: idle worker got unexpected tag %d", tag)
+			_ = tr.Send(0, TagErr, []byte(err.Error()))
+			return err
+		}
 	}
-	if tag != TagInit {
-		return fmt.Errorf("finegrain: worker expected init frame, got tag %d", tag)
-	}
-	init, err := likelihood.DecodeWorkerInit(payload)
+}
+
+// serveSession executes one lease: build the stripe engine from the
+// init payload, then serve job frames until the master releases the
+// worker (done=false: back to the idle loop) or shuts it down
+// (done=true).
+func serveSession(tr fabric.Transport, initPayload []byte) (done bool, err error) {
+	init, err := likelihood.DecodeWorkerInit(initPayload)
 	if err != nil {
-		return fmt.Errorf("finegrain: worker init decode: %w", err)
+		return true, fmt.Errorf("finegrain: worker init decode: %w", err)
 	}
 	eng, err := likelihood.BuildWorkerEngine(init)
 	if err != nil {
-		return fmt.Errorf("finegrain: worker engine: %w", err)
+		return true, fmt.Errorf("finegrain: worker engine: %w", err)
 	}
 	if pool, ok := eng.Pool().(*threads.Pool); ok {
 		defer pool.Close()
@@ -45,31 +104,40 @@ func Serve(tr fabric.Transport) error {
 		tag, payload, err := tr.Recv(0)
 		if err != nil {
 			if errors.Is(err, fabric.ErrTransportClosed) {
-				return nil // master tore the world down
+				return true, nil // master tore the world down
 			}
-			return fmt.Errorf("finegrain: worker recv: %w", err)
+			return true, fmt.Errorf("finegrain: worker recv: %w", err)
 		}
 		switch tag {
 		case TagShutdown:
-			return nil
+			return true, nil
+		case TagRelease:
+			if err := tr.Send(0, TagReleased, nil); err != nil {
+				return true, nil
+			}
+			return false, nil
+		case TagPing:
+			if err := tr.Send(0, TagPong, nil); err != nil {
+				return true, nil
+			}
 		case TagJob:
 			job, err := likelihood.DecodeWireJob(payload)
 			if err != nil {
 				_ = tr.Send(0, TagErr, []byte(err.Error()))
-				return fmt.Errorf("finegrain: worker job decode: %w", err)
+				return true, fmt.Errorf("finegrain: worker job decode: %w", err)
 			}
 			partial, err := eng.ExecWireJob(job, geom)
 			if err != nil {
 				_ = tr.Send(0, TagErr, []byte(err.Error()))
-				return fmt.Errorf("finegrain: worker job exec: %w", err)
+				return true, fmt.Errorf("finegrain: worker job exec: %w", err)
 			}
 			if err := tr.Send(0, TagPartial, partial); err != nil {
-				return fmt.Errorf("finegrain: worker partial send: %w", err)
+				return true, fmt.Errorf("finegrain: worker partial send: %w", err)
 			}
 		default:
 			err := fmt.Errorf("finegrain: worker got unexpected tag %d", tag)
 			_ = tr.Send(0, TagErr, []byte(err.Error()))
-			return err
+			return true, err
 		}
 	}
 }

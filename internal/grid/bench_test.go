@@ -1,0 +1,38 @@
+package grid
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkGridSchedule measures the scheduler's own overhead — job
+// bookkeeping, lease/probe/release handshakes, trace-less transitions —
+// over a 3-worker chan fleet and a 40-job DAG shaped like a bootstrap
+// analysis (parallel roots, a fan-in check, a sink), with no likelihood
+// work inside the jobs.
+func BenchmarkGridSchedule(b *testing.B) {
+	fleet := NewFleet(nil)
+	fleet.SpawnLocal(3)
+	defer fleet.Shutdown()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		g := New(Config{Fleet: fleet, Concurrency: 4})
+		var roots []string
+		for i := 0; i < 38; i++ {
+			id := fmt.Sprintf("job/%d", i)
+			roots = append(roots, id)
+			g.Add(&Job{ID: id, Run: func(ctx *JobContext) error {
+				ws := fleet.Lease(ctx.ID(), 1)
+				fleet.ReleaseAll(ws)
+				ctx.Save([]byte{1})
+				return nil
+			}})
+		}
+		g.Add(&Job{ID: "check", Deps: roots, Run: func(*JobContext) error { return nil }})
+		g.Add(&Job{ID: "sink", Deps: []string{"check"}, Run: func(*JobContext) error { return nil }})
+		if err := g.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package grid
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestBootstrapCheckpointRoundTrip(t *testing.T) {
+	cp := &BootstrapCheckpoint{
+		Done:      3,
+		BsState:   0xdeadbeefcafe1234,
+		ParsState: 0x0123456789abcdef,
+		PrevTree:  "((a,b),(c,d));",
+		Trees:     []string{"((a,b),(c,d));", "((a,c),(b,d));", "((a,d),(b,c));"},
+		LnLs:      []float64{-123.456789, -130.0, -99.25},
+	}
+	got, err := DecodeBootstrapCheckpoint(cp.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, cp) {
+		t.Fatalf("round trip\n got %+v\nwant %+v", got, cp)
+	}
+
+	empty := &BootstrapCheckpoint{}
+	got, err = DecodeBootstrapCheckpoint(empty.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Done != 0 || got.PrevTree != "" || len(got.Trees) != 0 {
+		t.Fatalf("empty round trip got %+v", got)
+	}
+}
+
+func TestBootstrapCheckpointRejectsGarbage(t *testing.T) {
+	if _, err := DecodeBootstrapCheckpoint(nil); err == nil {
+		t.Fatal("decoded nil")
+	}
+	if _, err := DecodeBootstrapCheckpoint([]byte{1, 2, 3}); err == nil {
+		t.Fatal("decoded short garbage")
+	}
+	cp := &BootstrapCheckpoint{Done: 1, Trees: []string{"(a,b);"}, LnLs: []float64{-1}}
+	b := cp.Encode()
+	if _, err := DecodeBootstrapCheckpoint(b[:len(b)-2]); err == nil {
+		t.Fatal("decoded truncated checkpoint")
+	}
+	if _, err := DecodeBootstrapCheckpoint(append(b, 0)); err == nil {
+		t.Fatal("decoded checkpoint with trailing bytes")
+	}
+	bad := append([]byte(nil), b...)
+	bad[0] ^= 0xFF
+	if _, err := DecodeBootstrapCheckpoint(bad); err == nil {
+		t.Fatal("decoded bad magic")
+	}
+}

@@ -1,0 +1,305 @@
+package grid
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"raxml/internal/fabric"
+	"raxml/internal/finegrain"
+)
+
+// Fleet is the grid's worker membership: every admitted rank, its link,
+// and whether it is idle (in the free pool), leased to a job, or dead.
+// Workers join at start-up or any time later (late joiners simply enter
+// the free pool), leave by dying (SIGKILL, broken link) and are then
+// detected either by the probe at lease time or by a transport error
+// mid-job.
+//
+// Fleet identity is flat: worker ids are assigned in admission order
+// and never reused. A worker's *job-local* rank — its position in some
+// job's finegrain pool — exists only for the duration of one lease.
+type Fleet struct {
+	tracer *Tracer
+
+	mu      sync.Mutex
+	workers map[int]*Worker
+	free    []int
+	nextID  int
+}
+
+// Worker is one fleet member.
+type Worker struct {
+	// ID is the fleet-wide identity (admission order).
+	ID int
+	// PID is the worker's OS process id as announced in its hello frame
+	// (0 for in-proc workers) — what lets chaos runs SIGKILL a real rank.
+	PID int
+
+	link  fabric.Link
+	jobID string
+	dead  bool
+}
+
+// NewFleet creates an empty fleet.
+func NewFleet(tracer *Tracer) *Fleet {
+	return &Fleet{tracer: tracer, workers: make(map[int]*Worker)}
+}
+
+// Admit adds a worker reachable over link to the free pool and returns
+// it. Safe to call at any time — late joiners admitted mid-run are
+// leased to the next job attempt that asks.
+func (f *Fleet) Admit(link fabric.Link, pid int) *Worker {
+	f.mu.Lock()
+	w := &Worker{ID: f.nextID, PID: pid, link: link}
+	f.nextID++
+	f.workers[w.ID] = w
+	f.free = append(f.free, w.ID)
+	f.mu.Unlock()
+	f.tracer.Event("admit", "", map[string]any{"worker": w.ID, "pid": pid})
+	return w
+}
+
+// SpawnLocal admits n in-proc workers, each a goroutine serving
+// finegrain sessions over its end of a LinkPair — the chan-transport
+// fleet used by tests and single-process grid runs.
+func (f *Fleet) SpawnLocal(n int) {
+	for i := 0; i < n; i++ {
+		m, w := fabric.LinkPair()
+		go finegrain.ServeSessions(fabric.WorkerTransport(w))
+		f.Admit(m, 0)
+	}
+}
+
+// AcceptFrom admits TCP workers as they dial the star listener, until
+// the listener closes. It returns immediately; admission runs in a
+// background goroutine (the late-join path).
+func (f *Fleet) AcceptFrom(ln *fabric.StarListener) {
+	go func() {
+		for {
+			link, pid, err := ln.AcceptLink()
+			if err != nil {
+				return
+			}
+			f.Admit(link, pid)
+		}
+	}()
+}
+
+// NumAlive counts admitted workers not known dead.
+func (f *Fleet) NumAlive() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, w := range f.workers {
+		if !w.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// NumFree counts idle workers.
+func (f *Fleet) NumFree() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.free)
+}
+
+// Lease takes up to want workers from the free pool for jobID, probing
+// each candidate's liveness (TagPing/TagPong) so a worker that died
+// while idle is discarded here rather than poisoning the job's pool.
+// It returns fewer than want — possibly none — when the free pool runs
+// short; a job always proceeds with whatever it got (the master rank
+// alone, at minimum).
+func (f *Fleet) Lease(jobID string, want int) []*Worker {
+	var out []*Worker
+	for len(out) < want {
+		f.mu.Lock()
+		if len(f.free) == 0 {
+			f.mu.Unlock()
+			break
+		}
+		id := f.free[0]
+		f.free = f.free[1:]
+		w := f.workers[id]
+		f.mu.Unlock()
+		if !f.probe(w) {
+			f.markDead(w, "probe")
+			continue
+		}
+		f.mu.Lock()
+		w.jobID = jobID
+		f.mu.Unlock()
+		out = append(out, w)
+	}
+	if len(out) > 0 {
+		ids := make([]int, len(out))
+		for i, w := range out {
+			ids[i] = w.ID
+		}
+		f.tracer.Event("lease", jobID, map[string]any{"workers": ids})
+	}
+	return out
+}
+
+// probe checks an idle worker end-to-end: ping, expect pong.
+func (f *Fleet) probe(w *Worker) bool {
+	if err := w.link.Send(finegrain.TagPing, nil); err != nil {
+		return false
+	}
+	tag, _, err := w.link.Recv()
+	return err == nil && tag == finegrain.TagPong
+}
+
+// Return ends a lease: workers whose job-local rank appears in dead
+// (1-based, as reported by finegrain.Pool.Release) are marked dead, the
+// rest go back to the free pool. ws must be in job-local rank order
+// (rank r = ws[r-1]), as built by the lease.
+func (f *Fleet) Return(ws []*Worker, dead []int) {
+	deadSet := make(map[int]bool, len(dead))
+	for _, r := range dead {
+		deadSet[r] = true
+	}
+	for i, w := range ws {
+		if deadSet[i+1] {
+			f.markDead(w, "release")
+		} else {
+			f.release(w)
+		}
+	}
+}
+
+// ReleaseAll ends a lease when no pool exists to drain it (pool
+// construction failed partway): it runs the release handshake with
+// each worker directly, marking non-ackers dead.
+func (f *Fleet) ReleaseAll(ws []*Worker) {
+	for _, w := range ws {
+		if releaseLink(w.link) {
+			f.release(w)
+		} else {
+			f.markDead(w, "release")
+		}
+	}
+}
+
+// releaseLink mirrors the master side of finegrain's release drain over
+// one raw link: send TagRelease, discard frames until the TagReleased
+// ack.
+func releaseLink(l fabric.Link) bool {
+	if err := l.Send(finegrain.TagRelease, nil); err != nil {
+		return false
+	}
+	for i := 0; i < 1024; i++ {
+		tag, _, err := l.Recv()
+		if err != nil {
+			return false
+		}
+		if tag == finegrain.TagReleased {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *Fleet) release(w *Worker) {
+	f.mu.Lock()
+	w.jobID = ""
+	if !w.dead {
+		f.free = append(f.free, w.ID)
+	}
+	f.mu.Unlock()
+}
+
+func (f *Fleet) markDead(w *Worker, how string) {
+	f.mu.Lock()
+	already := w.dead
+	w.dead = true
+	w.jobID = ""
+	for i, id := range f.free {
+		if id == w.ID {
+			f.free = append(f.free[:i], f.free[i+1:]...)
+			break
+		}
+	}
+	f.mu.Unlock()
+	if !already {
+		w.link.Close()
+		f.tracer.Event("rank-dead", "", map[string]any{"worker": w.ID, "via": how})
+	}
+}
+
+// Kill terminates one worker the way a failing node would: a real
+// process (PID > 0) gets SIGKILL and its master-side link is left alone
+// so the death surfaces as a transport error; an in-proc worker has its
+// link severed, which kills both ends. Victims leased to preferJob are
+// chosen first (so a chaos run hits the job it is watching), then any
+// leased worker, then a free one. Reports the victim id, or ok=false
+// when the fleet has no live worker to kill.
+func (f *Fleet) Kill(preferJob string) (victim int, ok bool) {
+	// Rank candidates: leased to preferJob > leased to any job > idle;
+	// ties break to the lowest id, keeping chaos runs reproducible.
+	class := func(w *Worker) int {
+		switch {
+		case preferJob != "" && w.jobID == preferJob:
+			return 2
+		case w.jobID != "":
+			return 1
+		}
+		return 0
+	}
+	f.mu.Lock()
+	var w *Worker
+	for id := 0; id < f.nextID; id++ {
+		cand := f.workers[id]
+		if cand == nil || cand.dead {
+			continue
+		}
+		if w == nil || class(cand) > class(w) {
+			w = cand
+		}
+	}
+	f.mu.Unlock()
+	if w == nil {
+		return 0, false
+	}
+	f.tracer.Event("kill", w.jobID, map[string]any{"worker": w.ID, "pid": w.PID})
+	if w.PID > 0 && w.PID != os.Getpid() {
+		if p, err := os.FindProcess(w.PID); err == nil {
+			p.Kill()
+		}
+	} else {
+		w.link.Close()
+	}
+	return w.ID, true
+}
+
+// Shutdown terminates every live worker (idle or not) and closes their
+// links. Called once, after the scheduler drains.
+func (f *Fleet) Shutdown() {
+	f.mu.Lock()
+	ws := make([]*Worker, 0, len(f.workers))
+	for _, w := range f.workers {
+		if !w.dead {
+			ws = append(ws, w)
+		}
+	}
+	f.mu.Unlock()
+	for _, w := range ws {
+		w.link.Send(finegrain.TagShutdown, nil)
+		w.link.Close()
+	}
+}
+
+// String summarizes membership for logs.
+func (f *Fleet) String() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	alive := 0
+	for _, w := range f.workers {
+		if !w.dead {
+			alive++
+		}
+	}
+	return fmt.Sprintf("fleet{admitted: %d, alive: %d, free: %d}", len(f.workers), alive, len(f.free))
+}

@@ -1,0 +1,162 @@
+package grid
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// runOrder drives a DAG of recording jobs and returns the completion
+// order.
+func recordJob(id string, deps []string, mu *sync.Mutex, order *[]string) *Job {
+	return &Job{
+		ID:   id,
+		Deps: deps,
+		Run: func(ctx *JobContext) error {
+			mu.Lock()
+			*order = append(*order, id)
+			mu.Unlock()
+			return nil
+		},
+	}
+}
+
+func TestSchedulerRespectsDependencies(t *testing.T) {
+	g := New(Config{Concurrency: 3})
+	var mu sync.Mutex
+	var order []string
+	// diamond: a -> (b, c) -> d
+	if err := g.Add(recordJob("a", nil, &mu, &order)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add(recordJob("b", []string{"a"}, &mu, &order)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add(recordJob("c", []string{"a"}, &mu, &order)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add(recordJob("d", []string{"b", "c"}, &mu, &order)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, id := range order {
+		pos[id] = i
+	}
+	if len(order) != 4 {
+		t.Fatalf("ran %v, want 4 jobs", order)
+	}
+	if pos["a"] > pos["b"] || pos["a"] > pos["c"] || pos["b"] > pos["d"] || pos["c"] > pos["d"] {
+		t.Fatalf("dependency order violated: %v", order)
+	}
+	if st, _ := g.State("d"); st != Done {
+		t.Fatalf("job d is %v, want done", st)
+	}
+}
+
+func TestSchedulerFailureCascades(t *testing.T) {
+	var trace bytes.Buffer
+	g := New(Config{Tracer: NewTracer(&trace)})
+	boom := errors.New("boom")
+	g.Add(&Job{ID: "bad", Run: func(*JobContext) error { return boom }})
+	var mu sync.Mutex
+	var order []string
+	g.Add(recordJob("dependent", []string{"bad"}, &mu, &order))
+	g.Add(recordJob("independent", nil, &mu, &order))
+
+	err := g.Run()
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run error %v does not wrap the job failure", err)
+	}
+	if len(order) != 1 || order[0] != "independent" {
+		t.Fatalf("ran %v, want only the independent job", order)
+	}
+	if st, jerr := g.State("dependent"); st != Failed || jerr == nil {
+		t.Fatalf("dependent is %v/%v, want failed with error", st, jerr)
+	}
+	// The trace records the transitions (satellite: the CI artifact).
+	events := map[string]int{}
+	sc := bufio.NewScanner(&trace)
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad trace line %q: %v", sc.Text(), err)
+		}
+		events[rec["ev"].(string)]++
+	}
+	if events["job-add"] != 3 || events["job-start"] != 2 || events["job-failed"] != 2 || events["job-done"] != 1 {
+		t.Fatalf("trace events %v, want 3 adds, 2 starts, 2 failures, 1 done", events)
+	}
+}
+
+func TestSchedulerDynamicAdd(t *testing.T) {
+	g := New(Config{Concurrency: 1})
+	var mu sync.Mutex
+	var order []string
+	g.Add(&Job{ID: "seed", Run: func(ctx *JobContext) error {
+		mu.Lock()
+		order = append(order, "seed")
+		mu.Unlock()
+		// the bootstop pattern: a finished round schedules the next
+		if err := ctx.Add(recordJob("round2", nil, &mu, &order)); err != nil {
+			return err
+		}
+		return ctx.Add(recordJob("final", []string{"round2"}, &mu, &order))
+	}})
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(order, ",") != "seed,round2,final" {
+		t.Fatalf("order %v", order)
+	}
+}
+
+func TestSchedulerRejectsBadJobs(t *testing.T) {
+	g := New(Config{})
+	if err := g.Add(&Job{ID: "x", Deps: []string{"nope"}, Run: func(*JobContext) error { return nil }}); err == nil {
+		t.Fatal("accepted unknown dependency")
+	}
+	if err := g.Add(&Job{ID: "x", Run: func(*JobContext) error { return nil }}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add(&Job{ID: "x", Run: func(*JobContext) error { return nil }}); err == nil {
+		t.Fatal("accepted duplicate id")
+	}
+	if err := g.Add(&Job{ID: "", Run: nil}); err == nil {
+		t.Fatal("accepted empty job")
+	}
+}
+
+func TestConcurrencyCapHolds(t *testing.T) {
+	const cap = 2
+	g := New(Config{Concurrency: cap})
+	var mu sync.Mutex
+	cur, peak := 0, 0
+	for i := 0; i < 8; i++ {
+		g.Add(&Job{ID: fmt.Sprintf("j%d", i), Run: func(*JobContext) error {
+			mu.Lock()
+			cur++
+			if cur > peak {
+				peak = cur
+			}
+			mu.Unlock()
+			mu.Lock()
+			cur--
+			mu.Unlock()
+			return nil
+		}})
+	}
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if peak > cap {
+		t.Fatalf("peak concurrency %d exceeds cap %d", peak, cap)
+	}
+}

@@ -1,0 +1,56 @@
+package grid
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Tracer emits the grid's event trace: one JSON object per line, one
+// line per state transition (job lifecycle, leases, failures,
+// checkpoints, membership changes). The trace is the forensic record a
+// CI failure uploads — it reconstructs which job held which workers
+// when a rank died and where the re-striped resume picked up.
+//
+// A nil *Tracer is valid and silent, so call sites never guard.
+type Tracer struct {
+	mu  sync.Mutex
+	w   io.Writer
+	seq int64
+}
+
+// NewTracer writes events to w (nil w yields a silent tracer).
+func NewTracer(w io.Writer) *Tracer {
+	if w == nil {
+		return nil
+	}
+	return &Tracer{w: w}
+}
+
+// Event appends one trace line. ev is the transition kind ("job-start",
+// "rank-dead", ...), job the job id ("" for fleet-level events), fields
+// any additional key/values. Safe for concurrent use.
+func (t *Tracer) Event(ev, job string, fields map[string]any) {
+	if t == nil {
+		return
+	}
+	rec := make(map[string]any, len(fields)+4)
+	for k, v := range fields {
+		rec[k] = v
+	}
+	rec["ev"] = ev
+	if job != "" {
+		rec["job"] = job
+	}
+	rec["t"] = time.Now().UTC().Format(time.RFC3339Nano)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	rec["seq"] = t.seq
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	t.w.Write(append(b, '\n'))
+}

@@ -70,36 +70,86 @@ func (r *Runner) Run(count int, bsRNG, parsRNG *rng.RNG) ([]*Replicate, error) {
 	if count < 0 {
 		return nil, fmt.Errorf("rapidbs: negative replicate count %d", count)
 	}
-	pat := r.eng.Patterns()
 	out := make([]*Replicate, 0, count)
+	err := r.RunRange(0, count, bsRNG, parsRNG, func(rep *Replicate) error {
+		out = append(out, rep)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunRange executes replicates start..start+count-1 of a (possibly
+// longer, possibly interrupted) replicate stream, invoking after for
+// each finished replicate. The stepwise-addition refresh fires on the
+// *absolute* index ((start+i) % refreshEvery == 0), so a run resumed
+// from a checkpoint — previous tree restored via SetPrevTree, RNG
+// streams restored via rng.SetState — regenerates exactly the stream an
+// uninterrupted run produces. The after callback is the grid's
+// checkpoint hook: it runs at the replicate boundary, the only point
+// where (prev tree, RNG states, done count) fully determine the rest of
+// the stream. An after error aborts the range (the replicate it saw is
+// complete).
+func (r *Runner) RunRange(start, count int, bsRNG, parsRNG *rng.RNG, after func(*Replicate) error) error {
+	if start < 0 || count < 0 {
+		return fmt.Errorf("rapidbs: bad replicate range [%d, %d)", start, start+count)
+	}
+	pat := r.eng.Patterns()
 	for i := 0; i < count; i++ {
+		abs := start + i
 		weights := pat.Resample(bsRNG)
 		r.eng.SetWeights(weights)
 		r.pars.SetWeights(weights)
 
-		var start *tree.Tree
-		if i%refreshEvery == 0 || r.prev == nil {
-			start = r.pars.StepwiseAddition(parsRNG)
+		var startTree *tree.Tree
+		if abs%refreshEvery == 0 || r.prev == nil {
+			startTree = r.pars.StepwiseAddition(parsRNG)
 		} else {
-			start = r.prev.Clone()
+			startTree = r.prev.Clone()
 		}
-		result, err := search.Run(r.eng, start, r.searchSettings)
+		result, err := search.Run(r.eng, startTree, r.searchSettings)
 		if err != nil {
-			return nil, fmt.Errorf("rapidbs: replicate %d: %v", i, err)
+			return fmt.Errorf("rapidbs: replicate %d: %v", abs, err)
 		}
-		r.prev = result.Tree
-		out = append(out, &Replicate{
-			Index:         i,
+		// Carry the reuse chain in canonical form: round-tripping through
+		// Newick renumbers internal nodes the way a checkpoint restore
+		// does (trees travel as text), so a resumed stream enumerates SPR
+		// moves in exactly the order the uninterrupted stream did and the
+		// replay is bit-identical.
+		nw, err := tree.FormatNewick(result.Tree, nil)
+		if err != nil {
+			return fmt.Errorf("rapidbs: replicate %d: %v", abs, err)
+		}
+		if r.prev, err = tree.ParseNewick(nw, pat.Names); err != nil {
+			return fmt.Errorf("rapidbs: replicate %d: %v", abs, err)
+		}
+		rep := &Replicate{
+			Index:         abs,
 			Tree:          result.Tree.Clone(),
 			LogLikelihood: result.LogLikelihood,
 			Weights:       weights,
-		})
+		}
+		if after != nil {
+			if err := after(rep); err != nil {
+				return err
+			}
+		}
 	}
 	// Restore original weights for subsequent full-data searches.
 	r.eng.SetWeights(nil)
 	r.pars.SetWeights(nil)
-	return out, nil
+	return nil
 }
+
+// PrevTree returns the previous replicate's final topology (nil before
+// the first replicate) — the piece of runner state a checkpoint must
+// carry besides the RNG streams and the done count.
+func (r *Runner) PrevTree() *tree.Tree { return r.prev }
+
+// SetPrevTree restores the reuse chain when resuming from a checkpoint.
+func (r *Runner) SetPrevTree(t *tree.Tree) { r.prev = t }
 
 // EveryFifth returns every 5th replicate's tree (1st, 6th, ...): the
 // trees the comprehensive analysis promotes to fast ML searches. The

@@ -204,3 +204,73 @@ func TestSupportCountsStrongSignal(t *testing.T) {
 		t.Fatalf("mean support %d%% too low for strong-signal data", avg)
 	}
 }
+
+// TestRunRangeResumesStream pins the checkpoint/resume contract: a
+// replicate stream interrupted at an arbitrary boundary and resumed on
+// a FRESH runner — previous tree and RNG states restored, as after a
+// rank failure — is bit-identical to the uninterrupted stream.
+func TestRunRangeResumesStream(t *testing.T) {
+	_, eng := testSetup(t, 10, 300, 3, 1)
+	const total, cut = 13, 4 // cut mid-decade: exercises the reuse chain across the seam
+
+	whole := NewRunner(eng)
+	want, err := whole.Run(total, rng.New(77), rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First leg on a fresh engine+runner, capturing the checkpoint
+	// state at the cut.
+	_, eng2 := testSetup(t, 10, 300, 3, 1)
+	first := NewRunner(eng2)
+	bs, pars := rng.New(77), rng.New(42)
+	var got []*Replicate
+	if err := first.RunRange(0, cut, bs, pars, func(rep *Replicate) error {
+		got = append(got, rep)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bsState, parsState := bs.State(), pars.State()
+	prev := first.PrevTree().Clone()
+
+	// Second leg: fresh runner, restored state — the re-striped pool's
+	// view after a failure.
+	_, eng3 := testSetup(t, 10, 300, 3, 1)
+	second := NewRunner(eng3)
+	second.SetPrevTree(prev)
+	bs2, pars2 := rng.New(0), rng.New(0)
+	bs2.SetState(bsState)
+	pars2.SetState(parsState)
+	if err := second.RunRange(cut, total-cut, bs2, pars2, func(rep *Replicate) error {
+		got = append(got, rep)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(got) != len(want) {
+		t.Fatalf("%d replicates, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Index != want[i].Index {
+			t.Errorf("replicate %d: index %d, want %d", i, got[i].Index, want[i].Index)
+		}
+		g, err1 := tree.FormatNewick(got[i].Tree, nil)
+		w, err2 := tree.FormatNewick(want[i].Tree, nil)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("newick: %v %v", err1, err2)
+		}
+		if g != w {
+			t.Errorf("replicate %d: resumed tree differs from uninterrupted tree", i)
+		}
+		if got[i].LogLikelihood != want[i].LogLikelihood {
+			t.Errorf("replicate %d: lnL %.15f, want %.15f", i, got[i].LogLikelihood, want[i].LogLikelihood)
+		}
+		for k, w := range want[i].Weights {
+			if got[i].Weights[k] != w {
+				t.Fatalf("replicate %d: weight[%d] differs", i, k)
+			}
+		}
+	}
+}

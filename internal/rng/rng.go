@@ -62,6 +62,21 @@ func (r *RNG) Seed(seed int64) {
 	r.state = z
 }
 
+// State returns the generator's raw internal state, for checkpointing a
+// stream mid-run. SetState with the returned value resumes the stream at
+// exactly the draw after the State call.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState restores a state previously captured with State. A zero state
+// (never produced by Seed or Uint64) is remapped like a zero seed so the
+// generator cannot be wedged into the absorbing all-zero state.
+func (r *RNG) SetState(s uint64) {
+	if s == 0 {
+		s = 0x9e3779b97f4a7c15
+	}
+	r.state = s
+}
+
 // Uint64 returns the next 64 pseudo-random bits (xorshift64*).
 func (r *RNG) Uint64() uint64 {
 	x := r.state

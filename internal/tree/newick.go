@@ -63,6 +63,15 @@ func FormatNewick(t *Tree, supports map[Edge]int) (string, error) {
 			}
 		}
 		if parent >= 0 {
+			// 10 significant digits, deliberately NOT the 17 a float64
+			// round-trip needs: branch lengths optimized over different
+			// rank/thread stripe shapes agree only to ~1e-10 relative
+			// (rank-ordered partial reductions associate differently), so
+			// full precision would make equal results print differently.
+			// Replay exactness never relies on this text being lossless —
+			// rapidbs canonicalizes its replicate chain through this same
+			// format+parse, so live and checkpoint-resumed streams see
+			// identical trees.
 			fmt.Fprintf(&b, ":%s", strconv.FormatFloat(t.EdgeLength(node, parent), 'g', 10, 64))
 		}
 	}
