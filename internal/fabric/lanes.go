@@ -1,0 +1,156 @@
+package fabric
+
+import (
+	"context"
+	"runtime/pprof"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Lanes turns a star Transport endpoint into a set of per-rank
+// send/receive lanes so one dispatch overlaps across ranks: queueing a
+// frame into a lane returns as soon as the lane has a free slot (each
+// lane holds one frame in flight inside Transport.Send plus one queued
+// — a double buffer), so the master encodes the next fragment, fills
+// the next P-matrix chunk, or runs its own stripe while earlier frames
+// are still being copied or written to sockets. Receive lanes are
+// kick-driven: each Kick makes the lane perform exactly one Recv and
+// park the result in a one-slot mailbox until Await claims it, which is
+// what lets a rank-ordered reduction fold arrivals in rank order while
+// out-of-order partials sit parked in their lanes. Between a matched
+// Kick/Await pair no lane goroutine touches the transport, so protocol
+// handshakes (release, ping, shutdown) keep using the Transport
+// directly.
+//
+// Error model: a failed Send marks the lane dead and subsequent frames
+// for it are dropped unread; SendErr exposes the first error (typed
+// RankDeadError on real transports) so the caller can surface it after
+// draining every lane. Recv errors travel inside the LaneResult.
+//
+// Lane goroutines carry pprof labels ("rank", "lane"=send|recv) so CPU
+// profiles attribute transport time per rank.
+type Lanes struct {
+	tr   Transport
+	send []chan laneSend
+	kick []chan struct{}
+	res  []chan LaneResult
+	errs []atomic.Pointer[laneErr]
+	wg   sync.WaitGroup
+}
+
+type laneSend struct {
+	tag     byte
+	payload []byte
+}
+
+// LaneResult is one parked arrival: the frame a receive lane read after
+// a Kick, or the error the Recv returned.
+type LaneResult struct {
+	Tag     byte
+	Payload []byte
+	Err     error
+}
+
+type laneErr struct{ err error }
+
+// NewLanes starts one send and one receive lane for every peer rank of
+// tr (tr must be the master endpoint, rank 0). Close releases them.
+func NewLanes(tr Transport) *Lanes {
+	size := tr.Size()
+	l := &Lanes{
+		tr:   tr,
+		send: make([]chan laneSend, size),
+		kick: make([]chan struct{}, size),
+		res:  make([]chan LaneResult, size),
+		errs: make([]atomic.Pointer[laneErr], size),
+	}
+	for r := 1; r < size; r++ {
+		l.send[r] = make(chan laneSend, 1)
+		l.kick[r] = make(chan struct{}, 1)
+		l.res[r] = make(chan LaneResult, 1)
+		l.wg.Add(2)
+		go l.runSender(r)
+		go l.runReceiver(r)
+	}
+	return l
+}
+
+func (l *Lanes) runSender(r int) {
+	defer l.wg.Done()
+	pprof.Do(context.Background(), pprof.Labels("rank", strconv.Itoa(r), "lane", "send"), func(context.Context) {
+		for s := range l.send[r] {
+			if l.errs[r].Load() != nil {
+				continue // lane is dead: drop the frame unread
+			}
+			if err := l.tr.Send(r, s.tag, s.payload); err != nil {
+				l.errs[r].Store(&laneErr{err: err})
+			}
+		}
+	})
+}
+
+func (l *Lanes) runReceiver(r int) {
+	defer l.wg.Done()
+	pprof.Do(context.Background(), pprof.Labels("rank", strconv.Itoa(r), "lane", "recv"), func(context.Context) {
+		for range l.kick[r] {
+			tag, payload, err := l.tr.Recv(r)
+			l.res[r] <- LaneResult{Tag: tag, Payload: payload, Err: err}
+		}
+	})
+}
+
+// Send queues one frame on rank r's send lane, blocking only while both
+// lane slots (queued + in flight) are full. The payload slice is read
+// by the lane goroutine: the caller must not overwrite its bytes until
+// the dispatch's collect barrier confirms the rank consumed it (a dead
+// lane drops frames without reading them, so overwriting after the
+// barrier is safe even for failed ranks).
+func (l *Lanes) Send(r int, tag byte, payload []byte) {
+	l.send[r] <- laneSend{tag: tag, payload: payload}
+}
+
+// Scatter queues the same frame on every lane.
+func (l *Lanes) Scatter(tag byte, payload []byte) {
+	for r := 1; r < len(l.send); r++ {
+		l.Send(r, tag, payload)
+	}
+}
+
+// SendErr returns the first send failure on rank r's lane (nil if the
+// lane is healthy).
+func (l *Lanes) SendErr(r int) error {
+	if e := l.errs[r].Load(); e != nil {
+		return e.err
+	}
+	return nil
+}
+
+// Kick arms rank r's receive lane for exactly one Recv. Every Kick must
+// be matched by an Await before the next Kick of the same rank.
+func (l *Lanes) Kick(r int) {
+	l.kick[r] <- struct{}{}
+}
+
+// KickAll arms every receive lane.
+func (l *Lanes) KickAll() {
+	for r := 1; r < len(l.kick); r++ {
+		l.Kick(r)
+	}
+}
+
+// Await blocks until rank r's kicked Recv completes and returns the
+// parked result.
+func (l *Lanes) Await(r int) LaneResult {
+	return <-l.res[r]
+}
+
+// Close shuts every lane down and waits for the goroutines to exit.
+// All Kicks must have been matched by Awaits first.
+func (l *Lanes) Close() {
+	for r := 1; r < len(l.send); r++ {
+		close(l.send[r])
+		close(l.kick[r])
+	}
+	l.wg.Wait()
+}

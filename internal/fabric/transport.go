@@ -102,6 +102,23 @@ type TransportStats struct {
 	Reductions   atomic.Int64
 }
 
+// Recycler is implemented by transports that keep a frame-buffer free
+// list. Handing a Recv payload (no longer referenced) back via Recycle
+// lets later Send/Recv calls reuse its backing array, which is what
+// makes the finegrain dispatch hot path allocation-free.
+type Recycler interface {
+	Recycle(buf []byte)
+}
+
+// Recycle returns buf to t's free list if the transport keeps one;
+// otherwise it is a no-op and the buffer is left to the GC. Callers
+// must not touch buf afterwards.
+func Recycle(t Transport, buf []byte) {
+	if r, ok := t.(Recycler); ok {
+		r.Recycle(buf)
+	}
+}
+
 // Broadcast sends one frame from this endpoint (the master) to every
 // other rank, counting a single broadcast operation.
 func Broadcast(t Transport, tag byte, payload []byte) error {
@@ -161,6 +178,7 @@ type ChanTransport struct {
 	mail   [][]chan chanFrame // mail[from][to]
 	closed chan struct{}
 	once   *sync.Once
+	free   chan []byte // group-shared frame buffer free list
 	stats  TransportStats
 }
 
@@ -180,9 +198,10 @@ func NewChanTransports(size int) []*ChanTransport {
 	}
 	closed := make(chan struct{})
 	once := new(sync.Once)
+	free := make(chan []byte, 64*size)
 	out := make([]*ChanTransport, size)
 	for r := range out {
-		out[r] = &ChanTransport{rank: r, size: size, mail: mail, closed: closed, once: once}
+		out[r] = &ChanTransport{rank: r, size: size, mail: mail, closed: closed, once: once, free: free}
 	}
 	return out
 }
@@ -208,10 +227,22 @@ func (c *ChanTransport) Send(to int, tag byte, payload []byte) error {
 	}
 	// Copy the payload: a real wire serializes, so senders may reuse
 	// their encode buffers the moment Send returns. The in-proc
-	// transport must not silently weaken that contract.
+	// transport must not silently weaken that contract. The copy lands
+	// in a recycled buffer when the free list has one big enough
+	// (too-small pops are dropped, so the list converges on
+	// steady-state frame sizes).
 	var p []byte
 	if len(payload) > 0 {
-		p = append(p, payload...)
+		select {
+		case b := <-c.free:
+			if cap(b) >= len(payload) {
+				p = append(b[:0], payload...)
+			} else {
+				p = append([]byte(nil), payload...)
+			}
+		default:
+			p = append([]byte(nil), payload...)
+		}
 	}
 	select {
 	case c.mail[c.rank][to] <- chanFrame{tag: tag, payload: p}:
@@ -246,6 +277,19 @@ func (c *ChanTransport) Recv(from int) (byte, []byte, error) {
 	}
 }
 
+// Recycle pushes buf onto the group's frame free list (dropped when the
+// list is full). Receivers call it once a Recv payload is fully
+// consumed; the buffer then backs a later Send's copy.
+func (c *ChanTransport) Recycle(buf []byte) {
+	if cap(buf) == 0 {
+		return
+	}
+	select {
+	case c.free <- buf:
+	default:
+	}
+}
+
 // Close tears down the whole group.
 func (c *ChanTransport) Close() error {
 	c.once.Do(func() { close(c.closed) })
@@ -271,6 +315,7 @@ type TCPTransport struct {
 	conns  []*tcpConn // indexed by peer rank; nil where no link exists
 	ln     net.Listener
 	closed atomic.Bool
+	free   chan []byte // endpoint-wide frame buffer free list
 	stats  TransportStats
 }
 
@@ -280,6 +325,7 @@ type tcpConn struct {
 	wmu  sync.Mutex
 	rbuf [5]byte
 	wbuf [5]byte
+	free chan []byte // shared with the owning endpoint; may be nil
 }
 
 // ListenTCP creates the master endpoint: it listens on addr (use
@@ -293,7 +339,7 @@ func ListenTCP(addr string, size int) (*TCPTransport, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &TCPTransport{rank: 0, size: size, conns: make([]*tcpConn, size), ln: ln}, nil
+	return &TCPTransport{rank: 0, size: size, conns: make([]*tcpConn, size), ln: ln, free: make(chan []byte, 64)}, nil
 }
 
 // Addr returns the master's listen address (for spawning workers).
@@ -315,7 +361,7 @@ func (t *TCPTransport) Accept() error {
 		if err != nil {
 			return err
 		}
-		tc := &tcpConn{c: c}
+		tc := &tcpConn{c: c, free: t.free}
 		tag, payload, err := tc.read()
 		if err != nil {
 			c.Close()
@@ -345,8 +391,8 @@ func DialTCP(addr string, rank, size int) (*TCPTransport, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &TCPTransport{rank: rank, size: size, conns: make([]*tcpConn, size)}
-	t.conns[0] = &tcpConn{c: c}
+	t := &TCPTransport{rank: rank, size: size, conns: make([]*tcpConn, size), free: make(chan []byte, 64)}
+	t.conns[0] = &tcpConn{c: c, free: t.free}
 	var hello [4]byte
 	binary.LittleEndian.PutUint32(hello[:], uint32(rank))
 	if err := t.conns[0].write(tcpHello, hello[:]); err != nil {
@@ -428,6 +474,18 @@ func (t *TCPTransport) Recv(from int) (byte, []byte, error) {
 	return tag, payload, nil
 }
 
+// Recycle pushes buf onto the endpoint's frame free list (dropped when
+// the list is full); later reads reuse it for incoming payloads.
+func (t *TCPTransport) Recycle(buf []byte) {
+	if cap(buf) == 0 {
+		return
+	}
+	select {
+	case t.free <- buf:
+	default:
+	}
+}
+
 // Close shuts every connection (and the master's listener) down.
 func (t *TCPTransport) Close() error {
 	t.closed.Store(true)
@@ -477,7 +535,22 @@ func (c *tcpConn) read() (byte, []byte, error) {
 	if n > maxFrameBytes {
 		return 0, nil, fmt.Errorf("fabric: frame length %d exceeds limit", n)
 	}
-	payload := make([]byte, n)
+	if n == 0 {
+		return tag, nil, nil
+	}
+	// Reuse a recycled buffer when one is big enough; too-small pops
+	// are dropped so the list converges on steady-state frame sizes.
+	var payload []byte
+	select {
+	case b := <-c.free:
+		if cap(b) >= int(n) {
+			payload = b[:n]
+		} else {
+			payload = make([]byte, n)
+		}
+	default:
+		payload = make([]byte, n)
+	}
 	if _, err := io.ReadFull(c.c, payload); err != nil {
 		return 0, nil, err
 	}

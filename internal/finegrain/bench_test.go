@@ -2,6 +2,7 @@ package finegrain
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"raxml/internal/likelihood"
@@ -15,6 +16,14 @@ import (
 // round-trip overhead a makenewz-style iteration pays per barrier
 // crossing. ranks=1 is the degenerate grid (no remote ranks: encode +
 // local execution only), so the ranks=2 delta is the wire's share.
+// The wider grids (ranks=4, ranks=8) pin the scatter's scaling: with
+// per-rank lanes a dispatch's wall time must stay near-flat in R, not
+// grow linearly like the old sequential broadcast+collect loop. They
+// skip on machines with fewer cores than ranks — an oversubscribed
+// in-proc grid measures the scheduler, not the pipeline — so the
+// recorded baseline only carries the variants the bench host can run
+// (ranks=1 and ranks=2 always run; they fit any host and anchor the
+// baseline keys).
 // Gated by scripts/benchdiff.go against BENCH_BASELINE.json.
 func BenchmarkFinegrainDispatch(b *testing.B) {
 	pat := makeData(b, 12, 2000, 2, 42)
@@ -22,8 +31,11 @@ func BenchmarkFinegrainDispatch(b *testing.B) {
 	a0 := 0
 	b0 := -1 // resolved after attach
 
-	for _, ranks := range []int{1, 2} {
+	for _, ranks := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
+			if ranks > 2 && ranks > runtime.NumCPU() {
+				b.Skipf("%d ranks need %d cores, have %d", ranks, ranks, runtime.NumCPU())
+			}
 			err := Run(ranks, 1, pat, makeSet(b, pat, true), func(eng *likelihood.Engine, pool *Pool) error {
 				if err := eng.AttachTree(topo.Clone()); err != nil {
 					return err

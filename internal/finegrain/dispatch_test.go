@@ -1,0 +1,386 @@
+package finegrain
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"raxml/internal/fabric"
+	"raxml/internal/likelihood"
+	"raxml/internal/rng"
+	"raxml/internal/tree"
+)
+
+// forceFrag shrinks the fragmentation thresholds so the small test
+// descriptors exercise the multi-fragment scatter path, restoring the
+// defaults on cleanup.
+func forceFrag(t *testing.T, entries int) {
+	t.Helper()
+	minWas, sizeWas := fragMinEntries, fragEntries
+	fragMinEntries, fragEntries = entries, entries
+	t.Cleanup(func() { fragMinEntries, fragEntries = minWas, sizeWas })
+}
+
+// severTransport wraps the master endpoint and, once armed, fails every
+// frame touching one rank the way a cut link fails: Send and Recv both
+// return a typed RankDeadError.
+type severTransport struct {
+	fabric.Transport
+	dead    int
+	severed atomic.Bool
+}
+
+func (s *severTransport) Send(to int, tag byte, payload []byte) error {
+	if to == s.dead && s.severed.Load() {
+		return &fabric.RankDeadError{Rank: to, Err: errors.New("link severed")}
+	}
+	return s.Transport.Send(to, tag, payload)
+}
+
+func (s *severTransport) Recv(from int) (byte, []byte, error) {
+	if from == s.dead && s.severed.Load() {
+		return 0, nil, &fabric.RankDeadError{Rank: from, Err: errors.New("link severed")}
+	}
+	return s.Transport.Recv(from)
+}
+
+// TestSeveredLaneSurfacesRankDead cuts one rank's link between two
+// dispatches and checks the next Post panics with a wrapped
+// fabric.RankDeadError — after draining every lane, so the healthy rank
+// and the pool remain releasable. This is the failure shape the grid
+// supervisor recovers from (re-stripe over survivors).
+func TestSeveredLaneSurfacesRankDead(t *testing.T) {
+	forceFrag(t, 4) // sever must hit the fragmented scatter path too
+	pat := makeData(t, 10, 600, 2, 31)
+	topo := tree.Random(pat.Names, rng.New(5))
+
+	const ranks = 3
+	trs := fabric.NewChanTransports(ranks)
+	served := make(chan error, ranks-1)
+	for r := 1; r < ranks; r++ {
+		go func(r int) { served <- ServeSessions(trs[r]) }(r)
+	}
+	sever := &severTransport{Transport: trs[0], dead: 2}
+
+	set := makeSet(t, pat, true)
+	pool, err := NewPool(sever, pat, set, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := likelihood.NewPartitioned(pat, set, likelihood.Config{Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AttachTree(topo); err != nil {
+		t.Fatal(err)
+	}
+	_ = eng.LogLikelihood() // healthy dispatch first
+
+	sever.severed.Store(true)
+	panicked := func() (v any) {
+		defer func() { v = recover() }()
+		eng.InvalidateAll()
+		_ = eng.LogLikelihood()
+		return nil
+	}()
+	if panicked == nil {
+		t.Fatal("dispatch over a severed link did not panic")
+	}
+	err, ok := panicked.(error)
+	if !ok {
+		t.Fatalf("panic value %T is not an error", panicked)
+	}
+	dead := fabric.AsRankDead(err)
+	if dead == nil || dead.Rank != 2 {
+		t.Fatalf("panic did not wrap a RankDeadError for rank 2: %v", err)
+	}
+
+	// The fold drained every lane, so Release must still work: the
+	// healthy rank acks, the severed one is reported dead.
+	deadRanks := pool.Release()
+	if len(deadRanks) != 1 || deadRanks[0] != 2 {
+		t.Fatalf("Release reported dead ranks %v, want [2]", deadRanks)
+	}
+	trs[0].Close()
+	for r := 1; r < ranks; r++ {
+		if err := <-served; err != nil {
+			t.Errorf("worker exit: %v", err)
+		}
+	}
+}
+
+// TestPostAllocationFree pins the zero-alloc dispatch hot path: after
+// warm-up, a steady-state evaluation dispatch over the chan transport —
+// encode, scatter, local stripe, fold, decode — performs no per-Post
+// heap allocations on the master. (AllocsPerRun counts process-wide
+// mallocs, so the worker goroutine's loop has to be clean too.)
+func TestPostAllocationFree(t *testing.T) {
+	pat := makeData(t, 12, 600, 1, 17)
+	topo := tree.Random(pat.Names, rng.New(3))
+
+	trs := fabric.NewChanTransports(2)
+	served := make(chan error, 1)
+	go func() { served <- ServeSessions(trs[1]) }()
+
+	set := makeSet(t, pat, true)
+	pool, err := NewPool(trs[0], pat, set, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := likelihood.NewPartitioned(pat, set, likelihood.Config{Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AttachTree(topo); err != nil {
+		t.Fatal(err)
+	}
+	_ = eng.LogLikelihood()
+	e := topo.Edges()[0]
+	for i := 0; i < 32; i++ { // warm free lists, slabs and delta caches
+		_ = eng.EvaluateEdge(e.A, e.B)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		_ = eng.EvaluateEdge(e.A, e.B)
+	}); avg != 0 {
+		t.Errorf("steady-state EvaluateEdge dispatch allocates %.1f times per Post, want 0", avg)
+	}
+	pool.Close()
+	trs[0].Close()
+	if err := <-served; err != nil {
+		t.Errorf("worker exit: %v", err)
+	}
+}
+
+// abortStorm hammers the engine with full relikelihoods while a second
+// goroutine keeps aborting whatever job is in flight, then checks an
+// undisturbed evaluation still matches the reference — i.e. an abort
+// that lands mid-scatter (fragmentation is forced down so every
+// dispatch is multi-frame) drains its lanes cleanly and rolls the
+// descriptor back without poisoning the delta caches.
+func abortStorm(t *testing.T, pool *Pool, eng *likelihood.Engine, want float64) {
+	t.Helper()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				pool.AbortJob()
+			}
+		}
+	}()
+	for i := 0; i < 30; i++ {
+		eng.InvalidateAll()
+		_ = eng.LogLikelihood() // result may be garbage; state must not be
+	}
+	close(stop)
+	<-done
+
+	if got := eng.LogLikelihood(); relDiff(got, want) > 1e-10 {
+		t.Errorf("after abort storm: distributed %.12f vs reference %.12f", got, want)
+	}
+}
+
+// TestAbortMidScatterChan runs the abort storm over the in-proc chan
+// transport.
+func TestAbortMidScatterChan(t *testing.T) {
+	forceFrag(t, 4)
+	pat := makeData(t, 12, 900, 2, 23)
+	topo := tree.Random(pat.Names, rng.New(11))
+	ref := refEngine(t, pat, true)
+	if err := ref.AttachTree(topo.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	want := ref.LogLikelihood()
+
+	err := Run(3, 2, pat, makeSet(t, pat, true), func(eng *likelihood.Engine, pool *Pool) error {
+		if err := eng.AttachTree(topo.Clone()); err != nil {
+			return err
+		}
+		abortStorm(t, pool, eng, want)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAbortMidScatterTCP runs the abort storm over the real TCP
+// transport.
+func TestAbortMidScatterTCP(t *testing.T) {
+	forceFrag(t, 4)
+	pat := makeData(t, 10, 600, 2, 29)
+	topo := tree.Random(pat.Names, rng.New(13))
+	ref := refEngine(t, pat, true)
+	if err := ref.AttachTree(topo.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	want := ref.LogLikelihood()
+
+	const ranks = 3
+	master, err := fabric.ListenTCP("127.0.0.1:0", ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer master.Close()
+	served := make(chan error, ranks-1)
+	for r := 1; r < ranks; r++ {
+		go func(r int) {
+			wt, err := fabric.DialTCP(master.Addr(), r, ranks)
+			if err != nil {
+				served <- err
+				return
+			}
+			defer wt.Close()
+			served <- Serve(wt)
+		}(r)
+	}
+	if err := master.Accept(); err != nil {
+		t.Fatal(err)
+	}
+	set := makeSet(t, pat, true)
+	pool, err := NewPool(master, pat, set, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := likelihood.NewPartitioned(pat, set, likelihood.Config{Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AttachTree(topo.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	abortStorm(t, pool, eng, want)
+	pool.Close()
+	for r := 1; r < ranks; r++ {
+		if err := <-served; err != nil {
+			t.Errorf("worker exit: %v", err)
+		}
+	}
+}
+
+// TestFragmentedDeltaWireTraffic pins the two wire optimizations
+// working together: with fragmentation forced on, a first full-tree
+// dispatch ships every descriptor entry in full, and an immediately
+// repeated traversal of the same topology ships the same entries as
+// 9-byte delta refs — the second dispatch's bytes must come in well
+// under the first's — while both reproduce the reference likelihood to
+// 1e-10.
+func TestFragmentedDeltaWireTraffic(t *testing.T) {
+	forceFrag(t, 4)
+	pat := makeData(t, 12, 900, 2, 41)
+	topo := tree.Random(pat.Names, rng.New(19))
+	ref := refEngine(t, pat, false)
+	if err := ref.AttachTree(topo.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	want := ref.LogLikelihood()
+
+	err := Run(2, 2, pat, makeSet(t, pat, false), func(eng *likelihood.Engine, pool *Pool) error {
+		if err := eng.AttachTree(topo.Clone()); err != nil {
+			return err
+		}
+		_ = eng.LogLikelihood() // ships the model block once
+		st := pool.Transport().Stats()
+
+		// Re-attaching the same topology bumps the topo epoch: the reset
+		// clears both delta caches, so the full traversal re-ships every
+		// entry in 49-byte full form (no model block — the model epoch
+		// did not move). This is the fair baseline for the ref dispatch.
+		if err := eng.AttachTree(topo.Clone()); err != nil {
+			return err
+		}
+		by0 := st.BytesSent.Load()
+		if got := eng.LogLikelihood(); relDiff(got, want) > 1e-10 {
+			t.Errorf("fragmented full ship: %.12f vs reference %.12f", got, want)
+		}
+		full := st.BytesSent.Load() - by0
+
+		// A branch-length-style invalidation staleness with unchanged
+		// entries: the same traversal re-ships as 9-byte refs.
+		e := topo.Edges()[0]
+		eng.InvalidateEdge(e.A, e.B)
+		by1 := st.BytesSent.Load()
+		if got := eng.LogLikelihood(); relDiff(got, want) > 1e-10 {
+			t.Errorf("delta re-ship: %.12f vs reference %.12f", got, want)
+		}
+		delta := st.BytesSent.Load() - by1
+
+		if full == 0 || delta == 0 {
+			t.Fatalf("no traffic recorded: full=%d delta=%d", full, delta)
+		}
+		if delta*2 >= full {
+			t.Errorf("delta re-ship cost %d bytes vs %d full — refs are not shrinking the frames", delta, full)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTCPDispatchLatencySmoke is the CI smoke bound on TCP dispatch
+// latency: a steady-state evaluation dispatch over the loopback — two
+// frames on the wire, kernel, fold — must come back in well under a
+// millisecond budget. The bound is deliberately loose (50x a typical
+// loopback round trip) so only gross pipeline regressions trip it.
+func TestTCPDispatchLatencySmoke(t *testing.T) {
+	pat := makeData(t, 10, 600, 1, 47)
+	topo := tree.Random(pat.Names, rng.New(23))
+
+	const ranks = 2
+	master, err := fabric.ListenTCP("127.0.0.1:0", ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer master.Close()
+	served := make(chan error, 1)
+	go func() {
+		wt, err := fabric.DialTCP(master.Addr(), 1, ranks)
+		if err != nil {
+			served <- err
+			return
+		}
+		defer wt.Close()
+		served <- Serve(wt)
+	}()
+	if err := master.Accept(); err != nil {
+		t.Fatal(err)
+	}
+	set := makeSet(t, pat, true)
+	pool, err := NewPool(master, pat, set, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := likelihood.NewPartitioned(pat, set, likelihood.Config{Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AttachTree(topo); err != nil {
+		t.Fatal(err)
+	}
+	_ = eng.LogLikelihood()
+	e := topo.Edges()[0]
+	for i := 0; i < 16; i++ {
+		_ = eng.EvaluateEdge(e.A, e.B) // warm sockets, buffers, caches
+	}
+
+	const rounds = 200
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		_ = eng.EvaluateEdge(e.A, e.B)
+	}
+	per := time.Since(start) / rounds
+	if per > 5*time.Millisecond {
+		t.Errorf("TCP dispatch latency %v/op exceeds the 5ms smoke bound", per)
+	}
+	t.Logf("TCP steady-state dispatch: %v/op", per)
+	pool.Close()
+	if err := <-served; err != nil {
+		t.Errorf("worker exit: %v", err)
+	}
+}

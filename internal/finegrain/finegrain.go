@@ -66,6 +66,23 @@ const (
 	TagPing
 	// TagPong answers a ping (worker -> master).
 	TagPong
+	// TagJobFrag carries one fragment of a chunked job frame: the worker
+	// appends fragments to its reassembly buffer and executes when the
+	// closing TagJob frame arrives. Fragmentation is what lets the
+	// master overlap P-matrix fills for later descriptor entries with
+	// the shipping of earlier ones (master -> workers).
+	TagJobFrag
+)
+
+// Fragmentation thresholds: descriptors of at least fragMinEntries ship
+// as a header fragment plus fragEntries-sized entry fragments, so the
+// master's deferred P-fill pipelines with the scatter; shorter
+// descriptors (every makenewz iteration, empty-descriptor reductions)
+// stay single-frame. Package variables so tests can force fragmentation
+// on small data.
+var (
+	fragMinEntries = 64
+	fragEntries    = 64
 )
 
 // stripeQuantum is the pattern quantum rank stripes snap to, relative
@@ -88,9 +105,19 @@ type Pool struct {
 	local   *threads.Pool
 	stripes []threads.Range
 
-	// remote[r] is rank r's partial of the current job (nil for the
-	// master's own rank and before the first dispatch).
+	// lanes are the per-rank send/receive lanes a dispatch scatters
+	// through (nil on a single-rank grid, which has no wire at all).
+	lanes *fabric.Lanes
+
+	// remote[r] is rank r's partial of the current job, preallocated at
+	// construction and decoded into in place every dispatch (nil for the
+	// master's own rank 0).
 	remote []*likelihood.WirePartial
+
+	// rankErr[r] holds rank r's send error of the current direct
+	// (non-lane) dispatch until the fold consumes it; reused across
+	// dispatches so the hot path stays allocation-free.
+	rankErr []error
 
 	// shippedModel/shippedTopo are the engine epochs as of the last
 	// broadcast: a moved model epoch attaches a model-sync block, a
@@ -130,6 +157,7 @@ func NewPool(tr fabric.Transport, pat *msa.Patterns, set *gtr.PartitionSet, thre
 		tr:      tr,
 		stripes: stripes,
 		remote:  make([]*likelihood.WirePartial, ranks),
+		rankErr: make([]error, ranks),
 	}
 	for r := 1; r < ranks; r++ {
 		sp, partIndex, clipOff := pat.Slice(stripes[r].Lo, stripes[r].Hi)
@@ -147,6 +175,10 @@ func NewPool(tr fabric.Transport, pat *msa.Patterns, set *gtr.PartitionSet, thre
 		if err := tr.Send(r, TagInit, likelihood.EncodeWorkerInit(init)); err != nil {
 			return nil, fmt.Errorf("finegrain: init rank %d: %w", r, err)
 		}
+		p.remote[r] = &likelihood.WirePartial{}
+	}
+	if ranks > 1 {
+		p.lanes = fabric.NewLanes(tr)
 	}
 	p.local = threads.NewPoolStripe(threadsPerRank, pat.Weights, stripes[0].Lo, stripes[0].Hi)
 	return p, nil
@@ -162,50 +194,130 @@ func (p *Pool) Stripes() []threads.Range { return p.stripes }
 // LocalPool returns the master's own thread crew (stripe 0).
 func (p *Pool) LocalPool() *threads.Pool { return p.local }
 
-// Post implements likelihood.Dispatcher: broadcast the encoded job to
-// every remote rank, execute the master's stripe locally, collect and
-// retain the rank partials. The runner must be the master's likelihood
-// engine (it implements likelihood.WireMaster).
+// Post implements likelihood.Dispatcher: scatter the encoded job
+// through the per-rank send lanes, execute the master's stripe locally,
+// then fold the rank partials in rank order as they arrive (an
+// out-of-order arrival parks in its lane, so the reduction order — and
+// the result bits — are those of the sequential fold). The runner must
+// be the master's likelihood engine (it implements
+// likelihood.WireMaster).
+//
+// Long descriptors ship fragmented: the header goes out first, then
+// each fragEntries-sized entry range is P-filled, delta-encoded and
+// queued while the previous range is still on the wire — the
+// encode/fill/transmit pipeline that replaces the old
+// encode-everything-then-broadcast step. Short descriptors (makenewz
+// iterations, evaluations) stay single-frame. Either way a dispatch
+// counts as ONE broadcast and ONE reduction in the transport stats.
 //
 // Transport failures panic — the Dispatcher contract has no error
-// return — but the panic value is the wrapped *error*, so a supervisor
-// that recovers it can errors.As out a fabric.RankDeadError and react
-// (the grid scheduler re-stripes the pool over survivors and resumes
-// from checkpoint). Without a supervisor the behavior is the pre-grid
+// return — but only after every kicked lane has been drained, and the
+// panic value is the wrapped *error*, so a supervisor that recovers it
+// can errors.As out a fabric.RankDeadError and react (the grid
+// scheduler re-stripes the pool over survivors and resumes from
+// checkpoint). Without a supervisor the behavior is the pre-grid
 // fail-fast: a dead rank kills the run.
 func (p *Pool) Post(runner threads.JobRunner, code threads.JobCode) {
 	wm, ok := runner.(likelihood.WireMaster)
 	if !ok {
 		panic(fmt.Sprintf("finegrain: runner %T cannot encode wire jobs", runner))
 	}
+	if p.lanes == nil {
+		// Single-rank grid: no wire, no deferred fill (PipelinesFill
+		// reports false, so the engine filled P matrices eagerly).
+		p.local.Post(runner, code)
+		return
+	}
 	modelEpoch, topoEpoch := wm.WireEpochs()
 	includeModel := modelEpoch != p.shippedModel
 	reset := topoEpoch != p.shippedTopo
-	frame := wm.EncodeWireJob(code, includeModel, reset)
-	if err := fabric.Broadcast(p.tr, TagJob, frame); err != nil {
-		panic(fmt.Errorf("finegrain: job broadcast: %w", err))
+
+	header, n := wm.WireJobHeader(code, includeModel, reset)
+	direct := n == 0
+	switch {
+	case direct:
+		// Empty descriptor (every makenewz iteration, warm evaluations):
+		// one tiny frame and nothing to overlap it with. Use the
+		// transport directly — the lanes are quiescent between matched
+		// Kick/Await pairs — saving the per-rank goroutine handoffs the
+		// lane pipeline costs; on oversubscribed hosts those handoffs
+		// are scheduler round trips that dominate the dispatch.
+		frame := wm.WireJobFrame()
+		for r := 1; r < p.tr.Size(); r++ {
+			p.rankErr[r] = p.tr.Send(r, TagJob, frame)
+		}
+	case n >= fragMinEntries:
+		// Fragmented scatter: ship the header, then fill+encode entry
+		// ranges while earlier ranges are already in the lanes. The last
+		// range closes the frame with TagJob.
+		p.lanes.Scatter(TagJobFrag, header)
+		for lo := 0; lo < n; lo += fragEntries {
+			hi, tag := lo+fragEntries, TagJobFrag
+			if hi >= n {
+				hi, tag = n, TagJob
+			}
+			wm.FillTravChunk(lo, hi)
+			p.lanes.Scatter(tag, wm.WireJobEntries(lo, hi))
+		}
+	default:
+		wm.WireJobEntries(0, n)
+		p.lanes.Scatter(TagJob, wm.WireJobFrame())
+		wm.FillTravChunk(0, n)
+	}
+	p.tr.Stats().Broadcasts.Add(1)
+	if !direct {
+		p.lanes.KickAll()
 	}
 	p.shippedModel, p.shippedTopo = modelEpoch, topoEpoch
 
 	p.local.Post(runner, code)
 
-	payloads, err := fabric.Collect(p.tr, TagPartial, TagErr)
-	if err != nil {
-		panic(fmt.Errorf("finegrain: partial collection: %w", err))
-	}
-	for r, pl := range payloads {
-		if pl == nil {
+	// Fold every rank before reacting to any failure: a panic with a
+	// kicked receiver still pending would leave the lane unjoinable for
+	// the supervisor's Release. A rank whose send failed is still
+	// received from — its link is broken, so the Recv errors rather
+	// than blocks — keeping the kick/await pairing exact.
+	var firstErr error
+	for r := 1; r < p.tr.Size(); r++ {
+		var res fabric.LaneResult
+		sendErr := p.rankErr[r]
+		if direct {
+			res.Tag, res.Payload, res.Err = p.tr.Recv(r)
+		} else {
+			res = p.lanes.Await(r)
+			sendErr = p.lanes.SendErr(r)
+		}
+		var err error
+		switch {
+		case sendErr != nil:
+			err = fmt.Errorf("rank %d send: %w", r, sendErr)
+		case res.Err != nil:
+			err = fmt.Errorf("rank %d recv: %w", r, res.Err)
+		case res.Tag == TagErr:
+			err = fmt.Errorf("rank %d: %s", r, res.Payload)
+		case res.Tag != TagPartial:
+			err = fmt.Errorf("rank %d: unexpected tag %d", r, res.Tag)
+		default:
+			if derr := likelihood.DecodeWirePartialInto(p.remote[r], res.Payload); derr != nil {
+				err = fmt.Errorf("rank %d partial: %w", r, derr)
+			}
+		}
+		fabric.Recycle(p.tr, res.Payload)
+		p.rankErr[r] = nil
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
 			continue
 		}
-		part, err := likelihood.DecodeWirePartial(pl)
-		if err != nil {
-			panic(fmt.Errorf("finegrain: rank %d partial: %w", r, err))
-		}
-		p.remote[r] = part
 		if code == threads.JobSiteLL {
-			wm.AbsorbRemoteSiteLL(p.stripes[r].Lo, part.Vec)
+			wm.AbsorbRemoteSiteLL(p.stripes[r].Lo, p.remote[r].Vec)
 		}
 	}
+	if firstErr != nil {
+		panic(fmt.Errorf("finegrain: dispatch: %w", firstErr))
+	}
+	p.tr.Stats().Reductions.Add(1)
 }
 
 // Workers returns the number of LOCAL workers (the crew running RunJob
@@ -275,6 +387,18 @@ func (p *Pool) AlignRangesAt(quantum int, starts []int) { p.local.AlignRangesAt(
 // ForkJoin forwards master-side precomputation to the local crew.
 func (p *Pool) ForkJoin(n, grain int, fn func(lo, hi int)) { p.local.ForkJoin(n, grain, fn) }
 
+// ForkJoinRange forwards a windowed fill to the local crew (the
+// pipelined dispatch path fills one descriptor chunk at a time).
+func (p *Pool) ForkJoinRange(lo, hi, grain int, fn func(lo, hi int)) {
+	p.local.ForkJoinRange(lo, hi, grain, fn)
+}
+
+// PipelinesFill reports whether the pool overlaps the P-matrix fill
+// with the dispatch: the engine then defers the fill at traversal
+// planning and Post completes it chunk-by-chunk between scatters. A
+// single-rank grid has no wire to overlap with, so it fills eagerly.
+func (p *Pool) PipelinesFill() bool { return p.lanes != nil }
+
 // Dispatches counts jobs posted (each Post is one local barrier
 // crossing plus one broadcast/reduction pair).
 func (p *Pool) Dispatches() int64 { return p.local.Dispatches() }
@@ -303,6 +427,9 @@ func (p *Pool) Release() (dead []int) {
 		return nil
 	}
 	p.closed = true
+	if p.lanes != nil {
+		p.lanes.Close() // idle between dispatches; handshake uses tr directly
+	}
 	for r := 1; r < p.tr.Size(); r++ {
 		if !releaseRank(p.tr, r) {
 			dead = append(dead, r)
@@ -342,6 +469,9 @@ func (p *Pool) Close() {
 		return
 	}
 	p.closed = true
+	if p.lanes != nil {
+		p.lanes.Close()
+	}
 	// Best effort, per rank: one dead rank's broken link must not stop
 	// the shutdown frames to the ranks after it (fabric.Broadcast
 	// returns on the first failed Send, which would leave survivors

@@ -100,6 +100,14 @@ func serveSession(tr fabric.Transport, initPayload []byte) (done bool, err error
 		defer pool.Close()
 	}
 	geom := &init.Geom
+	// Session-lifetime reassembly buffer and decoded-job slabs: TagJobFrag
+	// fragments accumulate in frag until the closing TagJob frame, and
+	// every frame decodes into the same WireJob so the steady-state serve
+	// loop reuses its entry/view/partial slabs instead of reallocating.
+	var (
+		job  likelihood.WireJob
+		frag []byte
+	)
 	for {
 		tag, payload, err := tr.Recv(0)
 		if err != nil {
@@ -120,13 +128,23 @@ func serveSession(tr fabric.Transport, initPayload []byte) (done bool, err error
 			if err := tr.Send(0, TagPong, nil); err != nil {
 				return true, nil
 			}
+		case TagJobFrag:
+			frag = append(frag, payload...)
+			fabric.Recycle(tr, payload)
 		case TagJob:
-			job, err := likelihood.DecodeWireJob(payload)
-			if err != nil {
-				_ = tr.Send(0, TagErr, []byte(err.Error()))
-				return true, fmt.Errorf("finegrain: worker job decode: %w", err)
+			buf := payload
+			if len(frag) > 0 {
+				frag = append(frag, payload...)
+				buf = frag
 			}
-			partial, err := eng.ExecWireJob(job, geom)
+			decErr := likelihood.DecodeWireJobInto(&job, buf)
+			frag = frag[:0]
+			fabric.Recycle(tr, payload)
+			if decErr != nil {
+				_ = tr.Send(0, TagErr, []byte(decErr.Error()))
+				return true, fmt.Errorf("finegrain: worker job decode: %w", decErr)
+			}
+			partial, err := eng.ExecWireJob(&job, geom)
 			if err != nil {
 				_ = tr.Send(0, TagErr, []byte(err.Error()))
 				return true, fmt.Errorf("finegrain: worker job exec: %w", err)

@@ -120,6 +120,9 @@ type Dispatcher interface {
 	AlignRangesAt(quantum int, starts []int)
 	// ForkJoin is the master-side precomputation helper (no dispatch).
 	ForkJoin(n, grain int, fn func(lo, hi int))
+	// ForkJoinRange is ForkJoin over an arbitrary window [lo, hi) — the
+	// chunked P-fill of the overlapped dispatch pipeline runs through it.
+	ForkJoinRange(lo, hi, grain int, fn func(lo, hi int))
 	// Dispatches counts barrier crossings paid so far.
 	Dispatches() int64
 	// AbortJob / Aborted are the cooperative-cancel pair.
@@ -223,6 +226,35 @@ type Engine struct {
 	travLUT         []float64
 	travLo, travHi  int
 	perNodeDispatch bool
+
+	// travFillNext is the absolute descriptor index up to which P
+	// matrices and tip LUTs are filled. A pipelining Dispatcher (see
+	// fillPipeliner) defers the fill from prepareTraversal into chunked
+	// FillTravChunk calls interleaved with frame encodes, so P-fills of
+	// later entries overlap the shipping of earlier ones; non-pipelining
+	// pools fill everything in prepareTraversal and leave this == len.
+	// fillTravFn/fillWireFn are the bound fill methods, created once so
+	// the hot path never re-allocates a method-value closure.
+	travFillNext int
+	fillTravFn   func(lo, hi int)
+	fillWireFn   func(lo, hi int)
+
+	// Delta-descriptor ship cache (master side): wireShipped[node*3+slot]
+	// is the last descriptor entry shipped full for that directed edge,
+	// valid while wireShippedOK. An unchanged entry re-ships as a 9-byte
+	// ref instead of the 49-byte full form. Cleared whenever a frame
+	// carries a model block or tile reset — the workers clear their edge
+	// caches on exactly the same flags, so both sides stay coherent.
+	wireShipped   []WireEntry
+	wireShippedOK []bool
+
+	// Worker-side edge cache (remote.go): per directed edge, the last
+	// fully shipped entry with its rebuilt P matrices and tip LUTs, so a
+	// ref entry reuses the cached matrices bit-identically instead of
+	// recomputing them. wireFillIdx collects the indices of entries that
+	// DO need a fill this job.
+	wireCache   []wireEdgeCache
+	wireFillIdx []int
 
 	// job inputs published by the master before posting a job code:
 	// the endpoint views of the edge being evaluated/differentiated,
@@ -390,6 +422,8 @@ func build(pat *msa.Patterns, spans []msa.PartRange, set *gtr.PartitionSet, cfg 
 	}
 	e.pool.AlignRangesAt(stripeQuantum, starts)
 	e.pool.EnsureWide(len(e.parts))
+	e.fillTravFn = e.fillTravMatrices
+	e.fillWireFn = e.fillWireIdxMatrices
 	e.weights = append([]int(nil), pat.Weights...)
 	e.buildTipVectors()
 	e.ensureP()

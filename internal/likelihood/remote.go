@@ -49,13 +49,38 @@ type WireView struct {
 // resolved to taxa: compute directed CLV (Node, Slot) from children
 // (C1, C1Slot) and (C2, C2Slot) across branches Len1/Len2. A
 // non-negative CxTaxon marks a tip child (the remote rank has no tree
-// to look it up in).
+// to look it up in). Ref marks a delta reference: only (Node, Slot)
+// crossed the wire and the rest of the entry — children, lengths, and
+// the rebuilt P matrices/LUTs — comes from the receiving rank's edge
+// cache, keyed by the same directed edge.
 type WireEntry struct {
 	Node, Slot        int32
 	C1, C1Slot, C1Tax int32
 	C2, C2Slot, C2Tax int32
 	Len1, Len2        float64
+	Ref               bool
 }
+
+// wireEdgeCache is one directed edge's slot in a worker engine's
+// delta-descriptor cache: the last entry shipped full for the edge plus
+// the P matrices (pL then pR, e.totalCats categories each) and tip LUTs
+// rebuilt from it. A ref entry replays all of it without recomputation
+// — bit-identical, since the cached matrices were produced by the exact
+// code a full entry would run. The cache lives until a frame carries a
+// model block or tile reset (ExecWireJob clears it on the same flags
+// that clear the master's ship cache).
+type wireEdgeCache struct {
+	ok         bool
+	ent        WireEntry
+	p          [][16]float64
+	lutL, lutR []float64
+}
+
+// Descriptor entry kinds on the wire (first byte of every entry).
+const (
+	wireEntFull byte = 0 // full 48-byte entry follows
+	wireEntRef  byte = 1 // 8-byte (node, slot) ref into the edge cache
+)
 
 // WireModel is the model-sync block: full per-partition model state
 // plus the active pattern weights over the master's full pattern axis.
@@ -132,11 +157,28 @@ type WorkerGeom struct {
 }
 
 // WireMaster is what a distributed Dispatcher requires of its runner:
-// the planning engine must encode the job in flight and absorb remote
-// partials. *Engine implements it.
+// the planning engine must encode the job in flight — as one frame
+// (EncodeWireJob) or as a header plus chunked entry ranges interleaved
+// with the deferred P-fill (WireJobHeader / WireJobEntries /
+// FillTravChunk / WireJobFrame) — and absorb remote partials. *Engine
+// implements it.
 type WireMaster interface {
 	threads.JobRunner
 	EncodeWireJob(code threads.JobCode, includeModel, reset bool) []byte
+	// WireJobHeader starts a frame: job code, flags, capacity, optional
+	// model block, views, factor block and the entry count. Returns the
+	// header bytes and the number of descriptor entries to follow.
+	WireJobHeader(code threads.JobCode, includeModel, reset bool) (header []byte, entries int)
+	// WireJobEntries appends the window-relative entry range [lo, hi) in
+	// delta form and returns exactly the appended bytes. Appended ranges
+	// accumulate: WireJobFrame returns the whole frame so far.
+	WireJobEntries(lo, hi int) []byte
+	// WireJobFrame returns the complete frame encoded so far (header
+	// plus every appended entry range).
+	WireJobFrame() []byte
+	// FillTravChunk completes the deferred P-matrix/LUT fill for the
+	// window-relative entry range [lo, hi); idempotent per entry.
+	FillTravChunk(lo, hi int)
 	WireEpochs() (model, topo uint64)
 	AbsorbRemoteSiteLL(stripeLo int, vec []float64)
 }
@@ -305,8 +347,39 @@ const (
 // with DecodeWireJob on a remote rank. Must be called between the
 // master's prepareTraversal and the job's completion (a distributed
 // Dispatcher calls it at the top of Post). The returned buffer is
-// reused by the next call.
+// reused by the next call. Kept as the whole-frame convenience over
+// the chunked WireJobHeader/WireJobEntries pair.
 func (e *Engine) EncodeWireJob(code threads.JobCode, includeModel, reset bool) []byte {
+	_, n := e.WireJobHeader(code, includeModel, reset)
+	if n > 0 {
+		e.WireJobEntries(0, n)
+	}
+	return e.wireBuf
+}
+
+// WireJobHeader resets the wire buffer and encodes everything up to and
+// including the descriptor entry count: job code, flags, node capacity,
+// optional model-sync block, branch lengths, views, and (for the
+// makenewz core) the factor block. It returns the header bytes and the
+// number of entries WireJobEntries calls must append. A frame carrying
+// a model block or reset marker clears the delta ship cache — the
+// workers clear their edge caches on the same flags, keeping both ends
+// coherent without any extra traffic.
+func (e *Engine) WireJobHeader(code threads.JobCode, includeModel, reset bool) ([]byte, int) {
+	if includeModel || reset {
+		for i := range e.wireShippedOK {
+			e.wireShippedOK[i] = false
+		}
+	}
+	maxNode := e.tree.MaxNodeID()
+	if n := 3 * maxNode; len(e.wireShippedOK) < n {
+		shipped := make([]WireEntry, n)
+		copy(shipped, e.wireShipped)
+		e.wireShipped = shipped
+		ok := make([]bool, n)
+		copy(ok, e.wireShippedOK)
+		e.wireShippedOK = ok
+	}
 	b := e.wireBuf[:0]
 	b = append(b, byte(code))
 	var flags byte
@@ -317,7 +390,7 @@ func (e *Engine) EncodeWireJob(code threads.JobCode, includeModel, reset bool) [
 		flags |= jobFlagReset
 	}
 	b = append(b, flags)
-	b = appendU32(b, uint32(e.tree.MaxNodeID()))
+	b = appendU32(b, uint32(maxNode))
 	if includeModel {
 		b = e.appendWireModel(b)
 	}
@@ -338,32 +411,67 @@ func (e *Engine) EncodeWireJob(code threads.JobCode, includeModel, reset bool) [
 	if code == threads.JobMakenewzCore {
 		b = e.appendWireFactors(b)
 	}
+	n := e.travHi - e.travLo
+	b = appendU32(b, uint32(n))
+	e.wireBuf = b
+	return b, n
+}
+
+// WireJobEntries appends the window-relative descriptor range [lo, hi)
+// to the frame in delta form: an entry identical to the last one
+// shipped full for its directed edge (same children, same lengths,
+// cache not invalidated since) goes out as a 9-byte ref; everything
+// else goes out full and refreshes the ship cache. Returns exactly the
+// appended bytes — the wire buffer is append-only within a frame, so
+// slices returned by earlier calls stay valid even when the buffer
+// reallocates (they alias the old backing array, which the lanes may
+// still be shipping).
+func (e *Engine) WireJobEntries(lo, hi int) []byte {
+	b := e.wireBuf
+	start := len(b)
 	window := e.trav[e.travLo:e.travHi]
-	b = appendU32(b, uint32(len(window)))
-	for i := range window {
+	for i := lo; i < hi; i++ {
 		ent := &window[i]
 		p := &ent.pub
-		c1t, c2t := int32(-1), int32(-1)
+		we := WireEntry{
+			Node: int32(p.Node), Slot: int32(p.Slot),
+			C1: int32(p.C1), C1Slot: int32(p.C1Slot), C1Tax: -1,
+			C2: int32(p.C2), C2Slot: int32(p.C2Slot), C2Tax: -1,
+			Len1: p.Len1, Len2: p.Len2,
+		}
 		if ent.left.tip {
-			c1t = int32(ent.left.taxon)
+			we.C1Tax = int32(ent.left.taxon)
 		}
 		if ent.right.tip {
-			c2t = int32(ent.right.taxon)
+			we.C2Tax = int32(ent.right.taxon)
 		}
-		b = appendI32(b, int32(p.Node))
-		b = appendI32(b, int32(p.Slot))
-		b = appendI32(b, int32(p.C1))
-		b = appendI32(b, int32(p.C1Slot))
-		b = appendI32(b, c1t)
-		b = appendI32(b, int32(p.C2))
-		b = appendI32(b, int32(p.C2Slot))
-		b = appendI32(b, c2t)
-		b = appendF64(b, p.Len1)
-		b = appendF64(b, p.Len2)
+		idx := p.Node*3 + p.Slot
+		if e.wireShippedOK[idx] && e.wireShipped[idx] == we {
+			b = append(b, wireEntRef)
+			b = appendI32(b, we.Node)
+			b = appendI32(b, we.Slot)
+			continue
+		}
+		b = append(b, wireEntFull)
+		b = appendI32(b, we.Node)
+		b = appendI32(b, we.Slot)
+		b = appendI32(b, we.C1)
+		b = appendI32(b, we.C1Slot)
+		b = appendI32(b, we.C1Tax)
+		b = appendI32(b, we.C2)
+		b = appendI32(b, we.C2Slot)
+		b = appendI32(b, we.C2Tax)
+		b = appendF64(b, we.Len1)
+		b = appendF64(b, we.Len2)
+		e.wireShipped[idx] = we
+		e.wireShippedOK[idx] = true
 	}
 	e.wireBuf = b
-	return b
+	return b[start:]
 }
+
+// WireJobFrame returns the complete frame encoded so far.
+func (e *Engine) WireJobFrame() []byte { return e.wireBuf }
 
 // appendWireModel appends the model-sync block: active weights over the
 // full pattern axis plus every partition's parameters and rate
@@ -410,7 +518,7 @@ func (e *Engine) appendWireFactors(b []byte) []byte {
 	return b
 }
 
-func decodeWireFactors(r *wireReader) *WireFactors {
+func decodeWireFactors(r *wireReader, reuse *WireFactors) *WireFactors {
 	np := int(r.u32())
 	if r.err != nil || np < 0 || np > 1<<20 {
 		r.fail()
@@ -418,14 +526,25 @@ func decodeWireFactors(r *wireReader) *WireFactors {
 	}
 	// Every remaining byte is at most factor payload, so len/24 bounds
 	// the total category·4 count — pre-size the blocks once instead of
-	// append-growing on the per-Newton-iteration hot path.
-	capHint := (len(r.b) - r.off) / 24
-	f := &WireFactors{
-		Cats: make([]int, np),
-		Exp:  make([]float64, 0, capHint),
-		D1:   make([]float64, 0, capHint),
-		D2:   make([]float64, 0, capHint),
+	// append-growing on the per-Newton-iteration hot path. A reused
+	// block keeps its slabs, making the steady-state Newton iteration
+	// allocation-free on the worker too.
+	f := reuse
+	if f == nil {
+		capHint := (len(r.b) - r.off) / 24
+		f = &WireFactors{
+			Exp: make([]float64, 0, capHint),
+			D1:  make([]float64, 0, capHint),
+			D2:  make([]float64, 0, capHint),
+		}
 	}
+	if cap(f.Cats) < np {
+		f.Cats = make([]int, np)
+	}
+	f.Cats = f.Cats[:np]
+	f.Exp = f.Exp[:0]
+	f.D1 = f.D1[:0]
+	f.D2 = f.D2[:0]
 	for i := 0; i < np; i++ {
 		nc := int(r.u32())
 		if r.err != nil || nc < 0 || r.off+3*nc*4*8 > len(r.b) {
@@ -481,14 +600,26 @@ func (e *Engine) applyWireFactors(f *WireFactors, g *WorkerGeom) error {
 	return nil
 }
 
-// DecodeWireJob decodes a job frame.
+// DecodeWireJob decodes a job frame into a fresh WireJob.
 func DecodeWireJob(buf []byte) (*WireJob, error) {
-	r := &wireReader{b: buf}
 	j := &WireJob{}
+	if err := DecodeWireJobInto(j, buf); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// DecodeWireJobInto decodes a job frame into j, reusing j's entry and
+// factor slabs — the worker-side half of the allocation-free dispatch
+// path. The decode copies everything out of buf; the caller may recycle
+// buf the moment this returns.
+func DecodeWireJobInto(j *WireJob, buf []byte) error {
+	r := &wireReader{b: buf}
 	j.Code = threads.JobCode(r.u8())
 	flags := r.u8()
 	j.Reset = flags&jobFlagReset != 0
 	j.MaxNode = int(r.u32())
+	j.Model = nil
 	if flags&jobFlagModel != 0 {
 		j.Model = decodeWireModel(r)
 	}
@@ -496,37 +627,55 @@ func DecodeWireJob(buf []byte) (*WireJob, error) {
 	j.T2 = r.f64()
 	j.NViews = int(r.u8())
 	if j.NViews > 3 {
-		return nil, fmt.Errorf("likelihood: job frame has %d views", j.NViews)
+		return fmt.Errorf("likelihood: job frame has %d views", j.NViews)
 	}
 	for i := 0; i < j.NViews; i++ {
 		j.Views[i] = WireView{Tip: r.bool(), Taxon: r.i32(), Node: r.i32(), Slot: r.i32()}
 	}
 	if j.Code == threads.JobMakenewzCore {
-		j.Factors = decodeWireFactors(r)
+		j.Factors = decodeWireFactors(r, j.Factors)
+	} else {
+		j.Factors = nil
 	}
 	n := int(r.u32())
+	j.Entries = j.Entries[:0]
 	if r.err == nil && n > 0 {
-		if r.off+n*48 > len(r.b) {
+		// Every entry is at least 9 bytes (kind + node + slot), which
+		// bounds a hostile count before the loop runs.
+		if r.off+n*9 > len(r.b) {
 			r.fail()
 		} else {
-			j.Entries = make([]WireEntry, n)
-			for i := range j.Entries {
-				j.Entries[i] = WireEntry{
-					Node: r.i32(), Slot: r.i32(),
-					C1: r.i32(), C1Slot: r.i32(), C1Tax: r.i32(),
-					C2: r.i32(), C2Slot: r.i32(), C2Tax: r.i32(),
-					Len1: r.f64(), Len2: r.f64(),
+			if cap(j.Entries) < n {
+				j.Entries = make([]WireEntry, 0, n)
+			}
+			for i := 0; i < n && r.err == nil; i++ {
+				switch kind := r.u8(); kind {
+				case wireEntFull:
+					j.Entries = append(j.Entries, WireEntry{
+						Node: r.i32(), Slot: r.i32(),
+						C1: r.i32(), C1Slot: r.i32(), C1Tax: r.i32(),
+						C2: r.i32(), C2Slot: r.i32(), C2Tax: r.i32(),
+						Len1: r.f64(), Len2: r.f64(),
+					})
+				case wireEntRef:
+					j.Entries = append(j.Entries, WireEntry{
+						Node: r.i32(), Slot: r.i32(), Ref: true,
+					})
+				default:
+					if r.err == nil {
+						r.err = fmt.Errorf("likelihood: descriptor entry %d has kind %d", i, kind)
+					}
 				}
 			}
 		}
 	}
 	if r.err != nil {
-		return nil, r.err
+		return r.err
 	}
 	if r.off != len(r.b) {
-		return nil, fmt.Errorf("likelihood: job frame has %d trailing bytes", len(r.b)-r.off)
+		return fmt.Errorf("likelihood: job frame has %d trailing bytes", len(r.b)-r.off)
 	}
-	return j, nil
+	return nil
 }
 
 func decodeWireModel(r *wireReader) *WireModel {
@@ -643,55 +792,73 @@ func (e *Engine) ApplyWireModel(m *WireModel, g *WorkerGeom) error {
 // prepareWireTraversal is the worker-mode prepareTraversal: it resolves
 // a shipped descriptor window against the LOCAL arena (binding tiles in
 // entry order, exactly as the master binds its own) and rebuilds every
-// entry's per-partition transition matrices and tip lookup tables from
-// the entry's branch lengths — the worker-side P rebuild that keeps job
-// frames small. No tree is consulted: tip children arrive pre-resolved.
-func (e *Engine) prepareWireTraversal(entries []WireEntry) {
-	e.trav = e.trav[:0]
-	for i := range entries {
-		we := &entries[i]
-		ent := travEntry{pub: TraversalEntry{
-			Node: int(we.Node), Slot: int(we.Slot),
-			C1: int(we.C1), C1Slot: int(we.C1Slot),
-			C2: int(we.C2), C2Slot: int(we.C2Slot),
-			Len1: we.Len1, Len2: we.Len2,
-		}}
-		if we.C1Tax >= 0 {
-			ent.left = travChild{tip: true, taxon: int(we.C1Tax)}
-		}
-		if we.C2Tax >= 0 {
-			ent.right = travChild{tip: true, taxon: int(we.C2Tax)}
-		}
-		e.trav = append(e.trav, ent)
+// FULL entry's per-partition transition matrices and tip lookup tables
+// from the entry's branch lengths into the edge cache — the worker-side
+// P rebuild that keeps job frames small. Ref entries replay their
+// cached content and matrices untouched: bit-identical to recomputing
+// them, at zero cost. No tree is consulted: tip children arrive
+// pre-resolved.
+func (e *Engine) prepareWireTraversal(entries []WireEntry, maxNode int) error {
+	if n := 3 * maxNode; len(e.wireCache) < n {
+		grown := make([]wireEdgeCache, n)
+		copy(grown, e.wireCache)
+		e.wireCache = grown
 	}
-	n := len(e.trav)
+	e.trav = e.trav[:0]
+	e.wireFillIdx = e.wireFillIdx[:0]
+	n := len(entries)
 	e.travLo, e.travHi = 0, n
+	e.travFillNext = n // workers fill (or replay) everything below
 	if n == 0 {
-		return
+		return nil
 	}
 	e.ensureP()
 	nc := e.totalCats
-	need := 2 * nc * n
-	if cap(e.travP) < need {
-		e.travP = make([][16]float64, need)
-	}
-	e.travP = e.travP[:need]
 	lutSize := 16 * nc * 4
-	tips := 0
-	for i := range e.trav {
-		if e.trav[i].left.tip {
-			tips++
+	for i := range entries {
+		we := &entries[i]
+		idx := int(we.Node)*3 + int(we.Slot)
+		c := &e.wireCache[idx]
+		if we.Ref {
+			if !c.ok || len(c.p) != 2*nc {
+				return fmt.Errorf("likelihood: delta ref to directed edge (%d, %d) with no cached entry", we.Node, we.Slot)
+			}
+		} else {
+			if len(c.p) != 2*nc {
+				c.p = make([][16]float64, 2*nc)
+			}
+			c.ent = *we
+			c.ent.Ref = false
+			c.ok = true
+			e.wireFillIdx = append(e.wireFillIdx, i)
 		}
-		if e.trav[i].right.tip {
-			tips++
+		src := &c.ent
+		ent := travEntry{pub: TraversalEntry{
+			Node: int(src.Node), Slot: int(src.Slot),
+			C1: int(src.C1), C1Slot: int(src.C1Slot),
+			C2: int(src.C2), C2Slot: int(src.C2Slot),
+			Len1: src.Len1, Len2: src.Len2,
+		}}
+		if src.C1Tax >= 0 {
+			ent.left = travChild{tip: true, taxon: int(src.C1Tax)}
+			if len(c.lutL) != lutSize {
+				c.lutL = make([]float64, lutSize)
+			}
+			ent.lutL = c.lutL
 		}
+		if src.C2Tax >= 0 {
+			ent.right = travChild{tip: true, taxon: int(src.C2Tax)}
+			if len(c.lutR) != lutSize {
+				c.lutR = make([]float64, lutSize)
+			}
+			ent.lutR = c.lutR
+		}
+		ent.pL = c.p[:nc]
+		ent.pR = c.p[nc:]
+		e.trav = append(e.trav, ent)
 	}
-	if cap(e.travLUT) < tips*lutSize {
-		e.travLUT = make([]float64, tips*lutSize)
-	}
-	e.travLUT = e.travLUT[:tips*lutSize]
-
-	off, lutOff := 0, 0
+	// Bind tiles and resolve offsets in entry order, exactly as the
+	// master binds its own arena.
 	for i := range e.trav {
 		ent := &e.trav[i]
 		ent.dstOff = e.clvOffset(ent.pub.Node, ent.pub.Slot)
@@ -704,25 +871,15 @@ func (e *Engine) prepareWireTraversal(entries []WireEntry) {
 			ent.right.off = e.clvOffset(ent.pub.C2, ent.pub.C2Slot)
 			ent.right.scaleOff = e.scaleOffset(ent.pub.C2, ent.pub.C2Slot)
 		}
-		ent.pL = e.travP[off : off+nc]
-		ent.pR = e.travP[off+nc : off+2*nc]
-		off += 2 * nc
-		ent.lutL, ent.lutR = nil, nil
-		if ent.left.tip {
-			ent.lutL = e.travLUT[lutOff : lutOff+lutSize]
-			lutOff += lutSize
-		}
-		if ent.right.tip {
-			ent.lutR = e.travLUT[lutOff : lutOff+lutSize]
-			lutOff += lutSize
-		}
 	}
-	if n >= pFillParallelEntries && e.pool.Workers() > 1 {
-		e.pool.ForkJoin(n, 8, e.fillTravMatrices)
-	} else {
-		e.fillTravMatrices(0, n)
+	m := len(e.wireFillIdx)
+	if m >= pFillParallelEntries && e.pool.Workers() > 1 {
+		e.pool.ForkJoin(m, 8, e.fillWireFn)
+	} else if m > 0 {
+		e.fillWireIdxMatrices(0, m)
 	}
 	e.newviewCount += int64(n)
+	return nil
 }
 
 // wireChildView materializes a shipped view against the local arena.
@@ -747,6 +904,14 @@ func (e *Engine) wireChildView(v WireView) childView {
 // MASTER partition, the site-LL vector over the local stripe.
 func (e *Engine) ExecWireJob(job *WireJob, g *WorkerGeom) ([]byte, error) {
 	e.EnsureNodeCapacity(job.MaxNode)
+	if job.Reset || job.Model != nil {
+		// The master cleared its delta ship cache when it encoded these
+		// flags; clear the edge cache on the same trigger so refs can
+		// never replay matrices built under a stale model or topology.
+		for i := range e.wireCache {
+			e.wireCache[i].ok = false
+		}
+	}
 	if job.Reset {
 		e.ResetTiles()
 	}
@@ -755,7 +920,9 @@ func (e *Engine) ExecWireJob(job *WireJob, g *WorkerGeom) ([]byte, error) {
 			return nil, err
 		}
 	}
-	e.prepareWireTraversal(job.Entries)
+	if err := e.prepareWireTraversal(job.Entries, job.MaxNode); err != nil {
+		return nil, err
+	}
 	e.ensureP()
 	switch job.Code {
 	case threads.JobNewview:
@@ -842,31 +1009,58 @@ func (e *Engine) ExecWireJob(job *WireJob, g *WorkerGeom) ([]byte, error) {
 	return b, nil
 }
 
-// DecodeWirePartial decodes a reduction partial.
+// DecodeWirePartial decodes a reduction partial into a fresh struct.
 func DecodeWirePartial(buf []byte) (*WirePartial, error) {
-	r := &wireReader{b: buf}
 	p := &WirePartial{}
+	if err := DecodeWirePartialInto(p, buf); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// DecodeWirePartialInto decodes a reduction partial into p, reusing its
+// Wide and Vec slabs — the master-side half of the allocation-free
+// fold. Everything is copied out of buf; the caller may recycle it the
+// moment this returns.
+func DecodeWirePartialInto(p *WirePartial, buf []byte) error {
+	r := &wireReader{b: buf}
 	p.Slots[0] = r.f64()
 	p.Slots[1] = r.f64()
 	nw := int(r.u32())
+	p.Wide = p.Wide[:0]
 	if r.err == nil && nw > 0 {
 		if r.off+8*nw > len(r.b) {
 			r.fail()
 		} else {
-			p.Wide = make([]float64, nw)
-			for i := range p.Wide {
-				p.Wide[i] = r.f64()
+			if cap(p.Wide) < nw {
+				p.Wide = make([]float64, 0, nw)
+			}
+			for i := 0; i < nw; i++ {
+				p.Wide = append(p.Wide, r.f64())
 			}
 		}
 	}
-	p.Vec = r.f64s()
+	nv := int(r.u32())
+	p.Vec = p.Vec[:0]
+	if r.err == nil && nv > 0 {
+		if r.off+8*nv > len(r.b) {
+			r.fail()
+		} else {
+			if cap(p.Vec) < nv {
+				p.Vec = make([]float64, 0, nv)
+			}
+			for i := 0; i < nv; i++ {
+				p.Vec = append(p.Vec, r.f64())
+			}
+		}
+	}
 	if r.err != nil {
-		return nil, r.err
+		return r.err
 	}
 	if r.off != len(r.b) {
-		return nil, fmt.Errorf("likelihood: partial frame has %d trailing bytes", len(r.b)-r.off)
+		return fmt.Errorf("likelihood: partial frame has %d trailing bytes", len(r.b)-r.off)
 	}
-	return p, nil
+	return nil
 }
 
 // AbsorbRemoteSiteLL copies a remote rank's site-log-likelihood stripe

@@ -274,3 +274,86 @@ func TestWorkerInitRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestWireJobDeltaRefs pins the delta-descriptor codec: re-encoding an
+// unchanged descriptor replaces every 49-byte full entry with a 9-byte
+// (node, slot) ref against the master's ship cache, the refs decode
+// with the Ref flag set and the right identity, and a reset (or model)
+// flag clears the cache so the next frame ships full entries again.
+func TestWireJobDeltaRefs(t *testing.T) {
+	r := rng.New(78)
+	pat := randomPatterns(t, r, 8, 120)
+	e := newEngine(t, pat, gtr.Default(), gtr.NewUniform(pat.NumPatterns()), 1)
+	tr := tree.Random(pat.Names, r)
+	if err := e.AttachTree(tr); err != nil {
+		t.Fatal(err)
+	}
+
+	plan := func() {
+		a := 0
+		b := e.tree.Nodes[0].Neighbors[0]
+		e.beginTraversal()
+		e.queueTraversal(a, e.slotOf(a, b))
+		e.queueTraversal(b, e.slotOf(b, a))
+		e.prepareTraversal()
+		e.travLo, e.travHi = 0, len(e.trav)
+	}
+
+	plan()
+	n := len(e.trav)
+	if n == 0 {
+		t.Fatal("stale tree produced an empty descriptor")
+	}
+	full := append([]byte(nil), e.EncodeWireJob(threads.JobNewview, false, true)...)
+
+	// Same plan again: every entry is unchanged, so the frame must
+	// shrink by the full-vs-ref per-entry difference exactly.
+	e.InvalidateAll() // marks every view stale; flags below keep the ship cache warm
+	plan()
+	if len(e.trav) != n {
+		t.Fatalf("replanned descriptor has %d entries, want %d", len(e.trav), n)
+	}
+	delta := append([]byte(nil), e.EncodeWireJob(threads.JobNewview, false, false)...)
+	if want := len(full) - n*40; len(delta) != want {
+		t.Fatalf("delta frame is %d bytes, want %d (%d entries at 9 instead of 49 bytes)",
+			len(delta), want, n)
+	}
+	job, err := DecodeWireJob(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(job.Entries) != n {
+		t.Fatalf("delta frame decoded %d entries, want %d", len(job.Entries), n)
+	}
+	fullJob, err := DecodeWireJob(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, we := range job.Entries {
+		if !we.Ref {
+			t.Fatalf("entry %d decoded as full, want ref", i)
+		}
+		if we.Node != fullJob.Entries[i].Node || we.Slot != fullJob.Entries[i].Slot {
+			t.Fatalf("ref %d is (%d,%d), full shipped (%d,%d)",
+				i, we.Node, we.Slot, fullJob.Entries[i].Node, fullJob.Entries[i].Slot)
+		}
+	}
+
+	// A reset flag clears the ship cache: the same entries go full again.
+	e.InvalidateAll()
+	plan()
+	again := e.EncodeWireJob(threads.JobNewview, false, true)
+	if len(again) != len(full) {
+		t.Fatalf("post-reset frame is %d bytes, want %d (refs must not survive a reset)",
+			len(again), len(full))
+	}
+	againJob, err := DecodeWireJob(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, we := range againJob.Entries {
+		if we.Ref {
+			t.Fatalf("entry %d still shipped as ref after reset", i)
+		}
+	}
+}

@@ -88,12 +88,22 @@ type travEntry struct {
 // descriptors stay serial (the fork overhead would dominate).
 const pFillParallelEntries = 32
 
+// fillPipeliner is implemented by Dispatchers that interleave the
+// master-side P-matrix fill with frame encoding and shipping
+// (finegrain.Pool): prepareTraversal then defers the fill, and the pool
+// drives it chunk by chunk through WireMaster.FillTravChunk so P-fills
+// of later descriptor entries overlap the scatter of earlier ones.
+type fillPipeliner interface {
+	PipelinesFill() bool
+}
+
 // beginTraversal resets the descriptor buffer for a new plan. The
 // backing array is retained: one engine reuses one descriptor buffer
 // across its whole life (every replicate of the bootstrap loop).
 func (e *Engine) beginTraversal() {
 	e.trav = e.trav[:0]
 	e.travLo, e.travHi = 0, 0
+	e.travFillNext = 0
 }
 
 // queueTraversal appends, post-order, every stale directed CLV needed
@@ -251,12 +261,43 @@ func (e *Engine) prepareTraversal() {
 			lutOff += lutSize
 		}
 	}
+	e.newviewCount += int64(n)
+	if fp, ok := e.pool.(fillPipeliner); ok && fp.PipelinesFill() && !e.perNodeDispatch {
+		// Deferred: the pool interleaves FillTravChunk with the chunked
+		// encode so P-fills overlap the scatter. Per-node ablation mode
+		// posts entry-sized windows and fills them one Post at a time,
+		// so it must not defer here.
+		e.travFillNext = 0
+		return
+	}
 	if n >= pFillParallelEntries && e.pool.Workers() > 1 {
-		e.pool.ForkJoin(n, 8, e.fillTravMatrices)
+		e.pool.ForkJoin(n, 8, e.fillTravFn)
 	} else {
 		e.fillTravMatrices(0, n)
 	}
-	e.newviewCount += int64(n)
+	e.travFillNext = n
+}
+
+// FillTravChunk fills P matrices and tip LUTs for the window-relative
+// descriptor range [lo, hi) of a deferred (pipelined) fill. Idempotent:
+// already-filled prefixes are skipped, so re-posting a window (per-node
+// ablation) or a no-op pool (non-deferred prepare) costs nothing. Part
+// of the WireMaster contract.
+func (e *Engine) FillTravChunk(lo, hi int) {
+	lo += e.travLo
+	hi += e.travLo
+	if lo < e.travFillNext {
+		lo = e.travFillNext
+	}
+	if hi <= lo {
+		return
+	}
+	if hi-lo >= pFillParallelEntries && e.pool.Workers() > 1 {
+		e.pool.ForkJoinRange(lo, hi, 8, e.fillTravFn)
+	} else {
+		e.fillTravMatrices(lo, hi)
+	}
+	e.travFillNext = hi
 }
 
 // fillTravMatrices computes the per-partition transition matrices and
@@ -266,21 +307,35 @@ func (e *Engine) prepareTraversal() {
 // concurrently; the models' eigensystems are read-only here.
 func (e *Engine) fillTravMatrices(i0, i1 int) {
 	for i := i0; i < i1; i++ {
-		ent := &e.trav[i]
-		for pi := range e.parts {
-			ps := &e.parts[pi]
-			npc := ps.rates.NumCats()
-			for c := 0; c < npc; c++ {
-				ps.model.P(ent.pub.Len1, ps.rates.Rates[c], &ent.pL[ps.pOff+c])
-				ps.model.P(ent.pub.Len2, ps.rates.Rates[c], &ent.pR[ps.pOff+c])
-			}
-			if ent.lutL != nil {
-				fillTipLUT(ent.lutL[64*ps.pOff:64*(ps.pOff+npc)], ent.pL[ps.pOff:ps.pOff+npc], e.tipCodeMask[ent.left.taxon])
-			}
-			if ent.lutR != nil {
-				fillTipLUT(ent.lutR[64*ps.pOff:64*(ps.pOff+npc)], ent.pR[ps.pOff:ps.pOff+npc], e.tipCodeMask[ent.right.taxon])
-			}
+		e.fillTravEntry(i)
+	}
+}
+
+// fillTravEntry fills one descriptor entry's matrices and LUTs.
+func (e *Engine) fillTravEntry(i int) {
+	ent := &e.trav[i]
+	for pi := range e.parts {
+		ps := &e.parts[pi]
+		npc := ps.rates.NumCats()
+		for c := 0; c < npc; c++ {
+			ps.model.P(ent.pub.Len1, ps.rates.Rates[c], &ent.pL[ps.pOff+c])
+			ps.model.P(ent.pub.Len2, ps.rates.Rates[c], &ent.pR[ps.pOff+c])
 		}
+		if ent.lutL != nil {
+			fillTipLUT(ent.lutL[64*ps.pOff:64*(ps.pOff+npc)], ent.pL[ps.pOff:ps.pOff+npc], e.tipCodeMask[ent.left.taxon])
+		}
+		if ent.lutR != nil {
+			fillTipLUT(ent.lutR[64*ps.pOff:64*(ps.pOff+npc)], ent.pR[ps.pOff:ps.pOff+npc], e.tipCodeMask[ent.right.taxon])
+		}
+	}
+}
+
+// fillWireIdxMatrices fills entries e.wireFillIdx[k0:k1] — the
+// worker-side fill over only the freshly shipped (non-ref) entries of a
+// delta descriptor.
+func (e *Engine) fillWireIdxMatrices(k0, k1 int) {
+	for k := k0; k < k1; k++ {
+		e.fillTravEntry(e.wireFillIdx[k])
 	}
 }
 

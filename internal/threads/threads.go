@@ -608,6 +608,37 @@ func (p *Pool) ForkJoin(n, grain int, fn func(lo, hi int)) {
 	wg.Wait()
 }
 
+// ForkJoinRange is ForkJoin over an arbitrary window [lo, hi) instead of
+// [0, n). The pipelined dispatch path uses it to fill P matrices for one
+// descriptor chunk while earlier chunks are already on the wire.
+func (p *Pool) ForkJoinRange(lo, hi, grain int, fn func(lo, hi int)) {
+	n := hi - lo
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := p.workers
+	if chunks > n/grain {
+		chunks = n / grain
+	}
+	if chunks <= 1 {
+		if n > 0 {
+			fn(lo, hi)
+		}
+		return
+	}
+	ranges := SplitEven(n, chunks)
+	var wg sync.WaitGroup
+	for _, r := range ranges[1:] {
+		wg.Add(1)
+		go func(r Range) {
+			defer wg.Done()
+			fn(lo+r.Lo, lo+r.Hi)
+		}(r)
+	}
+	fn(lo+ranges[0].Lo, lo+ranges[0].Hi)
+	wg.Wait()
+}
+
 // Close shuts the worker goroutines down. The pool must not be used
 // afterwards. Closing an inline pool or closing twice is a no-op.
 func (p *Pool) Close() {
