@@ -3,6 +3,7 @@
 package cli
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -41,7 +42,7 @@ func Raxml(args []string, stdout io.Writer) error {
 	var (
 		alignFile  = fs.String("s", "", "alignment file (PHYLIP or FASTA)")
 		partFile   = fs.String("q", "", "partition file (RAxML -q syntax: one gene per line, each with its own model instance)")
-		runName    = fs.String("n", "run", "run name used in output file names")
+		runName    = fs.String("n", "", "run name used in output file names (default: a deterministic ID derived from the alignment hash and seeds)")
 		model      = fs.String("m", "GTRCAT", "model: GTRCAT or GTRGAMMA")
 		bootstraps = fs.Int("N", 100, "bootstraps (-f a/b) or searches (-f d)")
 		seedP      = fs.Int64("p", 12345, "parsimony / starting tree random seed")
@@ -73,6 +74,11 @@ func Raxml(args []string, stdout io.Writer) error {
 		gridKill     = fs.Int("grid-kill-after", 0, "grid chaos: kill one worker at this checkpoint ordinal (0 = never)")
 		gridWorker   = fs.Bool("grid-worker", false, "internal: run as a spawned grid worker process")
 		gridConn     = fs.String("grid-connect", "", "internal: star listener address a grid worker dials")
+
+		serveAddr       = fs.String("serve", "", "run as a long-lived HTTP analysis server on this address (e.g. :8080); the fleet comes from -grid/-grid-transport/-T")
+		serveData       = fs.String("serve-data", "raxml-data", "server: data directory for the blob store and the persisted queue")
+		serveMaxRunning = fs.Int("serve-max-running", 2, "server: concurrent analyses sharing the fleet")
+		serveMaxTenant  = fs.Int("serve-max-per-tenant", 1, "server: concurrent analyses per API key")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,6 +96,22 @@ func Raxml(args []string, stdout io.Writer) error {
 	}
 	if *gridWorker {
 		return RaxmlGridWorker(*gridConn, os.Stderr)
+	}
+	if *serveAddr != "" {
+		fleetRanks := *gridN
+		if fleetRanks < 0 {
+			fleetRanks = 0
+		}
+		return runServe(serveParams{
+			addr:         *serveAddr,
+			dataDir:      *serveData,
+			workers:      fleetRanks,
+			transport:    *gridNet,
+			threads:      *workers,
+			maxRunning:   *serveMaxRunning,
+			maxPerTenant: *serveMaxTenant,
+			kernels:      *kernels,
+		}, stdout)
 	}
 	if *alignFile == "" {
 		fs.Usage()
@@ -145,14 +167,25 @@ func Raxml(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	var pat *msa.Patterns
+	var partData []byte
 	if *partFile != "" {
-		pf, err := os.Open(*partFile)
-		if err != nil {
+		if partData, err = os.ReadFile(*partFile); err != nil {
 			return err
 		}
-		defs, err := msa.ParsePartitionFile(pf)
-		pf.Close()
+	}
+	if *runName == "" {
+		// No -n: derive the run name deterministically from the content
+		// identity (alignment + partition hashes, seeds, and the
+		// result-affecting options) — the same derivation the analysis
+		// server uses for run IDs, so RAxML_gridTrace.<run>.jsonl and
+		// friends land on stable, re-run-safe paths.
+		*runName = deriveRunName(data, partData, *model, *gridStarts, *bootstraps,
+			*gridBatch, *gridBootstop, *seedP, *seedX)
+		fmt.Fprintf(stdout, "Run name (derived): %s\n", *runName)
+	}
+	var pat *msa.Patterns
+	if *partFile != "" {
+		defs, err := msa.ParsePartitionFile(bytes.NewReader(partData))
 		if err != nil {
 			return err
 		}

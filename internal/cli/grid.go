@@ -5,8 +5,10 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"raxml/internal/core"
@@ -97,6 +99,20 @@ func runGrid(pat *msa.Patterns, opts core.Options, p gridParams, runName, outDir
 		}
 	}
 	g := grid.New(cfg)
+	// Trap SIGINT/SIGTERM for a clean abort: cancel the grid
+	// cooperatively (running jobs unwind at their next checkpoint
+	// boundary), then fall through to the normal teardown — fleet
+	// shutdown, worker reaping, trace flush — so an interrupted tcp run
+	// leaves no orphaned -grid-worker processes behind.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	go func() {
+		if sig, ok := <-sigCh; ok {
+			fmt.Fprintf(stdout, "grid: %v — canceling (trace: %s)\n", sig, tracePath)
+			g.Cancel()
+		}
+	}()
 	analysis := &grid.Analysis{
 		Pat:        pat,
 		Opts:       opts,
@@ -110,10 +126,11 @@ func runGrid(pat *msa.Patterns, opts core.Options, p gridParams, runName, outDir
 	if err != nil {
 		return err
 	}
-	if err := g.Run(); err != nil {
-		return fmt.Errorf("grid run (trace: %s): %w", tracePath, err)
-	}
+	runErr := g.Run()
 	fleet.Shutdown()
+	if runErr != nil {
+		return fmt.Errorf("grid run (trace: %s): %w", tracePath, runErr)
+	}
 	elapsed := time.Since(start)
 	return writeGridResult(res, analysis, p, tracePath, runName, outDir, elapsed, stdout)
 }

@@ -1,0 +1,66 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDeriveRunName pins the deterministic default -n: same content and
+// seeds → same name, any seed/alignment change → a different one.
+func TestDeriveRunName(t *testing.T) {
+	align := []byte("10 400\nfake alignment bytes")
+	name := deriveRunName(align, nil, "GTRCAT", 1, 100, 5, false, 12345, 12345)
+	if name != deriveRunName(align, nil, "GTRCAT", 1, 100, 5, false, 12345, 12345) {
+		t.Error("derived run name not deterministic")
+	}
+	if len(name) != 13 || name[0] != 'r' {
+		t.Errorf("derived run name shape %q", name)
+	}
+	for label, other := range map[string]string{
+		"alignment": deriveRunName([]byte("different"), nil, "GTRCAT", 1, 100, 5, false, 12345, 12345),
+		"partition": deriveRunName(align, []byte("DNA, gene0 = 1-200"), "GTRCAT", 1, 100, 5, false, 12345, 12345),
+		"seed -p":   deriveRunName(align, nil, "GTRCAT", 1, 100, 5, false, 999, 12345),
+		"seed -x":   deriveRunName(align, nil, "GTRCAT", 1, 100, 5, false, 12345, 999),
+		"model":     deriveRunName(align, nil, "GTRGAMMA", 1, 100, 5, false, 12345, 12345),
+	} {
+		if other == name {
+			t.Errorf("changing %s did not change the derived run name", label)
+		}
+	}
+}
+
+// TestRaxmlGridDerivedRunName runs a small -grid analysis WITHOUT -n and
+// checks the outputs (including the grid trace) land on the derived,
+// re-run-stable name.
+func TestRaxmlGridDerivedRunName(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid analysis skipped in -short mode")
+	}
+	dir := t.TempDir()
+	align := writeTestAlignment(t, dir)
+	data, err := os.ReadFile(align)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := deriveRunName(data, nil, "GTRCAT", 1, 4, 4, false, 42, 99)
+
+	var out bytes.Buffer
+	err = Raxml([]string{
+		"-s", align, "-N", "4", "-grid-batch", "4", "-grid", "0",
+		"-w", dir, "-p", "42", "-x", "99",
+	}, &out)
+	if err != nil {
+		t.Fatalf("grid run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "Run name (derived): "+name) {
+		t.Errorf("stdout missing derived run name %s:\n%s", name, out.String())
+	}
+	for _, f := range []string{"RAxML_bestTree." + name, "RAxML_gridTrace." + name + ".jsonl"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("%s not written: %v", f, err)
+		}
+	}
+}

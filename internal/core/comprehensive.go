@@ -31,6 +31,16 @@ func (m ModelType) String() string {
 	return "GTRCAT"
 }
 
+// StartTreeCache stores parsimony stepwise-addition starting trees
+// keyed by alignment/seed identity — the analysis server's warm cache.
+// GetStartTree must return a tree the caller owns outright (searches
+// mutate their start tree in place, so implementations clone on both
+// Put and Get).
+type StartTreeCache interface {
+	GetStartTree(key string) (*tree.Tree, bool)
+	PutStartTree(key string, t *tree.Tree)
+}
+
 // Options configures a comprehensive analysis, mirroring the RAxML
 // command line of the paper's runs:
 // -m GTRCAT -N <Bootstraps> -p <SeedParsimony> -x <SeedBootstrap> -f a.
@@ -58,6 +68,15 @@ type Options struct {
 	FastSettings, SlowSettings, ThoroughSettings *search.Settings
 	// BootstrapSettings overrides the per-replicate search preset.
 	BootstrapSettings *search.Settings
+
+	// StartTrees, with StartTreeKey, caches the stepwise-addition
+	// parsimony starting tree across runs (the analysis server's warm
+	// cache for repeat submissions of one alignment). See SearchOn.
+	StartTrees StartTreeCache
+	// StartTreeKey names this search's starting tree in StartTrees; it
+	// must pin everything stepwise addition depends on: the alignment
+	// content and the -p seed stream (e.g. "<alignhash>/p123/ml/0").
+	StartTreeKey string
 
 	// GlobalFastSort is the Section-2.2 ablation: instead of each rank
 	// sorting only its own fast searches (the hybrid code's

@@ -76,16 +76,32 @@ func NewPartitionSet(pat *msa.Patterns, opts Options) (*gtr.PartitionSet, error)
 // can run each start as its own DAG job with its own seed stream. The
 // parsimony start tree is built master-side on a temporary full-axis
 // crew of opts.Workers threads, exactly as in RunFineSearches.
+//
+// When Options.StartTrees and Options.StartTreeKey are set, the
+// stepwise-addition tree is looked up in (and on a miss, inserted into)
+// the cache instead of being rebuilt. This is exact, not approximate:
+// parsRNG is consumed only by stepwise addition, the search itself is
+// deterministic in the start tree, and the cache stores a pristine
+// Clone — so a cache-hit search reproduces the cold run bit for bit.
 func SearchOn(eng *likelihood.Engine, pat *msa.Patterns, opts Options, parsRNG *rng.RNG) (*search.Result, error) {
 	opts = opts.withDefaults()
-	parsPool := newPool(pat, opts.Workers)
-	defer parsPool.Close()
-	pars := parsimony.New(pat, parsPool)
 	settings := search.Thorough()
 	if opts.ThoroughSettings != nil {
 		settings = *opts.ThoroughSettings
 	}
-	return search.Run(eng, pars.StepwiseAddition(parsRNG), settings)
+	if opts.StartTrees != nil && opts.StartTreeKey != "" {
+		if start, ok := opts.StartTrees.GetStartTree(opts.StartTreeKey); ok {
+			return search.Run(eng, start, settings)
+		}
+	}
+	parsPool := newPool(pat, opts.Workers)
+	defer parsPool.Close()
+	pars := parsimony.New(pat, parsPool)
+	start := pars.StepwiseAddition(parsRNG)
+	if opts.StartTrees != nil && opts.StartTreeKey != "" {
+		opts.StartTrees.PutStartTree(opts.StartTreeKey, start.Clone())
+	}
+	return search.Run(eng, start, settings)
 }
 
 // EvaluateTreeFine is EvaluateTree (-f e) over the distributed fine

@@ -37,8 +37,13 @@ const stripeQuantum = 16
 // checkpoint, deterministic past it.
 func (c *JobContext) Elastic(pat *msa.Patterns, newSet func() (*gtr.PartitionSet, error), body func(eng *likelihood.Engine) error) error {
 	for attempt := 0; ; attempt++ {
+		if c.Canceled() {
+			return ErrCanceled
+		}
 		ws := c.g.cfg.Fleet.leaseShare(c.job.ID, c.g, pat)
+		c.g.addLeased(len(ws))
 		err := c.attempt(pat, newSet, body, ws)
+		c.g.addLeased(-len(ws))
 		if err == nil {
 			return nil
 		}
@@ -72,6 +77,9 @@ func (f *Fleet) leaseShare(jobID string, g *Grid, pat *msa.Patterns) []*Worker {
 	want := (free + running - 1) / running
 	if cap := pat.NumPatterns()/(2*stripeQuantum) - 1; want > cap {
 		want = cap
+	}
+	if budget := g.leaseBudget(); budget >= 0 && want > budget {
+		want = budget
 	}
 	if want < 0 {
 		want = 0

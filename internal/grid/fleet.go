@@ -106,6 +106,21 @@ func (f *Fleet) NumFree() int {
 	return len(f.free)
 }
 
+// Stats reports membership counts for metrics: admitted (lifetime),
+// alive, free, leased (alive minus free) and dead.
+func (f *Fleet) Stats() (admitted, alive, free, leased, dead int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	admitted = len(f.workers)
+	for _, w := range f.workers {
+		if !w.dead {
+			alive++
+		}
+	}
+	free = len(f.free)
+	return admitted, alive, free, alive - free, admitted - alive
+}
+
 // Lease takes up to want workers from the free pool for jobID, probing
 // each candidate's liveness (TagPing/TagPong) so a worker that died
 // while idle is discarded here rather than poisoning the job's pool.

@@ -96,11 +96,25 @@ type Config struct {
 	// MaxRestripes caps re-stripe attempts per job after rank deaths
 	// (default 8): a fleet losing ranks faster than that is gone.
 	MaxRestripes int
+	// MaxLeasedRanks caps the grid's total concurrently leased workers
+	// (0: unlimited). This is the admission-control hook: a server
+	// running several grids over one shared fleet gives each a slice of
+	// the rank budget so no tenant starves the others.
+	MaxLeasedRanks int
+	// Checkpoints pre-seeds the checkpoint store (job ID → encoded
+	// state): a drained-and-restarted run resumes its bootstrap streams
+	// where the previous process left them. The map is copied.
+	Checkpoints map[string][]byte
 	// OnCheckpoint, when set, observes every checkpoint save with its
 	// global ordinal — the chaos hook (kill a rank at the Kth
 	// checkpoint).
 	OnCheckpoint func(job string, ordinal int)
 }
+
+// ErrCanceled marks jobs terminated by Grid.Cancel. Job bodies return
+// it (wrapped or bare) from their cooperative cancellation points;
+// pending jobs get it directly.
+var ErrCanceled = errors.New("grid: canceled")
 
 // Grid schedules a job DAG over the fleet.
 type Grid struct {
@@ -111,6 +125,9 @@ type Grid struct {
 	jobs        map[string]*Job
 	order       []string
 	running     int
+	leased      int
+	canceled    bool
+	cancelCh    chan struct{}
 	checkpoints map[string][]byte
 	ckptOrd     int
 }
@@ -129,10 +146,71 @@ func New(cfg Config) *Grid {
 	g := &Grid{
 		cfg:         cfg,
 		jobs:        make(map[string]*Job),
+		cancelCh:    make(chan struct{}),
 		checkpoints: make(map[string][]byte),
+	}
+	for id, cp := range cfg.Checkpoints {
+		g.checkpoints[id] = append([]byte(nil), cp...)
 	}
 	g.cond = sync.NewCond(&g.mu)
 	return g
+}
+
+// Cancel requests cooperative cancellation: jobs not yet started fail
+// with ErrCanceled, running jobs observe JobContext.Canceled at their
+// next checkpoint boundary and unwind (leases drain through the normal
+// release path). Safe to call at any time, idempotent.
+func (g *Grid) Cancel() {
+	g.mu.Lock()
+	if !g.canceled {
+		g.canceled = true
+		close(g.cancelCh)
+		g.cfg.Tracer.Event("cancel", "", nil)
+		g.cond.Broadcast()
+	}
+	g.mu.Unlock()
+}
+
+// Canceled reports whether Cancel has been called.
+func (g *Grid) Canceled() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.canceled
+}
+
+// Checkpoints snapshots the checkpoint store — what a draining server
+// persists so a restart can seed a successor grid via Config.Checkpoints.
+func (g *Grid) Checkpoints() map[string][]byte {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string][]byte, len(g.checkpoints))
+	for id, cp := range g.checkpoints {
+		out[id] = append([]byte(nil), cp...)
+	}
+	return out
+}
+
+// addLeased adjusts the grid's leased-rank count (admission accounting
+// for Config.MaxLeasedRanks).
+func (g *Grid) addLeased(n int) {
+	g.mu.Lock()
+	g.leased += n
+	g.mu.Unlock()
+}
+
+// leaseBudget returns how many more ranks the grid may lease right now
+// (-1: unlimited).
+func (g *Grid) leaseBudget() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.cfg.MaxLeasedRanks <= 0 {
+		return -1
+	}
+	b := g.cfg.MaxLeasedRanks - g.leased
+	if b < 0 {
+		b = 0
+	}
+	return b
 }
 
 // Add inserts a job. Dependencies must already exist; IDs must be
@@ -186,6 +264,13 @@ func (g *Grid) Run() error {
 		for _, id := range g.order {
 			j := g.jobs[id]
 			if j.state != Pending {
+				continue
+			}
+			if g.canceled {
+				j.state = Failed
+				j.err = ErrCanceled
+				g.cfg.Tracer.Event("job-failed", j.ID, map[string]any{"error": j.err.Error()})
+				progressed = true
 				continue
 			}
 			ready := true
@@ -270,6 +355,13 @@ type JobContext struct {
 
 // ID returns the running job's id.
 func (c *JobContext) ID() string { return c.job.ID }
+
+// Canceled reports whether the grid was canceled — the cooperative
+// cancellation point job bodies poll at checkpoint boundaries: a
+// canceled job saves its state and returns ErrCanceled, so its lease
+// drains through the normal release path and a successor grid can
+// resume from the checkpoint.
+func (c *JobContext) Canceled() bool { return c.g.Canceled() }
 
 // Add extends the DAG from inside a job — the bootstop pattern: a
 // convergence check that fails its test adds the next replicate round

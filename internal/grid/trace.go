@@ -14,11 +14,22 @@ import (
 // when a rank died and where the re-striped resume picked up.
 //
 // A nil *Tracer is valid and silent, so call sites never guard.
+//
+// Besides (or instead of) the JSONL writer, a tracer can fan events out
+// to subscribed sinks — how the analysis server feeds per-run event
+// streams and live metrics from the same transitions the trace records.
 type Tracer struct {
-	mu  sync.Mutex
-	w   io.Writer
-	seq int64
+	mu    sync.Mutex
+	w     io.Writer
+	seq   int64
+	sinks []Sink
 }
+
+// Sink observes one sequenced event record. The map is shared across
+// sinks and the writer: sinks must not mutate or retain it past the
+// call (copy what they keep). Sinks run under the tracer's lock, so
+// they must be fast and must not re-enter the tracer.
+type Sink func(rec map[string]any)
 
 // NewTracer writes events to w (nil w yields a silent tracer).
 func NewTracer(w io.Writer) *Tracer {
@@ -26,6 +37,23 @@ func NewTracer(w io.Writer) *Tracer {
 		return nil
 	}
 	return &Tracer{w: w}
+}
+
+// NewTracerWith builds a tracer over an optional writer plus sinks —
+// unlike NewTracer it is valid with a nil writer, carrying events to
+// sinks only (the per-run tracers of the analysis server).
+func NewTracerWith(w io.Writer, sinks ...Sink) *Tracer {
+	return &Tracer{w: w, sinks: sinks}
+}
+
+// Subscribe adds a fan-out sink; every subsequent Event reaches it.
+func (t *Tracer) Subscribe(s Sink) {
+	if t == nil || s == nil {
+		return
+	}
+	t.mu.Lock()
+	t.sinks = append(t.sinks, s)
+	t.mu.Unlock()
 }
 
 // Event appends one trace line. ev is the transition kind ("job-start",
@@ -48,6 +76,12 @@ func (t *Tracer) Event(ev, job string, fields map[string]any) {
 	defer t.mu.Unlock()
 	t.seq++
 	rec["seq"] = t.seq
+	for _, s := range t.sinks {
+		s(rec)
+	}
+	if t.w == nil {
+		return
+	}
 	b, err := json.Marshal(rec)
 	if err != nil {
 		return

@@ -36,6 +36,27 @@ type Analysis struct {
 	Bootstop bool
 	// MaxReplicates caps adaptive rounds (default 10×Replicates).
 	MaxReplicates int
+	// JobPrefix namespaces this analysis's job IDs ("<prefix>/ml/0").
+	// Empty for one-shot runs; the server sets it to the run ID so
+	// concurrent analyses sharing one fleet stay distinguishable in the
+	// fleet trace and checkpoint store.
+	JobPrefix string
+	// StartTrees, when set with StartTreeKeyBase, caches parsimony
+	// stepwise-addition starting trees across analyses — the warm-cache
+	// path for repeat submissions of the same alignment (core.SearchOn
+	// documents the exactness argument).
+	StartTrees core.StartTreeCache
+	// StartTreeKeyBase keys this analysis's starting trees; it must
+	// identify the alignment and the -p seed (e.g. "<alignhash>/p123").
+	StartTreeKeyBase string
+}
+
+// jid prefixes a job ID with the analysis namespace.
+func (a *Analysis) jid(s string) string {
+	if a.JobPrefix == "" {
+		return s
+	}
+	return a.JobPrefix + "/" + s
 }
 
 // seed streams: every job derives its RNGs from the analysis seeds and
@@ -109,7 +130,7 @@ func (a *Analysis) Build(g *Grid) (*Result, error) {
 	res := &Result{}
 	var mlIDs []string
 	for i := 0; i < a.Starts; i++ {
-		id := fmt.Sprintf("ml/%d", i)
+		id := a.jid(fmt.Sprintf("ml/%d", i))
 		mlIDs = append(mlIDs, id)
 		if err := g.Add(a.mlJob(id, i, res)); err != nil {
 			return nil, err
@@ -131,9 +152,17 @@ func (a *Analysis) mlJob(id string, index int, res *Result) *Job {
 	return &Job{
 		ID: id,
 		Run: func(ctx *JobContext) error {
+			if ctx.Canceled() {
+				return ErrCanceled
+			}
 			return ctx.Elastic(a.Pat, a.newSet, func(eng *likelihood.Engine) error {
 				a.prep(eng)
-				sr, err := core.SearchOn(eng, a.Pat, a.Opts, rng.ForRank(a.Opts.SeedParsimony, mlSeedBase+index))
+				opts := a.Opts
+				if a.StartTrees != nil && a.StartTreeKeyBase != "" {
+					opts.StartTrees = a.StartTrees
+					opts.StartTreeKey = fmt.Sprintf("%s/ml/%d", a.StartTreeKeyBase, index)
+				}
+				sr, err := core.SearchOn(eng, a.Pat, opts, rng.ForRank(a.Opts.SeedParsimony, mlSeedBase+index))
 				if err != nil {
 					return err
 				}
@@ -144,6 +173,9 @@ func (a *Analysis) mlJob(id string, index int, res *Result) *Job {
 				res.mu.Lock()
 				res.Starts = append(res.Starts, StartOutcome{Index: index, Newick: nw, LogLikelihood: sr.LogLikelihood})
 				res.mu.Unlock()
+				ctx.g.cfg.Tracer.Event("ml-done", ctx.ID(), map[string]any{
+					"index": index, "lnl": sr.LogLikelihood, "dispatches": eng.DispatchCount(),
+				})
 				return nil
 			})
 		},
@@ -164,7 +196,7 @@ func (a *Analysis) addRound(g *Grid, res *Result, firstBatch, count int) ([]stri
 		if m > remaining {
 			m = remaining
 		}
-		id := fmt.Sprintf("bs/%d", b)
+		id := a.jid(fmt.Sprintf("bs/%d", b))
 		ids = append(ids, id)
 		if err := g.Add(a.bsJob(id, b, m, res)); err != nil {
 			return nil, b, err
@@ -183,6 +215,9 @@ func (a *Analysis) bsJob(id string, batch, m int, res *Result) *Job {
 	return &Job{
 		ID: id,
 		Run: func(ctx *JobContext) error {
+			if ctx.Canceled() {
+				return ErrCanceled
+			}
 			return ctx.Elastic(a.Pat, a.newSet, func(eng *likelihood.Engine) error {
 				a.prep(eng)
 				cp := &BootstrapCheckpoint{}
@@ -218,11 +253,20 @@ func (a *Analysis) bsJob(id string, batch, m int, res *Result) *Job {
 					cp.Trees = append(cp.Trees, nw)
 					cp.LnLs = append(cp.LnLs, rep.LogLikelihood)
 					ctx.Save(cp.Encode())
+					ctx.g.cfg.Tracer.Event("replicate", ctx.ID(), map[string]any{
+						"index": batch*a.Batch + cp.Done - 1, "lnl": rep.LogLikelihood,
+					})
+					if ctx.Canceled() {
+						return ErrCanceled
+					}
 					return nil
 				})
 				if err != nil {
 					return err
 				}
+				ctx.g.cfg.Tracer.Event("bs-done", ctx.ID(), map[string]any{
+					"replicates": len(cp.Trees), "dispatches": eng.DispatchCount(),
+				})
 				reps := make([]*rapidbs.Replicate, len(cp.Trees))
 				for i, nw := range cp.Trees {
 					t, err := tree.ParseNewick(nw, a.Pat.Names)
@@ -246,7 +290,7 @@ func (a *Analysis) bsJob(id string, batch, m int, res *Result) *Job {
 func (a *Analysis) bootstopJob(res *Result, mlIDs, bsIDs []string, round, nextBatch int) *Job {
 	deps := append([]string(nil), bsIDs...)
 	return &Job{
-		ID:   fmt.Sprintf("bootstop/%d", round),
+		ID:   a.jid(fmt.Sprintf("bootstop/%d", round)),
 		Deps: deps,
 		Run: func(ctx *JobContext) error {
 			res.mu.Lock()
@@ -285,7 +329,7 @@ func (a *Analysis) bootstopJob(res *Result, mlIDs, bsIDs []string, round, nextBa
 // replicates, plus replicate support mapped onto the best ML start.
 func (a *Analysis) consensusJob(res *Result, deps []string) *Job {
 	return &Job{
-		ID:   "consensus",
+		ID:   a.jid("consensus"),
 		Deps: deps,
 		Run: func(ctx *JobContext) error {
 			res.mu.Lock()

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"raxml/internal/grid"
+)
+
+// eventLog is one run's progress stream: an append-only sequence of
+// JSON event records fed by the run's grid tracer (job transitions,
+// leases, checkpoints, replicate lnLs, restripes) plus server lifecycle
+// events (queued, run-start, run-done). Events are addressed by offset
+// — the count of events already consumed — so both the SSE stream and
+// the poll endpoint replay deterministically after a client reconnect.
+type eventLog struct {
+	mu      sync.Mutex
+	recs    []json.RawMessage
+	done    bool
+	waiters []chan struct{}
+}
+
+func newEventLog() *eventLog { return &eventLog{} }
+
+// appendRaw appends one marshaled event and wakes waiters.
+func (l *eventLog) appendRaw(b []byte) {
+	l.mu.Lock()
+	if l.done {
+		l.mu.Unlock()
+		return
+	}
+	l.recs = append(l.recs, json.RawMessage(b))
+	l.wakeLocked()
+	l.mu.Unlock()
+}
+
+// event appends a server-side event (the tracer path marshals its own).
+func (l *eventLog) event(ev string, fields map[string]any) {
+	rec := make(map[string]any, len(fields)+2)
+	for k, v := range fields {
+		rec[k] = v
+	}
+	rec["ev"] = ev
+	rec["t"] = time.Now().UTC().Format(time.RFC3339Nano)
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	l.appendRaw(b)
+}
+
+// sink adapts the log to a grid tracer fan-out sink. The record is
+// marshaled inside the sink (it is only borrowed for the call).
+func (l *eventLog) sink() grid.Sink {
+	return func(rec map[string]any) {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return
+		}
+		l.appendRaw(b)
+	}
+}
+
+// close marks the stream terminal: consumers drain and stop.
+func (l *eventLog) close() {
+	l.mu.Lock()
+	l.done = true
+	l.wakeLocked()
+	l.mu.Unlock()
+}
+
+func (l *eventLog) wakeLocked() {
+	for _, ch := range l.waiters {
+		close(ch)
+	}
+	l.waiters = nil
+}
+
+// since returns events from offset on, plus the stream-done flag.
+func (l *eventLog) since(offset int) ([]json.RawMessage, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > len(l.recs) {
+		offset = len(l.recs)
+	}
+	out := make([]json.RawMessage, len(l.recs)-offset)
+	copy(out, l.recs[offset:])
+	return out, l.done
+}
+
+func (l *eventLog) len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.recs)
+}
+
+// wait returns a channel closed when events beyond offset exist (or the
+// stream closes). If that is already true, the channel is closed now.
+func (l *eventLog) wait(offset int) <-chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ch := make(chan struct{})
+	if len(l.recs) > offset || l.done {
+		close(ch)
+		return ch
+	}
+	l.waiters = append(l.waiters, ch)
+	return ch
+}
+
+// dump serializes the whole log as JSONL — the run's trace artifact.
+func (l *eventLog) dump() []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var b []byte
+	for _, rec := range l.recs {
+		b = append(b, rec...)
+		b = append(b, '\n')
+	}
+	return b
+}
+
+// serveEvents handles GET /v1/runs/{id}/events: Server-Sent Events when
+// the client asks for text/event-stream (the `id:` of each frame is its
+// 1-based offset, and a reconnecting client resumes via the standard
+// Last-Event-ID header or ?offset=N), otherwise a JSON poll response
+// {events, next, done} for ?offset=N.
+func serveEvents(w http.ResponseWriter, r *http.Request, l *eventLog) {
+	offset := 0
+	if v := r.URL.Query().Get("offset"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "bad offset", http.StatusBadRequest)
+			return
+		}
+		offset = n
+	} else if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			offset = n
+		}
+	}
+	if strings.Contains(r.Header.Get("Accept"), "text/event-stream") || r.URL.Query().Get("stream") == "sse" {
+		serveSSE(w, r, l, offset)
+		return
+	}
+	events, done := l.since(offset)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"events": events,
+		"next":   offset + len(events),
+		"done":   done,
+	})
+}
+
+func serveSSE(w http.ResponseWriter, r *http.Request, l *eventLog, offset int) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	for {
+		events, done := l.since(offset)
+		for i, ev := range events {
+			fmt.Fprintf(w, "id: %d\ndata: %s\n\n", offset+i+1, ev)
+		}
+		offset += len(events)
+		if len(events) > 0 {
+			flusher.Flush()
+		}
+		if done {
+			fmt.Fprintf(w, "event: end\ndata: {\"offset\":%d}\n\n", offset)
+			flusher.Flush()
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-l.wait(offset):
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

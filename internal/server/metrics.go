@@ -1,0 +1,81 @@
+package server
+
+import (
+	"expvar"
+	"sync"
+	"sync/atomic"
+)
+
+// serverMetrics are the monotonic service counters. Gauges (queue
+// depths, fleet occupancy, cache sizes) are computed on read in Stats.
+type serverMetrics struct {
+	runsDone     atomic.Int64
+	runsFailed   atomic.Int64
+	runsCanceled atomic.Int64
+	dedupHits    atomic.Int64
+	dispatches   atomic.Int64
+}
+
+// Stats snapshots the full service state: run counts by state, fleet
+// occupancy, cache hit/miss per namespace, and dispatch totals. This is
+// both GET /v1/stats and the expvar "raxml" variable at /debug/vars.
+func (s *Server) Stats() map[string]any {
+	s.mu.Lock()
+	queued := 0
+	for _, t := range s.tenants {
+		queued += len(t.queue)
+	}
+	running := s.runningTotal
+	total := len(s.runs)
+	tenants := len(s.tenants)
+	draining := s.draining
+	s.mu.Unlock()
+
+	admitted, alive, free, leased, dead := s.cfg.Fleet.Stats()
+	return map[string]any{
+		"jobs": map[string]any{
+			"total":    total,
+			"queued":   queued,
+			"running":  running,
+			"done":     s.metrics.runsDone.Load(),
+			"failed":   s.metrics.runsFailed.Load(),
+			"canceled": s.metrics.runsCanceled.Load(),
+			"tenants":  tenants,
+			"draining": draining,
+		},
+		"fleet": map[string]any{
+			"admitted": admitted,
+			"alive":    alive,
+			"free":     free,
+			"leased":   leased,
+			"dead":     dead,
+		},
+		"cache":      s.cache.Stats(),
+		"dedup_hits": s.metrics.dedupHits.Load(),
+		"dispatches": s.metrics.dispatches.Load(),
+	}
+}
+
+// Dispatches returns the dispatch counter (test assertions).
+func (s *Server) Dispatches() int64 { return s.metrics.dispatches.Load() }
+
+// expvar.Publish panics on duplicate names, and tests construct several
+// servers per process, so the "raxml" variable is published once and
+// reads whichever server registered last.
+var (
+	expvarOnce   sync.Once
+	expvarServer atomic.Pointer[Server]
+)
+
+func (s *Server) publishExpvar() {
+	expvarServer.Store(s)
+	expvarOnce.Do(func() {
+		expvar.Publish("raxml", expvar.Func(func() any {
+			srv := expvarServer.Load()
+			if srv == nil {
+				return nil
+			}
+			return srv.Stats()
+		}))
+	})
+}

@@ -1,0 +1,198 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"raxml/internal/grid"
+)
+
+// RunState is a run's lifecycle position.
+type RunState string
+
+const (
+	// StateQueued runs wait for an admission slot (or, after a drain,
+	// for the next server process to pick them back up).
+	StateQueued RunState = "queued"
+	// StateRunning runs own a grid over the shared fleet.
+	StateRunning RunState = "running"
+	// StateDone runs finished; artifacts are fetchable.
+	StateDone RunState = "done"
+	// StateFailed runs returned an error.
+	StateFailed RunState = "failed"
+	// StateCanceled runs were canceled by their tenant.
+	StateCanceled RunState = "canceled"
+)
+
+// RunParams are the result-affecting analysis options of a submission —
+// exactly the fields hashed into the deterministic run ID.
+type RunParams struct {
+	// Model is GTRCAT or GTRGAMMA.
+	Model string `json:"model"`
+	// Starts is the number of independent ML searches.
+	Starts int `json:"starts"`
+	// Bootstraps is the replicate count (per round with Bootstop).
+	Bootstraps int `json:"bootstraps"`
+	// Batch is replicates per bootstrap job (checkpoint granularity).
+	Batch int `json:"batch"`
+	// Bootstop adds replicate rounds until the WC test converges.
+	Bootstop bool `json:"bootstop"`
+	// SeedParsimony and SeedBootstrap are the -p / -x seeds.
+	SeedParsimony int64 `json:"seed_p"`
+	SeedBootstrap int64 `json:"seed_x"`
+	// FastSearch selects the fast SPR preset for ML and bootstrap
+	// searches (test- and demo-scale runs).
+	FastSearch bool `json:"fast_search,omitempty"`
+}
+
+func (p *RunParams) withDefaults() RunParams {
+	out := *p
+	if out.Model == "" {
+		out.Model = "GTRCAT"
+	}
+	if out.Starts < 0 {
+		out.Starts = 0
+	}
+	if out.Bootstraps < 0 {
+		out.Bootstraps = 0
+	}
+	if out.Batch < 1 {
+		out.Batch = 5
+	}
+	if out.SeedParsimony == 0 {
+		out.SeedParsimony = 12345
+	}
+	if out.SeedBootstrap == 0 {
+		out.SeedBootstrap = 12345
+	}
+	return out
+}
+
+// DeriveRunID builds the deterministic run ID from the submission's
+// content identity: alignment hash, partition hash, and every
+// result-affecting option. Identical submissions collide by design —
+// the submit path treats the ID as an idempotency key and returns the
+// existing run — while any change of seed, model, or data yields a
+// fresh ID. The same derivation names the CLI grid trace
+// (RAxML_gridTrace.<id>.jsonl when -n is not given), so re-runs
+// overwrite predictably and tests can assert paths.
+func DeriveRunID(alignHash, partHash string, p RunParams) string {
+	p = p.withDefaults()
+	s := fmt.Sprintf("raxml-run/%s/%s/%s/%d/%d/%d/%v/%d/%d/%v",
+		alignHash, partHash, p.Model, p.Starts, p.Bootstraps, p.Batch,
+		p.Bootstop, p.SeedParsimony, p.SeedBootstrap, p.FastSearch)
+	h := sha256.Sum256([]byte(s))
+	return "r" + hex.EncodeToString(h[:6])
+}
+
+// Run is one analysis submission's full lifecycle record.
+type Run struct {
+	// ID is the deterministic run ID (DeriveRunID).
+	ID string
+	// Tenant is the submitting API key ("anonymous" if none).
+	Tenant string
+	// AlignHash / PartHash address the input blobs.
+	AlignHash, PartHash string
+	// Params are the analysis options.
+	Params RunParams
+
+	log *eventLog
+
+	mu             sync.Mutex
+	state          RunState
+	errMsg         string
+	submitted      time.Time
+	started        time.Time
+	finished       time.Time
+	grid           *grid.Grid        // while running (cancel target)
+	checkpoints    map[string][]byte // seed for a post-drain resume
+	artifacts      map[string]string // artifact name -> blob hash
+	canceledByUser bool
+	bestLnL        float64
+	replicatesDone int
+	rounds         int
+	converged      bool
+}
+
+func newRun(id, tenant, alignHash, partHash string, p RunParams) *Run {
+	return &Run{
+		ID:        id,
+		Tenant:    tenant,
+		AlignHash: alignHash,
+		PartHash:  partHash,
+		Params:    p,
+		log:       newEventLog(),
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+}
+
+// State returns the current lifecycle state.
+func (r *Run) State() RunState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state
+}
+
+// eventLog returns the run's current event log under the run lock: a
+// failed or canceled run resubmitted through Submit gets a fresh log,
+// so readers outside the lock must snapshot the pointer here.
+func (r *Run) eventLog() *eventLog {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.log
+}
+
+// status renders the API status document.
+func (r *Run) status() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := map[string]any{
+		"id":           r.ID,
+		"tenant":       r.Tenant,
+		"state":        r.state,
+		"params":       r.Params,
+		"align_sha256": r.AlignHash,
+		"submitted_at": r.submitted.UTC().Format(time.RFC3339Nano),
+		"events":       r.log.len(),
+	}
+	if r.PartHash != "" {
+		st["partition_sha256"] = r.PartHash
+	}
+	if !r.started.IsZero() {
+		st["started_at"] = r.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !r.finished.IsZero() {
+		st["finished_at"] = r.finished.UTC().Format(time.RFC3339Nano)
+	}
+	if r.errMsg != "" {
+		st["error"] = r.errMsg
+	}
+	if r.replicatesDone > 0 {
+		st["replicates_done"] = r.replicatesDone
+	}
+	if r.state == StateDone {
+		st["best_lnl"] = r.bestLnL
+		st["rounds"] = r.rounds
+		st["converged"] = r.converged
+	}
+	if len(r.artifacts) > 0 {
+		arts := make(map[string]string, len(r.artifacts))
+		for name, hash := range r.artifacts {
+			arts[name] = hash
+		}
+		st["artifacts"] = arts
+	}
+	return st
+}
+
+// artifact returns the blob hash of a named artifact.
+func (r *Run) artifact(name string) (string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	hash, ok := r.artifacts[name]
+	return hash, ok
+}

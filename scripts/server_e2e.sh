@@ -1,0 +1,141 @@
+#!/usr/bin/env bash
+# End-to-end exercise of raxml-as-a-service (raxml -serve): start the
+# analysis server over a small spawned-TCP fleet, drive it with curl the
+# way a tenant would, and assert the service-layer guarantees that the
+# package tests can't see from inside one process:
+#
+#   * two concurrent submissions (different tenants, different bootstrap
+#     seeds) share the fleet under per-tenant rank budgets and each
+#     reproduces its one-shot CLI serial reference byte-for-byte;
+#   * progress streams over the events endpoint (poll + SSE replay);
+#   * a worker process SIGKILLed mid-run is detected and re-striped
+#     around, through the server, without disturbing results;
+#   * an identical resubmission is deduplicated (results cache) and the
+#     warm pattern cache shows hits at /debug/vars;
+#   * SIGTERM drains gracefully — the queue persists to disk and no
+#     -grid-worker process outlives the master.
+#
+# Usage: scripts/server_e2e.sh [workdir]   (run from the repo root)
+set -euo pipefail
+
+WORK="${1:-srv-e2e}"
+PORT="${PORT:-18080}"
+BASE="http://127.0.0.1:$PORT"
+
+mkdir -p "$WORK"
+go build -o "$WORK/raxml" ./cmd/raxml
+go build -o "$WORK/mkdata" ./cmd/mkdata
+
+"$WORK/mkdata" -out "$WORK" -taxa 12 -chars 400 -seed 7
+ALIGN="$WORK/custom_12x400.phy"
+
+echo "== serial references (one-shot CLI, -grid 0)"
+common="-s $ALIGN -N 20 -starts 2 -grid-batch 5 -p 42 -w $WORK -grid 0"
+"$WORK/raxml" $common -x 99 -n ref99 > "$WORK/ref99.log"
+"$WORK/raxml" $common -x 777 -n ref777 > "$WORK/ref777.log"
+
+echo "== starting server (2-rank TCP fleet)"
+"$WORK/raxml" -serve "127.0.0.1:$PORT" -grid 2 -grid-transport tcp -T 1 \
+  -serve-data "$WORK/data" -serve-max-running 2 > "$WORK/server.log" 2>&1 &
+SERVER_PID=$!
+cleanup() { kill "$SERVER_PID" 2>/dev/null || true; }
+trap cleanup EXIT
+
+for i in $(seq 1 100); do
+  curl -fsS "$BASE/healthz" > /dev/null 2>&1 && break
+  if [ "$i" = 100 ]; then
+    echo "server never came up" >&2
+    cat "$WORK/server.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+submit() { # $1 = seed_x, $2 = tenant
+  curl -fsS -X POST "$BASE/v1/runs" -H "X-API-Key: $2" \
+    -F "alignment=@$ALIGN" -F starts=2 -F bootstraps=20 -F batch=5 \
+    -F seed_p=42 -F "seed_x=$1" |
+    grep -o '"id":"[^"]*"' | head -1 | cut -d'"' -f4
+}
+ID1=$(submit 99 alice)
+ID2=$(submit 777 bob)
+echo "== submitted: $ID1 (alice, -x 99), $ID2 (bob, -x 777)"
+
+echo "== waiting for a worker lease, then SIGKILLing the leased worker mid-job"
+# Kill timing matters: a SIGKILLed *idle* worker is only noticed lazily
+# at the next lease probe, which may never come on a tiny workload. The
+# fleet trace says exactly which worker is leased to which job right
+# now, so kill that one — its next dispatch fails, the job re-stripes,
+# and the death lands in the trace deterministically.
+TRACE="$WORK/data/fleetTrace.jsonl"
+for i in $(seq 1 300); do
+  grep -q '"ev":"lease"' "$TRACE" 2>/dev/null && break
+  if [ "$i" = 300 ]; then
+    echo "no lease ever recorded" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+LEASE_LINE=$(grep '"ev":"lease"' "$TRACE" | head -1)
+WID=$(echo "$LEASE_LINE" | grep -o '"workers":\[[0-9]*' | grep -o '[0-9]*$')
+KILLED_JOB=$(echo "$LEASE_LINE" | grep -o '"job":"[^"]*"' | cut -d'"' -f4)
+KILLED_RUN=${KILLED_JOB%%/*}
+VICTIM=$(grep '"ev":"admit"' "$TRACE" | grep "\"worker\":$WID" | grep -o '"pid":[0-9]*' | cut -d: -f2)
+kill -9 "$VICTIM"
+echo "   killed worker $WID (pid $VICTIM), leased to $KILLED_JOB"
+
+wait_done() {
+  for i in $(seq 1 600); do
+    state=$(curl -fsS "$BASE/v1/runs/$1" | grep -o '"state":"[^"]*"' | cut -d'"' -f4)
+    case "$state" in
+    done)
+      return 0
+      ;;
+    failed | canceled)
+      echo "run $1 ended $state" >&2
+      curl -fsS "$BASE/v1/runs/$1/events" >&2
+      exit 1
+      ;;
+    esac
+    sleep 0.5
+  done
+  echo "run $1 timed out" >&2
+  exit 1
+}
+wait_done "$ID1"
+wait_done "$ID2"
+echo "== both runs done"
+
+echo "== rank death was detected and re-striped around"
+grep -q '"ev":"rank-dead"' "$TRACE"
+curl -fsS "$BASE/v1/runs/$KILLED_RUN/events" | grep -q '"ev":"restripe"'
+
+echo "== events: poll endpoint carries the full lifecycle, SSE replays with an end frame"
+curl -fsS "$BASE/v1/runs/$ID1/events" | grep -q '"ev":"replicate"'
+curl -fsS "$BASE/v1/runs/$ID1/events" | grep -q '"ev":"run-done"'
+curl -fsS -H 'Accept: text/event-stream' "$BASE/v1/runs/$ID1/events" | grep -q '^event: end'
+
+echo "== final trees match the serial references"
+curl -fsS "$BASE/v1/runs/$ID1/trees/best" | diff - "$WORK/RAxML_bestTree.ref99"
+curl -fsS "$BASE/v1/runs/$ID1/trees/annotated" | diff - "$WORK/RAxML_bipartitions.ref99"
+curl -fsS "$BASE/v1/runs/$ID1/trees/consensus" | diff - "$WORK/RAxML_GreedyConsensusTree.ref99"
+curl -fsS "$BASE/v1/runs/$ID1/trees/bootstrap" | diff - "$WORK/RAxML_bootstrap.ref99"
+curl -fsS "$BASE/v1/runs/$ID2/trees/best" | diff - "$WORK/RAxML_bestTree.ref777"
+curl -fsS "$BASE/v1/runs/$ID2/trees/consensus" | diff - "$WORK/RAxML_GreedyConsensusTree.ref777"
+
+echo "== identical resubmission is deduplicated; warm cache shows hits"
+curl -fsS -i -X POST "$BASE/v1/runs" -H "X-API-Key: alice" \
+  -F "alignment=@$ALIGN" -F starts=2 -F bootstraps=20 -F batch=5 \
+  -F seed_p=42 -F seed_x=99 | grep -qi 'X-Raxml-Dedup: hit'
+curl -fsS "$BASE/debug/vars" | grep -q '"patterns":{"hits":[1-9]'
+
+echo "== SIGTERM drain: queue persists, no orphaned workers"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+test -f "$WORK/data/queue.json"
+if pgrep -f -- '-grid-worker' > /dev/null; then
+  echo "orphaned grid workers left behind:" >&2
+  pgrep -af -- '-grid-worker' >&2
+  exit 1
+fi
+echo "server e2e OK"
