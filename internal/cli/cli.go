@@ -72,6 +72,7 @@ func Raxml(args []string, stdout io.Writer) error {
 		gridBatch    = fs.Int("grid-batch", 5, "grid: bootstrap replicates per job — the unit of coarse parallelism and checkpointing")
 		gridBootstop = fs.Bool("grid-bootstop", false, "grid: treat -N as the per-round increment and add rounds until the WC test converges")
 		gridKill     = fs.Int("grid-kill-after", 0, "grid chaos: kill one worker at this checkpoint ordinal (0 = never)")
+		gridFault    = fs.Int64("grid-fault-seed", 0, "grid chaos: inject seeded link faults (drops, delays, corruption, severs) on every worker; same seed = same schedules (0 = off)")
 		gridWorker   = fs.Bool("grid-worker", false, "internal: run as a spawned grid worker process")
 		gridConn     = fs.String("grid-connect", "", "internal: star listener address a grid worker dials")
 
@@ -231,6 +232,7 @@ func Raxml(args []string, stdout io.Writer) error {
 			batch:     *gridBatch,
 			bootstop:  *gridBootstop,
 			killAfter: *gridKill,
+			faultSeed: *gridFault,
 			kernels:   *kernels,
 		}, *runName, *outDir, stdout)
 	}

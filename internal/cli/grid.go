@@ -36,6 +36,7 @@ type gridParams struct {
 	batch     int    // replicates per bootstrap job
 	bootstop  bool   // adaptive rounds under the WC test
 	killAfter int    // chaos: kill one worker at this checkpoint ordinal
+	faultSeed int64  // chaos: seeded per-worker fault schedules (0 = off)
 	kernels   string // propagated to spawned workers
 }
 
@@ -67,11 +68,26 @@ func runGrid(pat *msa.Patterns, opts core.Options, p gridParams, runName, outDir
 	tracer := grid.NewTracer(traceFile)
 
 	fleet := grid.NewFleet(tracer)
+	if p.faultSeed != 0 {
+		// Deterministic chaos: every admitted worker's link carries its
+		// own fault schedule derived from the run seed and the worker id
+		// (drops, delays, corruption, severs, stragglers), and the
+		// recovery timeouts shrink so injected stalls convert to restripes
+		// in seconds. The same seed replays the same schedules.
+		fmt.Fprintf(stdout, "chaos: injecting link faults from seed %d\n", p.faultSeed)
+		finegrain.DispatchTimeout = 5 * time.Second
+		finegrain.ReleaseTimeout = 2 * time.Second
+		grid.ProbeTimeout = 2 * time.Second
+		seed := p.faultSeed
+		fleet.LinkWrapper = func(id int, l fabric.Link) fabric.Link {
+			return fabric.InjectFaults(l, fabric.RandomFaultPlan(seed*1000+int64(id)))
+		}
+	}
 	switch p.transport {
 	case "", "chan":
 		fleet.SpawnLocal(p.workers)
 	case "tcp":
-		stop, err := spawnGridWorkers(fleet, p.workers, p.kernels, stdout)
+		stop, _, err := spawnGridWorkers(fleet, p.workers, p.kernels, stdout)
 		if err != nil {
 			return err
 		}
@@ -79,6 +95,7 @@ func runGrid(pat *msa.Patterns, opts core.Options, p gridParams, runName, outDir
 	default:
 		return fmt.Errorf("unknown -grid-transport %q (want chan or tcp)", p.transport)
 	}
+	fleet.StartHeartbeats(grid.DefaultHeartbeatInterval)
 
 	fmt.Fprintf(stdout, "Grid analysis: %d ML starts + %d bootstrap replicates over %d worker ranks (%s), %d threads/rank\n",
 		p.starts, opts.Bootstraps, p.workers, orChan(p.transport), opts.Workers)
@@ -127,6 +144,7 @@ func runGrid(pat *msa.Patterns, opts core.Options, p gridParams, runName, outDir
 		return err
 	}
 	runErr := g.Run()
+	fleet.StopHeartbeats()
 	fleet.Shutdown()
 	if runErr != nil {
 		return fmt.Errorf("grid run (trace: %s): %w", tracePath, runErr)
@@ -135,52 +153,45 @@ func runGrid(pat *msa.Patterns, opts core.Options, p gridParams, runName, outDir
 	return writeGridResult(res, analysis, p, tracePath, runName, outDir, elapsed, stdout)
 }
 
-// spawnGridWorkers starts n worker processes dialing back over TCP and
-// blocks until the fleet has admitted them all. The returned stop
-// function closes the listener and reaps the processes; worker exit
-// status is deliberately ignored — chaos runs SIGKILL workers
-// mid-flight, and a clean grid run shuts its workers down explicitly.
-func spawnGridWorkers(fleet *grid.Fleet, n int, kernels string, stdout io.Writer) (stop func(), err error) {
+// spawnGridWorkers starts n supervised worker processes dialing back
+// over TCP and blocks until the fleet has admitted them all. The
+// supervisor respawns workers that die unexpectedly (each replacement
+// dials back and enters the free pool as a late joiner); the returned
+// stop function ends the supervision, reaps the processes and closes
+// the listener.
+func spawnGridWorkers(fleet *grid.Fleet, n int, kernels string, stdout io.Writer) (stop func(), sup *grid.Supervisor, err error) {
 	exe, err := os.Executable()
 	if err != nil {
-		return nil, fmt.Errorf("locating own binary for worker spawn: %w", err)
+		return nil, nil, fmt.Errorf("locating own binary for worker spawn: %w", err)
 	}
 	ln, err := fabric.ListenStar("127.0.0.1:0")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	fleet.AcceptFrom(ln)
 	fmt.Fprintf(stdout, "grid: spawning %d worker processes (transport tcp, %s)\n", n, ln.Addr())
-	procs := make([]*exec.Cmd, 0, n)
-	stop = func() {
-		ln.Close()
-		for _, cmd := range procs {
-			cmd.Process.Kill()
-			cmd.Wait()
-		}
-	}
-	for i := 0; i < n; i++ {
+	sup, err = grid.NewSupervisor(n, func(slot int) (*exec.Cmd, error) {
 		cmd := exec.Command(exe,
 			"-grid-worker",
 			"-kernels", kernels,
 			"-grid-connect", ln.Addr(),
 		)
 		cmd.Stderr = os.Stderr
-		if err := cmd.Start(); err != nil {
-			stop()
-			return nil, fmt.Errorf("spawning grid worker %d: %w", i, err)
-		}
-		procs = append(procs, cmd)
+		return cmd, nil
+	})
+	if err != nil {
+		ln.Close()
+		return nil, nil, err
 	}
-	deadline := time.Now().Add(30 * time.Second)
-	for fleet.NumAlive() < n {
-		if time.Now().After(deadline) {
-			stop()
-			return nil, fmt.Errorf("grid: only %d of %d workers joined within 30s", fleet.NumAlive(), n)
-		}
-		time.Sleep(5 * time.Millisecond)
+	stop = func() {
+		sup.Stop() // before the listener closes: respawns must stop first
+		ln.Close()
 	}
-	return stop, nil
+	if !fleet.WaitAlive(n, 30*time.Second) {
+		stop()
+		return nil, nil, fmt.Errorf("grid: only %d of %d workers joined within 30s", fleet.NumAlive(), n)
+	}
+	return stop, sup, nil
 }
 
 func orChan(transport string) string {

@@ -72,19 +72,24 @@ func runServe(p serveParams, stdout io.Writer) error {
 
 	fleet := grid.NewFleet(tracer)
 	stopWorkers := func() {}
+	var sup *grid.Supervisor
 	switch p.transport {
 	case "", "chan":
 		fleet.SpawnLocal(p.workers)
 	case "tcp":
-		stop, err := spawnGridWorkers(fleet, p.workers, p.kernels, stdout)
+		stop, s, err := spawnGridWorkers(fleet, p.workers, p.kernels, stdout)
 		if err != nil {
 			return err
 		}
-		stopWorkers = stop
+		stopWorkers, sup = stop, s
 	default:
 		return fmt.Errorf("unknown -grid-transport %q (want chan or tcp)", p.transport)
 	}
 	defer stopWorkers()
+	// A long-lived fleet needs the background liveness sweep: a worker
+	// that dies while the queue is empty is evicted (and, under the
+	// supervisor, replaced) long before the next submission leases it.
+	fleet.StartHeartbeats(grid.DefaultHeartbeatInterval)
 
 	s, err := server.New(server.Config{
 		Fleet:               fleet,
@@ -93,6 +98,7 @@ func runServe(p serveParams, stdout io.Writer) error {
 		MaxRunning:          p.maxRunning,
 		MaxRunningPerTenant: p.maxPerTenant,
 		ThreadsPerRank:      p.threads,
+		Supervisor:          sup,
 	})
 	if err != nil {
 		return err
@@ -129,6 +135,7 @@ func runServe(p serveParams, stdout io.Writer) error {
 	signal.Stop(sigCh)
 	close(sigCh)
 	<-drained
+	fleet.StopHeartbeats()
 	fleet.Shutdown()
 	if err == http.ErrServerClosed {
 		err = nil

@@ -1,13 +1,14 @@
 package fabric
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // This file is the membership layer beneath the coarse×fine grid
@@ -45,6 +46,27 @@ type Link interface {
 	Close() error
 }
 
+// LinkDeadliner is implemented by links that can bound Recv waits —
+// the link-level twin of the Transport PeerDeadliner. The zero time
+// clears the deadline.
+type LinkDeadliner interface {
+	SetRecvDeadline(at time.Time) error
+}
+
+// SetLinkRecvDeadline arms (zero time: clears) l's Recv deadline when
+// the link supports one, reporting whether it did. Expiry surfaces
+// from Recv with os.ErrDeadlineExceeded in the error chain — raw, not
+// RankDead-typed: a link does not know which rank it is, so the
+// caller (the grid's sub-transport, the fleet's probe) supplies that
+// judgment.
+func SetLinkRecvDeadline(l Link, at time.Time) bool {
+	d, ok := l.(LinkDeadliner)
+	if !ok {
+		return false
+	}
+	return d.SetRecvDeadline(at) == nil
+}
+
 // ---------------------------------------------------------------------
 // In-proc channel link
 // ---------------------------------------------------------------------
@@ -54,6 +76,9 @@ type chanLink struct {
 	out    chan<- chanFrame
 	closed chan struct{}
 	once   *sync.Once
+
+	dl    atomic.Int64 // armed Recv deadline (UnixNano; 0 = none)
+	timer *time.Timer  // reused expiry timer (Recv is single-goroutine)
 }
 
 // LinkPair returns the two ends of a connected in-proc link. Closing
@@ -95,12 +120,48 @@ func (l *chanLink) Recv() (byte, []byte, error) {
 		return f.tag, f.payload, nil
 	default:
 	}
+	if d := l.dl.Load(); d != 0 {
+		until := time.Until(time.Unix(0, d))
+		if until <= 0 {
+			return 0, nil, os.ErrDeadlineExceeded
+		}
+		if l.timer == nil {
+			l.timer = time.NewTimer(until)
+		} else {
+			if !l.timer.Stop() {
+				select {
+				case <-l.timer.C:
+				default:
+				}
+			}
+			l.timer.Reset(until)
+		}
+		select {
+		case f := <-l.in:
+			return f.tag, f.payload, nil
+		case <-l.closed:
+			return 0, nil, ErrTransportClosed
+		case <-l.timer.C:
+			return 0, nil, os.ErrDeadlineExceeded
+		}
+	}
 	select {
 	case f := <-l.in:
 		return f.tag, f.payload, nil
 	case <-l.closed:
 		return 0, nil, ErrTransportClosed
 	}
+}
+
+// SetRecvDeadline arms (zero time: clears) the link's Recv deadline;
+// it applies to Recv calls entered after it returns.
+func (l *chanLink) SetRecvDeadline(at time.Time) error {
+	if at.IsZero() {
+		l.dl.Store(0)
+	} else {
+		l.dl.Store(at.UnixNano())
+	}
+	return nil
 }
 
 func (l *chanLink) Close() error {
@@ -113,8 +174,8 @@ func (l *chanLink) Close() error {
 // ---------------------------------------------------------------------
 
 // starHello is the tag of the join frame a DialStar worker sends right
-// after connecting: 4 bytes of process id (0 when unknown), letting
-// the master SIGKILL real worker processes in chaos runs.
+// after connecting: [version:4 LE][pid:4 LE], the pid (0 when unknown)
+// letting the master SIGKILL real worker processes in chaos runs.
 const starHello byte = 0xFE
 
 // TCPLink is one framed TCP connection end.
@@ -156,6 +217,13 @@ func (l *TCPLink) linkError(err error) error {
 	return err
 }
 
+// SetRecvDeadline arms (zero time: clears) the read deadline on the
+// underlying connection; it also interrupts a Recv already blocked in
+// the kernel. Expiry surfaces from Recv with os.ErrDeadlineExceeded.
+func (l *TCPLink) SetRecvDeadline(at time.Time) error {
+	return l.raw.SetReadDeadline(at)
+}
+
 // Close tears the link down.
 func (l *TCPLink) Close() error {
 	l.closed.Store(true)
@@ -168,6 +236,12 @@ func (l *TCPLink) Close() error {
 // the world size up front.
 type StarListener struct {
 	ln net.Listener
+
+	// WrapConn, when set before accepting, wraps every accepted
+	// connection below the framing layer — the hook chaos tests use to
+	// interpose a byte-corrupting FaultConn and exercise the CRC path
+	// on real sockets.
+	WrapConn func(net.Conn) net.Conn
 }
 
 // ListenStar opens a listener for grid workers (use "127.0.0.1:0" for
@@ -188,38 +262,50 @@ func (l *StarListener) Addr() string { return l.ln.Addr().String() }
 // assigned by the master in accept order — unlike the fixed-rank
 // fine-grain hello, a grid worker does not choose its own rank; its
 // job-local rank arrives later in each lease's init frame.
+//
+// The hello read runs under HelloTimeout: a dialer that connects but
+// never identifies itself fails here (and the caller moves on to the
+// next dialer) instead of wedging admission forever.
 func (l *StarListener) AcceptLink() (*TCPLink, int, error) {
 	c, err := l.ln.Accept()
 	if err != nil {
 		return nil, 0, err
 	}
+	if l.WrapConn != nil {
+		c = l.WrapConn(c)
+	}
 	link := newTCPLink(c)
+	if HelloTimeout > 0 {
+		c.SetReadDeadline(time.Now().Add(HelloTimeout))
+	}
 	tag, payload, err := link.Recv()
 	if err != nil {
 		c.Close()
 		return nil, 0, fmt.Errorf("fabric: star hello: %w", err)
 	}
-	if tag != starHello || len(payload) != 4 {
+	c.SetReadDeadline(time.Time{})
+	pid, err := decodeHello("star", tag, starHello, payload)
+	if err != nil {
 		c.Close()
-		return nil, 0, fmt.Errorf("fabric: bad star hello (tag %d, %d bytes)", tag, len(payload))
+		return nil, 0, err
 	}
-	return link, int(binary.LittleEndian.Uint32(payload)), nil
+	return link, int(pid), nil
 }
 
 // Close stops accepting. Already-accepted links stay open.
 func (l *StarListener) Close() error { return l.ln.Close() }
 
-// DialStar connects a grid worker to the master at addr, announcing
-// pid (pass os.Getpid(); 0 when not a real process).
+// DialStar connects a grid worker to the master at addr — retrying
+// with capped exponential backoff plus jitter until DialTimeout, so a
+// worker spawned a beat before the master's listener still joins — and
+// announces pid (pass os.Getpid(); 0 when not a real process).
 func DialStar(addr string, pid int) (*TCPLink, error) {
-	c, err := net.Dial("tcp", addr)
+	c, err := dialRetry(addr)
 	if err != nil {
 		return nil, err
 	}
 	link := newTCPLink(c)
-	var hello [4]byte
-	binary.LittleEndian.PutUint32(hello[:], uint32(pid))
-	if err := link.Send(starHello, hello[:]); err != nil {
+	if err := link.Send(starHello, encodeHello(uint32(pid))); err != nil {
 		c.Close()
 		return nil, err
 	}

@@ -4,10 +4,14 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"math/rand/v2"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // This file defines the pluggable byte-message fabric beneath the
@@ -21,9 +25,10 @@ import (
 //
 //   - TCPTransport: real OS processes. The master listens, each worker
 //     process dials in and identifies its rank with a hello frame;
-//     frames are length-prefixed binary ([tag:1][len:4 LE][payload]).
-//     This is the transport behind `raxml -fine -fine-transport tcp`,
-//     where workers are spawned `raxml` processes in worker mode.
+//     frames are length-prefixed binary with a per-frame CRC32C
+//     ([tag:1][len:4 LE][crc:4 LE][payload]). This is the transport
+//     behind `raxml -fine -fine-transport tcp`, where workers are
+//     spawned `raxml` processes in worker mode.
 //
 // The interface is deliberately tiny — point-to-point Send/Recv plus
 // counters — because the finegrain protocol needs exactly two
@@ -65,6 +70,147 @@ func AsRankDead(err error) *RankDeadError {
 		return rde
 	}
 	return nil
+}
+
+// ProtocolVersion is the fabric wire protocol generation, announced in
+// every hello frame. Version 2 added the per-frame CRC32C to the TCP
+// framing and the version word to the hellos; a v1 peer's 4-byte hello
+// is rejected at accept time rather than silently misframed.
+const ProtocolVersion uint32 = 2
+
+// castagnoli is the CRC32C polynomial table used for frame checksums
+// (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// FrameCorruptError reports a framed TCP message whose CRC32C check
+// failed: the bytes read off the wire are not the bytes the peer sent.
+// The stream is desynchronized beyond repair, so every consumer treats
+// it like peer death — the master maps it through RankDeadError into
+// the restripe path, a worker exits its serve loop.
+type FrameCorruptError struct {
+	Tag  byte   // tag byte as read (possibly itself corrupt)
+	Len  uint32 // length prefix as read
+	Want uint32 // checksum carried in the frame header
+	Got  uint32 // checksum of the bytes actually received
+}
+
+// Error implements error.
+func (e *FrameCorruptError) Error() string {
+	return fmt.Sprintf("fabric: corrupt frame (tag %d, %d bytes): crc %08x, want %08x", e.Tag, e.Len, e.Got, e.Want)
+}
+
+// AsFrameCorrupt extracts a FrameCorruptError from err's chain (nil if
+// none).
+func AsFrameCorrupt(err error) *FrameCorruptError {
+	var fce *FrameCorruptError
+	if errors.As(err, &fce) {
+		return fce
+	}
+	return nil
+}
+
+// corruptFrames counts frames rejected process-wide — by the TCP CRC
+// check or by the fault injector emulating one — for the server's
+// health metrics.
+var corruptFrames atomic.Int64
+
+// CorruptFrames returns the process-wide count of frames rejected as
+// corrupt (exported at /debug/vars by the analysis server).
+func CorruptFrames() int64 { return corruptFrames.Load() }
+
+// Package-level I/O guards. Variables, not constants, so chaos tests
+// tighten them to keep fault detection fast; zero disables a guard.
+var (
+	// WriteTimeout bounds every TCP frame write. A peer that stops
+	// reading (wedged, SIGSTOPped) eventually backs TCP's window down
+	// to zero and would block the sender forever; the deadline turns
+	// that into an error on the sender's side.
+	WriteTimeout = 2 * time.Minute
+	// HelloTimeout bounds the hello handshake read on an accepted
+	// connection: a dialer that connects but never identifies itself
+	// must not block Accept/AcceptLink indefinitely.
+	HelloTimeout = 10 * time.Second
+	// DialTimeout bounds the total connect effort of DialTCP/DialStar,
+	// across however many backoff-spaced attempts fit.
+	DialTimeout = 15 * time.Second
+)
+
+// DialTimeoutError reports that DialTCP/DialStar gave up: no attempt
+// connected within DialTimeout.
+type DialTimeoutError struct {
+	Addr     string
+	Attempts int
+	Err      error // last attempt's error
+}
+
+// Error implements error.
+func (e *DialTimeoutError) Error() string {
+	return fmt.Sprintf("fabric: dial %s: %d attempts failed within %s: %v", e.Addr, e.Attempts, DialTimeout, e.Err)
+}
+
+// Unwrap exposes the last dial error.
+func (e *DialTimeoutError) Unwrap() error { return e.Err }
+
+// dialBackoff bounds the retry spacing of dialRetry: capped exponential
+// growth with full jitter on the upper half, so a fleet of workers
+// restarted together does not hammer the master in lockstep.
+const (
+	dialBackoffMin = 5 * time.Millisecond
+	dialBackoffMax = 250 * time.Millisecond
+)
+
+// dialRetry connects to addr, retrying with capped exponential backoff
+// plus jitter until DialTimeout has elapsed. Workers routinely dial a
+// master whose listener is still a few milliseconds from existing
+// (spawn races) or that is restarting; a bare net.Dial would turn that
+// window into a hard failure.
+func dialRetry(addr string) (net.Conn, error) {
+	deadline := time.Now().Add(DialTimeout)
+	backoff := dialBackoffMin
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		d := net.Dialer{Deadline: deadline}
+		c, err := d.Dial("tcp", addr)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, &DialTimeoutError{Addr: addr, Attempts: attempt, Err: lastErr}
+		}
+		sleep := backoff/2 + rand.N(backoff/2+1)
+		if sleep > remain {
+			sleep = remain
+		}
+		time.Sleep(sleep)
+		if backoff *= 2; backoff > dialBackoffMax {
+			backoff = dialBackoffMax
+		}
+	}
+}
+
+// PeerDeadliner is implemented by transports that can bound Recv waits
+// per peer. Arming a deadline makes a Recv from that peer fail instead
+// of blocking past it — the mechanism behind the per-dispatch straggler
+// guard — and the zero time clears it.
+type PeerDeadliner interface {
+	SetRecvDeadline(peer int, at time.Time) error
+}
+
+// SetRecvDeadline arms (or, with the zero time, clears) the Recv
+// deadline for one peer on transports that support it; it reports
+// whether t did. On expiry the blocked or next Recv fails with an error
+// chain containing os.ErrDeadlineExceeded, typed per transport (a
+// RankDeadError on the master-side implementations: a rank too slow to
+// answer is indistinguishable from a dead one, and is handled the same
+// way).
+func SetRecvDeadline(t Transport, peer int, at time.Time) bool {
+	d, ok := t.(PeerDeadliner)
+	if !ok {
+		return false
+	}
+	return d.SetRecvDeadline(peer, at) == nil
 }
 
 // Transport moves tagged byte frames between the ranks of one worker
@@ -180,6 +326,13 @@ type ChanTransport struct {
 	once   *sync.Once
 	free   chan []byte // group-shared frame buffer free list
 	stats  TransportStats
+
+	// dl[from] is the armed Recv deadline for that peer (UnixNano; 0 =
+	// none); timers[from] is the reused expiry timer, owned by the one
+	// goroutine allowed to Recv from that peer (so the dispatch hot
+	// path stays allocation-free once warm).
+	dl     []atomic.Int64
+	timers []*time.Timer
 }
 
 // NewChanTransports creates one connected in-proc endpoint per rank.
@@ -201,7 +354,10 @@ func NewChanTransports(size int) []*ChanTransport {
 	free := make(chan []byte, 64*size)
 	out := make([]*ChanTransport, size)
 	for r := range out {
-		out[r] = &ChanTransport{rank: r, size: size, mail: mail, closed: closed, once: once, free: free}
+		out[r] = &ChanTransport{
+			rank: r, size: size, mail: mail, closed: closed, once: once, free: free,
+			dl: make([]atomic.Int64, size), timers: make([]*time.Timer, size),
+		}
 	}
 	return out
 }
@@ -255,26 +411,73 @@ func (c *ChanTransport) Send(to int, tag byte, payload []byte) error {
 }
 
 // Recv blocks for the next frame from rank `from`, delivery-first on
-// close (same drain-first rule as Comm.Recv on abort).
+// close (same drain-first rule as Comm.Recv on abort). An armed Recv
+// deadline (SetRecvDeadline) bounds the wait; delivery still wins over
+// an already-passed deadline when a frame is queued.
 func (c *ChanTransport) Recv(from int) (byte, []byte, error) {
 	if from < 0 || from >= c.size || from == c.rank {
 		return 0, nil, fmt.Errorf("fabric: Recv from invalid rank %d", from)
 	}
 	select {
 	case f := <-c.mail[from][c.rank]:
-		c.stats.MessagesRecv.Add(1)
-		c.stats.BytesRecv.Add(int64(len(f.payload)))
-		return f.tag, f.payload, nil
+		return c.delivered(f)
 	default:
+	}
+	if d := c.dl[from].Load(); d != 0 {
+		until := time.Until(time.Unix(0, d))
+		if until <= 0 {
+			return 0, nil, &RankDeadError{Rank: from, Err: os.ErrDeadlineExceeded}
+		}
+		tm := c.timers[from]
+		if tm == nil {
+			tm = time.NewTimer(until)
+			c.timers[from] = tm
+		} else {
+			if !tm.Stop() {
+				select {
+				case <-tm.C:
+				default:
+				}
+			}
+			tm.Reset(until)
+		}
+		select {
+		case f := <-c.mail[from][c.rank]:
+			return c.delivered(f)
+		case <-c.closed:
+			return 0, nil, ErrTransportClosed
+		case <-tm.C:
+			return 0, nil, &RankDeadError{Rank: from, Err: os.ErrDeadlineExceeded}
+		}
 	}
 	select {
 	case f := <-c.mail[from][c.rank]:
-		c.stats.MessagesRecv.Add(1)
-		c.stats.BytesRecv.Add(int64(len(f.payload)))
-		return f.tag, f.payload, nil
+		return c.delivered(f)
 	case <-c.closed:
 		return 0, nil, ErrTransportClosed
 	}
+}
+
+func (c *ChanTransport) delivered(f chanFrame) (byte, []byte, error) {
+	c.stats.MessagesRecv.Add(1)
+	c.stats.BytesRecv.Add(int64(len(f.payload)))
+	return f.tag, f.payload, nil
+}
+
+// SetRecvDeadline arms (zero time: clears) the Recv deadline for one
+// peer. It applies to Recv calls entered after it returns — the
+// dispatch path arms deadlines before kicking its receivers, so every
+// guarded wait sees them.
+func (c *ChanTransport) SetRecvDeadline(peer int, at time.Time) error {
+	if peer < 0 || peer >= c.size || peer == c.rank {
+		return fmt.Errorf("fabric: SetRecvDeadline on invalid rank %d", peer)
+	}
+	if at.IsZero() {
+		c.dl[peer].Store(0)
+	} else {
+		c.dl[peer].Store(at.UnixNano())
+	}
+	return nil
 }
 
 // Recycle pushes buf onto the group's frame free list (dropped when the
@@ -301,8 +504,33 @@ func (c *ChanTransport) Close() error {
 // ---------------------------------------------------------------------
 
 // tcpHello is the tag of the rank-identification frame a worker sends
-// right after dialing.
+// right after dialing: [version:4 LE][rank:4 LE].
 const tcpHello byte = 0xFF
+
+// helloLen is the payload size of both hello flavors (tcpHello and
+// starHello): a protocol version word plus an identity word.
+const helloLen = 8
+
+// encodeHello builds a hello payload announcing the protocol version
+// and an identity word (rank for tcpHello, pid for starHello).
+func encodeHello(id uint32) []byte {
+	var p [helloLen]byte
+	binary.LittleEndian.PutUint32(p[0:4], ProtocolVersion)
+	binary.LittleEndian.PutUint32(p[4:8], id)
+	return p[:]
+}
+
+// decodeHello validates a hello frame's shape and version, returning
+// the identity word.
+func decodeHello(kind string, tag, wantTag byte, payload []byte) (uint32, error) {
+	if tag != wantTag || len(payload) != helloLen {
+		return 0, fmt.Errorf("fabric: bad %s hello (tag %d, %d bytes)", kind, tag, len(payload))
+	}
+	if v := binary.LittleEndian.Uint32(payload[0:4]); v != ProtocolVersion {
+		return 0, fmt.Errorf("fabric: %s hello speaks protocol %d, this master speaks %d", kind, v, ProtocolVersion)
+	}
+	return binary.LittleEndian.Uint32(payload[4:8]), nil
+}
 
 // TCPTransport is the cross-process Transport: length-prefixed tagged
 // frames over one TCP connection per (master, worker) pair. The master
@@ -323,8 +551,8 @@ type tcpConn struct {
 	c    net.Conn
 	rmu  sync.Mutex
 	wmu  sync.Mutex
-	rbuf [5]byte
-	wbuf [5]byte
+	rbuf [9]byte
+	wbuf [9]byte
 	free chan []byte // shared with the owning endpoint; may be nil
 }
 
@@ -351,7 +579,9 @@ func (t *TCPTransport) Addr() string {
 }
 
 // Accept blocks until every worker rank has connected and identified
-// itself with a hello frame. Master-side only.
+// itself with a hello frame. Master-side only. Each accepted
+// connection's hello read runs under HelloTimeout, so a dialer that
+// connects and then wedges cannot block the world's formation forever.
 func (t *TCPTransport) Accept() error {
 	if t.ln == nil {
 		return fmt.Errorf("fabric: Accept on a worker endpoint")
@@ -362,16 +592,21 @@ func (t *TCPTransport) Accept() error {
 			return err
 		}
 		tc := &tcpConn{c: c, free: t.free}
+		if HelloTimeout > 0 {
+			c.SetReadDeadline(time.Now().Add(HelloTimeout))
+		}
 		tag, payload, err := tc.read()
 		if err != nil {
 			c.Close()
 			return fmt.Errorf("fabric: worker hello: %w", err)
 		}
-		if tag != tcpHello || len(payload) != 4 {
+		c.SetReadDeadline(time.Time{})
+		id, err := decodeHello("worker", tag, tcpHello, payload)
+		if err != nil {
 			c.Close()
-			return fmt.Errorf("fabric: bad worker hello (tag %d, %d bytes)", tag, len(payload))
+			return err
 		}
-		rank := int(binary.LittleEndian.Uint32(payload))
+		rank := int(id)
 		if rank < 1 || rank >= t.size || t.conns[rank] != nil {
 			c.Close()
 			return fmt.Errorf("fabric: worker hello claims invalid or duplicate rank %d", rank)
@@ -382,20 +617,20 @@ func (t *TCPTransport) Accept() error {
 }
 
 // DialTCP creates worker endpoint `rank`, connecting to the master at
-// addr and identifying itself.
+// addr — retrying with capped exponential backoff until DialTimeout,
+// since workers routinely start before the master's listener exists —
+// and identifying itself with a versioned hello.
 func DialTCP(addr string, rank, size int) (*TCPTransport, error) {
 	if rank < 1 || rank >= size {
 		return nil, fmt.Errorf("fabric: worker rank %d outside [1, %d)", rank, size)
 	}
-	c, err := net.Dial("tcp", addr)
+	c, err := dialRetry(addr)
 	if err != nil {
 		return nil, err
 	}
 	t := &TCPTransport{rank: rank, size: size, conns: make([]*tcpConn, size), free: make(chan []byte, 64)}
 	t.conns[0] = &tcpConn{c: c, free: t.free}
-	var hello [4]byte
-	binary.LittleEndian.PutUint32(hello[:], uint32(rank))
-	if err := t.conns[0].write(tcpHello, hello[:]); err != nil {
+	if err := t.conns[0].write(tcpHello, encodeHello(uint32(rank))); err != nil {
 		c.Close()
 		return nil, err
 	}
@@ -474,6 +709,18 @@ func (t *TCPTransport) Recv(from int) (byte, []byte, error) {
 	return tag, payload, nil
 }
 
+// SetRecvDeadline arms (zero time: clears) the read deadline on the
+// link to one peer. Unlike the chan transport it also interrupts a
+// Recv already blocked in the kernel. Expiry surfaces through Recv as
+// a RankDeadError wrapping os.ErrDeadlineExceeded.
+func (t *TCPTransport) SetRecvDeadline(peer int, at time.Time) error {
+	c, err := t.conn(peer)
+	if err != nil {
+		return err
+	}
+	return c.c.SetReadDeadline(at)
+}
+
 // Recycle pushes buf onto the endpoint's frame free list (dropped when
 // the list is full); later reads reuse it for incoming payloads.
 func (t *TCPTransport) Recycle(buf []byte) {
@@ -508,11 +755,21 @@ func (t *TCPTransport) Close() error {
 // corrupt or hostile stream, not a real message.
 const maxFrameBytes = 1 << 30
 
+// write sends one frame: [tag:1][len:4 LE][crc:4 LE][payload], the
+// CRC32C covering tag, length and payload. Each write runs under
+// WriteTimeout so a peer that stopped reading surfaces as an error
+// here instead of a forever-blocked sender.
 func (c *tcpConn) write(tag byte, payload []byte) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	if WriteTimeout > 0 {
+		c.c.SetWriteDeadline(time.Now().Add(WriteTimeout))
+	}
 	c.wbuf[0] = tag
-	binary.LittleEndian.PutUint32(c.wbuf[1:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(c.wbuf[1:5], uint32(len(payload)))
+	crc := crc32.Update(0, castagnoli, c.wbuf[:5])
+	crc = crc32.Update(crc, castagnoli, payload)
+	binary.LittleEndian.PutUint32(c.wbuf[5:9], crc)
 	if _, err := c.c.Write(c.wbuf[:]); err != nil {
 		return err
 	}
@@ -531,28 +788,34 @@ func (c *tcpConn) read() (byte, []byte, error) {
 		return 0, nil, err
 	}
 	tag := c.rbuf[0]
-	n := binary.LittleEndian.Uint32(c.rbuf[1:])
+	n := binary.LittleEndian.Uint32(c.rbuf[1:5])
+	want := binary.LittleEndian.Uint32(c.rbuf[5:9])
 	if n > maxFrameBytes {
 		return 0, nil, fmt.Errorf("fabric: frame length %d exceeds limit", n)
-	}
-	if n == 0 {
-		return tag, nil, nil
 	}
 	// Reuse a recycled buffer when one is big enough; too-small pops
 	// are dropped so the list converges on steady-state frame sizes.
 	var payload []byte
-	select {
-	case b := <-c.free:
-		if cap(b) >= int(n) {
-			payload = b[:n]
-		} else {
+	if n > 0 {
+		select {
+		case b := <-c.free:
+			if cap(b) >= int(n) {
+				payload = b[:n]
+			} else {
+				payload = make([]byte, n)
+			}
+		default:
 			payload = make([]byte, n)
 		}
-	default:
-		payload = make([]byte, n)
+		if _, err := io.ReadFull(c.c, payload); err != nil {
+			return 0, nil, err
+		}
 	}
-	if _, err := io.ReadFull(c.c, payload); err != nil {
-		return 0, nil, err
+	crc := crc32.Update(0, castagnoli, c.rbuf[:5])
+	crc = crc32.Update(crc, castagnoli, payload)
+	if crc != want {
+		corruptFrames.Add(1)
+		return 0, nil, &FrameCorruptError{Tag: tag, Len: n, Want: want, Got: crc}
 	}
 	return tag, payload, nil
 }

@@ -2,9 +2,11 @@ package fabric
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -286,16 +288,16 @@ func TestTCPTransportRejectsBadHello(t *testing.T) {
 	}
 	defer master.Close()
 	go func() {
-		// A raw dialer claiming an out-of-range rank: the hello frame is
-		// [tag][len=4][rank], rank 5 of a 2-rank world.
+		// A dialer claiming an out-of-range rank: a correctly framed
+		// hello announcing rank 5 of a 2-rank world.
 		c, err := net.Dial("tcp", master.Addr())
 		if err != nil {
 			t.Error(err)
 			return
 		}
 		defer c.Close()
-		frame := []byte{tcpHello, 4, 0, 0, 0, 5, 0, 0, 0}
-		if _, err := c.Write(frame); err != nil {
+		tc := &tcpConn{c: c}
+		if err := tc.write(tcpHello, encodeHello(5)); err != nil {
 			t.Error(err)
 		}
 		// Hold the connection open until the master rejects it.
@@ -304,5 +306,40 @@ func TestTCPTransportRejectsBadHello(t *testing.T) {
 	}()
 	if err := master.Accept(); err == nil {
 		t.Fatal("Accept admitted an invalid hello")
+	}
+}
+
+// TestTCPTransportRejectsOldProtocol covers the version word added to
+// the hello in protocol v2: a v1-era hello (wrong version, wrong
+// shape) must be rejected at accept time, not misframed.
+func TestTCPTransportRejectsOldProtocol(t *testing.T) {
+	master, err := ListenTCP("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer master.Close()
+	go func() {
+		c, err := net.Dial("tcp", master.Addr())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer c.Close()
+		var hello [8]byte
+		binary.LittleEndian.PutUint32(hello[0:4], ProtocolVersion+1)
+		binary.LittleEndian.PutUint32(hello[4:8], 1)
+		tc := &tcpConn{c: c}
+		if err := tc.write(tcpHello, hello[:]); err != nil {
+			t.Error(err)
+		}
+		buf := make([]byte, 1)
+		_, _ = c.Read(buf)
+	}()
+	err = master.Accept()
+	if err == nil {
+		t.Fatal("Accept admitted a mismatched protocol version")
+	}
+	if !strings.Contains(err.Error(), "protocol") {
+		t.Fatalf("version mismatch error %q does not mention the protocol", err)
 	}
 }

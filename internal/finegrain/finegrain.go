@@ -36,6 +36,7 @@ package finegrain
 
 import (
 	"fmt"
+	"time"
 
 	"raxml/internal/fabric"
 	"raxml/internal/gtr"
@@ -83,6 +84,23 @@ const (
 var (
 	fragMinEntries = 64
 	fragEntries    = 64
+)
+
+// Progress guards. Variables, not constants, so chaos runs tighten
+// them for fast fault detection; zero disables a guard.
+var (
+	// DispatchTimeout bounds the master's wait for each rank's partial
+	// within one dispatch. A rank that neither answers nor errors —
+	// wedged process, frame lost in flight — would otherwise stall the
+	// dispatch forever; the deadline converts it into the same
+	// RankDeadError a crashed rank produces, feeding the grid's
+	// restripe path. Generous by default: it needs only to beat
+	// "forever", not to catch slow ranks.
+	DispatchTimeout = 2 * time.Minute
+	// ReleaseTimeout bounds the release handshake's drain per rank: a
+	// worker that never acks (its TagRelease was lost, or it is gone)
+	// is reported dead instead of blocking the lease teardown.
+	ReleaseTimeout = 30 * time.Second
 )
 
 // stripeQuantum is the pattern quantum rank stripes snap to, relative
@@ -234,6 +252,18 @@ func (p *Pool) Post(runner threads.JobRunner, code threads.JobCode) {
 
 	header, n := wm.WireJobHeader(code, includeModel, reset)
 	direct := n == 0
+
+	// Straggler guard: bound this dispatch's wait for every rank's
+	// partial. Armed before the first frame goes out, so the lane
+	// receivers (kicked below) and the direct-path Recvs all run under
+	// it; cleared again once the fold completes.
+	guard := DispatchTimeout > 0
+	if guard {
+		dl := time.Now().Add(DispatchTimeout)
+		for r := 1; r < p.tr.Size(); r++ {
+			fabric.SetRecvDeadline(p.tr, r, dl)
+		}
+	}
 	switch {
 	case direct:
 		// Empty descriptor (every makenewz iteration, warm evaluations):
@@ -294,12 +324,19 @@ func (p *Pool) Post(runner threads.JobRunner, code threads.JobCode) {
 		case res.Err != nil:
 			err = fmt.Errorf("rank %d recv: %w", r, res.Err)
 		case res.Tag == TagErr:
+			// A worker-reported execution error: the job's own failure,
+			// deliberately NOT RankDead-typed — restriping would just
+			// replay it on the next lease.
 			err = fmt.Errorf("rank %d: %s", r, res.Payload)
 		case res.Tag != TagPartial:
-			err = fmt.Errorf("rank %d: unexpected tag %d", r, res.Tag)
+			// Desynchronized stream (a frame was lost or mangled in
+			// flight): the rank's data can no longer be trusted, which is
+			// operationally identical to its death — type it so the grid
+			// re-stripes instead of failing the job.
+			err = &fabric.RankDeadError{Rank: r, Err: fmt.Errorf("finegrain: unexpected tag %d in reduction", res.Tag)}
 		default:
 			if derr := likelihood.DecodeWirePartialInto(p.remote[r], res.Payload); derr != nil {
-				err = fmt.Errorf("rank %d partial: %w", r, derr)
+				err = &fabric.RankDeadError{Rank: r, Err: fmt.Errorf("finegrain: partial decode: %w", derr)}
 			}
 		}
 		fabric.Recycle(p.tr, res.Payload)
@@ -312,6 +349,11 @@ func (p *Pool) Post(runner threads.JobRunner, code threads.JobCode) {
 		}
 		if code == threads.JobSiteLL {
 			wm.AbsorbRemoteSiteLL(p.stripes[r].Lo, p.remote[r].Vec)
+		}
+	}
+	if guard {
+		for r := 1; r < p.tr.Size(); r++ {
+			fabric.SetRecvDeadline(p.tr, r, time.Time{})
 		}
 	}
 	if firstErr != nil {
@@ -446,9 +488,15 @@ func releaseRank(tr fabric.Transport, r int) bool {
 	if err := tr.Send(r, TagRelease, nil); err != nil {
 		return false
 	}
-	// Bounded drain: a sane worker has at most a handful of frames in
-	// flight (one partial per abandoned job frame); a stream that keeps
-	// producing non-ack frames is broken.
+	// Bounded drain, in both frames and time: a sane worker has at most
+	// a handful of frames in flight (one partial per abandoned job
+	// frame); a stream that keeps producing non-ack frames is broken,
+	// and a wedged worker that never acks must not hold the release of
+	// the ranks after it hostage.
+	if ReleaseTimeout > 0 {
+		fabric.SetRecvDeadline(tr, r, time.Now().Add(ReleaseTimeout))
+		defer fabric.SetRecvDeadline(tr, r, time.Time{})
+	}
 	for i := 0; i < 1024; i++ {
 		tag, _, err := tr.Recv(r)
 		if err != nil {

@@ -41,9 +41,11 @@ func Serve(tr fabric.Transport) error {
 // carries the node capacity, carries a tile-reset marker when the
 // master re-attached a tree, and carries a model-sync block when model
 // state changed, so a worker that just replays frames in order is
-// always consistent with the master's planning. Errors are reported to
-// the master as TagErr frames (surfaced from the master's Collect) and
-// returned here.
+// always consistent with the master's planning. Clean job-level
+// failures (ExecWireJob errors) are reported to the master as TagErr
+// frames; protocol desync or decode failures instead close the
+// transport and die loudly, so the master sees a dead rank and
+// restripes rather than trusting a corrupted stream.
 func ServeSessions(tr fabric.Transport) error {
 	for {
 		tag, payload, err := tr.Recv(0)
@@ -76,9 +78,12 @@ func ServeSessions(tr fabric.Transport) error {
 				return nil
 			}
 		default:
-			err := fmt.Errorf("finegrain: idle worker got unexpected tag %d", tag)
-			_ = tr.Send(0, TagErr, []byte(err.Error()))
-			return err
+			// Protocol desync: the stream can no longer be trusted, so die
+			// loudly — close the transport (the master's next Recv fails
+			// and restripes around this rank) instead of sending TagErr,
+			// which would itself be an unexpected frame mid-protocol.
+			tr.Close()
+			return fmt.Errorf("finegrain: idle worker got unexpected tag %d", tag)
 		}
 	}
 }
@@ -90,6 +95,10 @@ func ServeSessions(tr fabric.Transport) error {
 func serveSession(tr fabric.Transport, initPayload []byte) (done bool, err error) {
 	init, err := likelihood.DecodeWorkerInit(initPayload)
 	if err != nil {
+		// A corrupt init frame means the stream is untrustworthy; die
+		// loudly so the master restripes instead of trying to lease into
+		// a desynced worker.
+		tr.Close()
 		return true, fmt.Errorf("finegrain: worker init decode: %w", err)
 	}
 	eng, err := likelihood.BuildWorkerEngine(init)
@@ -141,7 +150,11 @@ func serveSession(tr fabric.Transport, initPayload []byte) (done bool, err error
 			frag = frag[:0]
 			fabric.Recycle(tr, payload)
 			if decErr != nil {
-				_ = tr.Send(0, TagErr, []byte(decErr.Error()))
+				// Corrupt job frame: the stream is desynced, so close the
+				// transport rather than answering — the master's reduction
+				// sees a dead rank and restripes. (TagErr is reserved for
+				// clean job-level failures from ExecWireJob.)
+				tr.Close()
 				return true, fmt.Errorf("finegrain: worker job decode: %w", decErr)
 			}
 			partial, err := eng.ExecWireJob(&job, geom)
@@ -153,9 +166,10 @@ func serveSession(tr fabric.Transport, initPayload []byte) (done bool, err error
 				return true, fmt.Errorf("finegrain: worker partial send: %w", err)
 			}
 		default:
-			err := fmt.Errorf("finegrain: worker got unexpected tag %d", tag)
-			_ = tr.Send(0, TagErr, []byte(err.Error()))
-			return true, err
+			// Protocol desync mid-session: same policy as the idle loop —
+			// close and die so the master restripes around this rank.
+			tr.Close()
+			return true, fmt.Errorf("finegrain: worker got unexpected tag %d", tag)
 		}
 	}
 }

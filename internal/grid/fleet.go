@@ -1,13 +1,27 @@
 package grid
 
 import (
+	"errors"
 	"fmt"
+	"net"
 	"os"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"raxml/internal/fabric"
 	"raxml/internal/finegrain"
 )
+
+// ProbeTimeout bounds the pong wait of a liveness probe (lease-time or
+// heartbeat): a worker that accepted the ping but never answers is as
+// dead as one with a broken link. Chaos tests shrink it.
+var ProbeTimeout = 10 * time.Second
+
+// DefaultHeartbeatInterval is the fleet's background liveness sweep
+// cadence — frequent enough that a SIGKILLed idle worker is evicted
+// well before a job would otherwise discover the corpse at lease time.
+const DefaultHeartbeatInterval = 3 * time.Second
 
 // Fleet is the grid's worker membership: every admitted rank, its link,
 // and whether it is idle (in the free pool), leased to a job, or dead.
@@ -22,10 +36,24 @@ import (
 type Fleet struct {
 	tracer *Tracer
 
+	// LinkWrapper, when set before workers are admitted, wraps every
+	// admitted link — the hook chaos runs use to interpose a seeded
+	// fabric.FaultLink per worker. The wrapped link is what the fleet
+	// probes, leases and kills; the worker id lets the wrapper derive a
+	// per-worker fault seed.
+	LinkWrapper func(workerID int, l fabric.Link) fabric.Link
+
 	mu      sync.Mutex
+	cond    *sync.Cond // signaled on Admit, for WaitAlive
 	workers map[int]*Worker
 	free    []int
 	nextID  int
+
+	hbStop chan struct{}
+	hbDone chan struct{}
+
+	heartbeats atomic.Int64 // liveness probes sent by the background sweep
+	evicted    atomic.Int64 // workers the sweep declared dead
 }
 
 // Worker is one fleet member.
@@ -43,7 +71,9 @@ type Worker struct {
 
 // NewFleet creates an empty fleet.
 func NewFleet(tracer *Tracer) *Fleet {
-	return &Fleet{tracer: tracer, workers: make(map[int]*Worker)}
+	f := &Fleet{tracer: tracer, workers: make(map[int]*Worker)}
+	f.cond = sync.NewCond(&f.mu)
+	return f
 }
 
 // Admit adds a worker reachable over link to the free pool and returns
@@ -51,13 +81,51 @@ func NewFleet(tracer *Tracer) *Fleet {
 // leased to the next job attempt that asks.
 func (f *Fleet) Admit(link fabric.Link, pid int) *Worker {
 	f.mu.Lock()
-	w := &Worker{ID: f.nextID, PID: pid, link: link}
+	id := f.nextID
 	f.nextID++
+	if f.LinkWrapper != nil {
+		link = f.LinkWrapper(id, link)
+	}
+	w := &Worker{ID: id, PID: pid, link: link}
 	f.workers[w.ID] = w
 	f.free = append(f.free, w.ID)
+	f.cond.Broadcast()
 	f.mu.Unlock()
 	f.tracer.Event("admit", "", map[string]any{"worker": w.ID, "pid": pid})
 	return w
+}
+
+// WaitAlive blocks until at least n workers are alive (admitted and not
+// known dead) or timeout passes, reporting whether the quorum arrived.
+// It is how a master that just spawned its workers waits for them to
+// dial in without a sleep-poll loop.
+func (f *Fleet) WaitAlive(n int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	// The cond has no timed wait; a timer broadcast wakes the waiters so
+	// they can notice the deadline passed.
+	wake := time.AfterFunc(timeout, func() {
+		f.mu.Lock()
+		f.cond.Broadcast()
+		f.mu.Unlock()
+	})
+	defer wake.Stop()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for {
+		alive := 0
+		for _, w := range f.workers {
+			if !w.dead {
+				alive++
+			}
+		}
+		if alive >= n {
+			return true
+		}
+		if !time.Now().Before(deadline) {
+			return false
+		}
+		f.cond.Wait()
+	}
 }
 
 // SpawnLocal admits n in-proc workers, each a goroutine serving
@@ -66,20 +134,30 @@ func (f *Fleet) Admit(link fabric.Link, pid int) *Worker {
 func (f *Fleet) SpawnLocal(n int) {
 	for i := 0; i < n; i++ {
 		m, w := fabric.LinkPair()
-		go finegrain.ServeSessions(fabric.WorkerTransport(w))
+		go func() {
+			// Close on exit so a worker that dies of a protocol desync
+			// severs the pair — the master sees a dead link, not silence.
+			defer w.Close()
+			finegrain.ServeSessions(fabric.WorkerTransport(w))
+		}()
 		f.Admit(m, 0)
 	}
 }
 
 // AcceptFrom admits TCP workers as they dial the star listener, until
 // the listener closes. It returns immediately; admission runs in a
-// background goroutine (the late-join path).
+// background goroutine (the late-join path). A single bad dialer — a
+// hello timeout, a garbage hello — is skipped, not fatal: only the
+// listener's own close ends admission.
 func (f *Fleet) AcceptFrom(ln *fabric.StarListener) {
 	go func() {
 		for {
 			link, pid, err := ln.AcceptLink()
 			if err != nil {
-				return
+				if errors.Is(err, net.ErrClosed) {
+					return
+				}
+				continue
 			}
 			f.Admit(link, pid)
 		}
@@ -158,14 +236,94 @@ func (f *Fleet) Lease(jobID string, want int) []*Worker {
 	return out
 }
 
-// probe checks an idle worker end-to-end: ping, expect pong.
+// probe checks an idle worker end-to-end: ping, expect pong, bounded by
+// ProbeTimeout — a worker that accepted the ping but never answers
+// (wedged, straggling past any useful bound) fails the probe like one
+// with a broken link.
 func (f *Fleet) probe(w *Worker) bool {
 	if err := w.link.Send(finegrain.TagPing, nil); err != nil {
 		return false
 	}
+	if ProbeTimeout > 0 {
+		fabric.SetLinkRecvDeadline(w.link, time.Now().Add(ProbeTimeout))
+		defer fabric.SetLinkRecvDeadline(w.link, time.Time{})
+	}
 	tag, _, err := w.link.Recv()
 	return err == nil && tag == finegrain.TagPong
 }
+
+// StartHeartbeats begins a background liveness sweep: every interval,
+// each currently-idle worker is probed (ping/pong) and non-responders
+// are evicted — so dead idle workers leave the pool within an interval
+// or two instead of surfacing as failed probes at lease time. Leased
+// workers are never touched; their liveness is the job's dispatch
+// deadline. Call StopHeartbeats before Shutdown.
+func (f *Fleet) StartHeartbeats(interval time.Duration) {
+	if interval <= 0 || f.hbStop != nil {
+		return
+	}
+	f.hbStop = make(chan struct{})
+	f.hbDone = make(chan struct{})
+	go func() {
+		defer close(f.hbDone)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-f.hbStop:
+				return
+			case <-tick.C:
+				f.sweep()
+			}
+		}
+	}()
+}
+
+// StopHeartbeats ends the background sweep and waits for it to finish,
+// so no probe races the shutdown of the links it would use.
+func (f *Fleet) StopHeartbeats() {
+	if f.hbStop == nil {
+		return
+	}
+	close(f.hbStop)
+	<-f.hbDone
+	f.hbStop = nil
+}
+
+// sweep probes each currently-free worker once, popping one at a time
+// so concurrent Lease calls interleave with the sweep instead of
+// finding an emptied pool.
+func (f *Fleet) sweep() {
+	f.mu.Lock()
+	n := len(f.free)
+	f.mu.Unlock()
+	for i := 0; i < n; i++ {
+		f.mu.Lock()
+		if len(f.free) == 0 {
+			f.mu.Unlock()
+			return
+		}
+		id := f.free[0]
+		f.free = f.free[1:]
+		w := f.workers[id]
+		f.mu.Unlock()
+		f.heartbeats.Add(1)
+		if f.probe(w) {
+			f.release(w)
+		} else {
+			f.evicted.Add(1)
+			f.markDead(w, "heartbeat")
+		}
+	}
+}
+
+// Heartbeats reports the number of liveness probes the background sweep
+// has sent (for metrics).
+func (f *Fleet) Heartbeats() int64 { return f.heartbeats.Load() }
+
+// Evicted reports the number of workers the background sweep declared
+// dead (for metrics).
+func (f *Fleet) Evicted() int64 { return f.evicted.Load() }
 
 // Return ends a lease: workers whose job-local rank appears in dead
 // (1-based, as reported by finegrain.Pool.Release) are marked dead, the
@@ -204,6 +362,10 @@ func (f *Fleet) ReleaseAll(ws []*Worker) {
 func releaseLink(l fabric.Link) bool {
 	if err := l.Send(finegrain.TagRelease, nil); err != nil {
 		return false
+	}
+	if finegrain.ReleaseTimeout > 0 {
+		fabric.SetLinkRecvDeadline(l, time.Now().Add(finegrain.ReleaseTimeout))
+		defer fabric.SetLinkRecvDeadline(l, time.Time{})
 	}
 	for i := 0; i < 1024; i++ {
 		tag, _, err := l.Recv()

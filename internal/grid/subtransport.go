@@ -2,6 +2,7 @@ package grid
 
 import (
 	"fmt"
+	"time"
 
 	"raxml/internal/fabric"
 )
@@ -53,6 +54,22 @@ func (s *subTransport) Recv(from int) (byte, []byte, error) {
 	s.stats.MessagesRecv.Add(1)
 	s.stats.BytesRecv.Add(int64(len(payload)))
 	return tag, payload, nil
+}
+
+// SetRecvDeadline forwards the per-peer Recv deadline to the leased
+// link (the fabric.PeerDeadliner contract), so finegrain's dispatch
+// guard bounds waits on grid workers exactly as on fixed-world ranks.
+// Expiry surfaces from Recv as a RankDeadError (the wrap above) whose
+// chain contains os.ErrDeadlineExceeded — a stalled worker and a dead
+// one take the same restripe path.
+func (s *subTransport) SetRecvDeadline(peer int, at time.Time) error {
+	if peer < 1 || peer > len(s.links) {
+		return fmt.Errorf("grid: SetRecvDeadline on rank %d of a %d-rank lease", peer, s.Size())
+	}
+	if !fabric.SetLinkRecvDeadline(s.links[peer-1], at) {
+		return fmt.Errorf("grid: link for rank %d has no deadline support", peer)
+	}
+	return nil
 }
 
 // Close is a no-op: the fleet owns the links; a released lease returns

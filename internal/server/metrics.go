@@ -4,6 +4,8 @@ import (
 	"expvar"
 	"sync"
 	"sync/atomic"
+
+	"raxml/internal/fabric"
 )
 
 // serverMetrics are the monotonic service counters. Gauges (queue
@@ -53,6 +55,24 @@ func (s *Server) Stats() map[string]any {
 		"cache":      s.cache.Stats(),
 		"dedup_hits": s.metrics.dedupHits.Load(),
 		"dispatches": s.metrics.dispatches.Load(),
+		"health":     s.healthStats(),
+	}
+}
+
+// healthStats is the fault-tolerance section of Stats: liveness sweep
+// activity, evictions, worker-process respawns and CRC-rejected frames
+// — the counters that show the self-healing machinery is both active
+// and (when all but heartbeats stay zero) not needed.
+func (s *Server) healthStats() map[string]any {
+	var respawns int64
+	if s.cfg.Supervisor != nil {
+		respawns = s.cfg.Supervisor.Respawns()
+	}
+	return map[string]any{
+		"heartbeats":     s.cfg.Fleet.Heartbeats(),
+		"evicted":        s.cfg.Fleet.Evicted(),
+		"respawns":       respawns,
+		"corrupt_frames": fabric.CorruptFrames(),
 	}
 }
 

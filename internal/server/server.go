@@ -51,6 +51,10 @@ type Config struct {
 	GridConcurrency int
 	// ThreadsPerRank is t of the R×t fine grain (default 1).
 	ThreadsPerRank int
+	// Supervisor, when set, is the worker-process supervisor behind a
+	// tcp fleet; the server only reads its respawn counter for /v1/stats
+	// (lifecycle stays with the CLI that built it).
+	Supervisor *grid.Supervisor
 }
 
 func (c Config) withDefaults() Config {
